@@ -1,0 +1,59 @@
+/// Ablation: block vs block-cyclic collective distribution (paper Section
+/// 4.2; the evaluation uses block-cyclic).
+///
+/// Block distribution concentrates each array's pages on few ranks (hot
+/// homes under random stealing); block-cyclic spreads fetch traffic evenly.
+
+#include <cstdio>
+
+#include "support/bench_common.hpp"
+
+namespace ib = ityr::bench;
+using ityr::common::dist_policy;
+
+namespace {
+
+ib::result_table g_table("Ablation: collective memory distribution, 6 nodes x 4 ranks",
+                         {"distribution", "workload", "time[s]", "fetch[MB]"});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  ityr::apps::fmm::fmm_config cfg;
+  cfg.theta = 0.5;
+  cfg.ncrit = 32;
+  cfg.nspawn = 1000;
+
+  for (dist_policy dist : {dist_policy::block, dist_policy::block_cyclic}) {
+    ib::register_sim_benchmark(std::string("ablation_dist/cilksort/") +
+                                   ityr::common::to_string(dist),
+                               [dist](benchmark::State&) {
+                                 auto opt = ib::cluster_opts(6, 4);
+                                 opt.default_dist = dist;
+                                 auto m = ib::run_cilksort(opt, 1 << 21, 16384);
+                                 g_table.add_row(
+                                     {ityr::common::to_string(dist), "cilksort",
+                                      ib::result_table::fmt(m.time),
+                                      ib::result_table::fmt(
+                                          static_cast<double>(m.fetched_bytes) / 1e6, 1)});
+                                 return m.time;
+                               });
+    ib::register_sim_benchmark(
+        std::string("ablation_dist/fmm/") + ityr::common::to_string(dist),
+        [dist, cfg](benchmark::State&) {
+          auto opt = ib::cluster_opts(6, 4);
+          opt.default_dist = dist;
+          auto m = ib::run_fmm(opt, 20000, cfg, false);
+          g_table.add_row({ityr::common::to_string(dist), "fmm", ib::result_table::fmt(m.solve.time),
+                           ib::result_table::fmt(static_cast<double>(m.solve.fetched_bytes) / 1e6, 1)});
+          return m.solve.time;
+        });
+  }
+
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  g_table.print();
+  return 0;
+}

@@ -1,0 +1,66 @@
+/// Ablation: software cache capacity per rank (the paper fixes 128 MB;
+/// Section 3.3 discusses the consequences of the fixed size).
+///
+/// Sweeps the per-rank cache while sorting a working set much larger than
+/// the smallest setting, showing the eviction/write-back pressure knee, and
+/// verifies the too-much-checkout regime is avoided by chunked access.
+
+#include <cstdio>
+
+#include "itoyori/apps/cilksort.hpp"
+#include "support/bench_common.hpp"
+
+namespace ib = ityr::bench;
+
+namespace {
+
+const std::size_t kCacheSizes[] = {1, 2, 4, 8, 16};  // MiB per rank
+
+ib::result_table g_table("Ablation: per-rank cache capacity, Cilksort 2^22 elements, 6x4 ranks",
+                         {"cache[MiB]", "time[s]", "fetch[MB]", "wb[MB]", "evictions"});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  for (std::size_t mib : kCacheSizes) {
+    ib::register_sim_benchmark(
+        "ablation_cache/MiB:" + std::to_string(mib), [mib](benchmark::State& state) {
+          auto opt = ib::cluster_opts(6, 4);
+          opt.cache_size = mib * ityr::common::MiB;
+          ityr::runtime rt(opt);
+          // Inline variant of run_cilksort so we can read eviction counts.
+          const std::size_t n = 1 << 22;
+          double elapsed = 0;
+          rt.spmd([&] {
+            auto a = ityr::coll_new<std::uint32_t>(n);
+            auto b = ityr::coll_new<std::uint32_t>(n);
+            ityr::root_exec([=] { ityr::apps::cilksort_generate(a, n, 42, 16384); });
+            ityr::barrier();
+            const double t0 = rt.eng().now();
+            ityr::root_exec([=] {
+              ityr::apps::cilksort(ityr::global_span<std::uint32_t>(a, n),
+                                   ityr::global_span<std::uint32_t>(b, n), 16384);
+            });
+            ityr::barrier();
+            if (ityr::my_rank() == 0) elapsed = rt.eng().now() - t0;
+            ityr::coll_delete(a, n);
+            ityr::coll_delete(b, n);
+          });
+          const auto st = rt.pgas().aggregate_stats();
+          state.counters["evictions"] = static_cast<double>(st.cache_evictions);
+          g_table.add_row({std::to_string(mib), ib::result_table::fmt(elapsed),
+                           ib::result_table::fmt(static_cast<double>(st.fetched_bytes) / 1e6, 1),
+                           ib::result_table::fmt(
+                               static_cast<double>(st.written_back_bytes) / 1e6, 1),
+                           std::to_string(st.cache_evictions)});
+          return elapsed;
+        });
+  }
+
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  g_table.print();
+  return 0;
+}

@@ -1,0 +1,78 @@
+/// Ablation (extension beyond the paper): random vs node-first victim
+/// selection for work stealing. The paper's Section 8 names locality-aware
+/// scheduling as its top future-work item; node-first stealing keeps most
+/// migrations intra-node and improves reuse of intra-node home blocks.
+
+#include <cstdio>
+
+#include "support/bench_common.hpp"
+
+namespace ib = ityr::bench;
+using ityr::common::steal_policy;
+
+namespace {
+
+ib::result_table g_table("Ablation: steal victim selection, 6 nodes x 4 ranks",
+                         {"policy", "workload", "time[s]", "steals", "fetch[MB]"});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  ityr::apps::uts_params uts;
+  uts.b0 = 4.0;
+  uts.gen_mx = 13;
+  uts.root_seed = 19;
+
+  ityr::apps::fmm::fmm_config fmm_cfg;
+  fmm_cfg.theta = 0.5;
+  fmm_cfg.ncrit = 32;
+  fmm_cfg.nspawn = 1000;
+
+  for (steal_policy sp : {steal_policy::random, steal_policy::node_first}) {
+    const char* spn = ityr::common::to_string(sp);
+    ib::register_sim_benchmark(std::string("ablation_steal/cilksort/") + spn,
+                               [sp, spn](benchmark::State&) {
+                                 auto opt = ib::cluster_opts(6, 4);
+                                 opt.steal = sp;
+                                 auto m = ib::run_cilksort(opt, 1 << 21, 16384);
+                                 g_table.add_row(
+                                     {spn, "cilksort", ib::result_table::fmt(m.time),
+                                      std::to_string(m.steals),
+                                      ib::result_table::fmt(
+                                          static_cast<double>(m.fetched_bytes) / 1e6, 1)});
+                                 return m.time;
+                               });
+    ib::register_sim_benchmark(std::string("ablation_steal/uts_mem/") + spn,
+                               [sp, spn, uts](benchmark::State&) {
+                                 auto opt = ib::cluster_opts(6, 4);
+                                 opt.steal = sp;
+                                 auto m = ib::run_uts_mem(opt, uts);
+                                 g_table.add_row(
+                                     {spn, "uts-mem", ib::result_table::fmt(m.traverse.time),
+                                      std::to_string(m.traverse.steals),
+                                      ib::result_table::fmt(
+                                          static_cast<double>(m.traverse.fetched_bytes) / 1e6,
+                                          1)});
+                                 return m.traverse.time;
+                               });
+    ib::register_sim_benchmark(std::string("ablation_steal/fmm/") + spn,
+                               [sp, spn, fmm_cfg](benchmark::State&) {
+                                 auto opt = ib::cluster_opts(6, 4);
+                                 opt.steal = sp;
+                                 auto m = ib::run_fmm(opt, 20000, fmm_cfg, false);
+                                 g_table.add_row(
+                                     {spn, "fmm", ib::result_table::fmt(m.solve.time),
+                                      std::to_string(m.solve.steals),
+                                      ib::result_table::fmt(
+                                          static_cast<double>(m.solve.fetched_bytes) / 1e6, 1)});
+                                 return m.solve.time;
+                               });
+  }
+
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  g_table.print();
+  return 0;
+}

@@ -1,0 +1,69 @@
+/// Ablation: remote-fetch sub-block size (paper Section 4.3.1 design
+/// choice; the paper fixes it at 4 KiB).
+///
+/// Small sub-blocks fetch fewer redundant bytes per miss but issue more
+/// messages; large sub-blocks amortize latency but over-fetch for sparse
+/// access. UTS-Mem (fine-grained pointer chasing) and Cilksort (streaming)
+/// stress the two ends of that tradeoff.
+
+#include <cstdio>
+
+#include "support/bench_common.hpp"
+
+namespace ib = ityr::bench;
+
+namespace {
+
+const std::size_t kSubBlocks[] = {256, 1024, 4096, 16384, 65536};
+
+ib::result_table g_table("Ablation: sub-block (fetch granularity) size, 6 nodes x 4 ranks",
+                         {"sub-block[B]", "workload", "time[s]", "fetch[MB]", "messages"});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  ityr::apps::uts_params uts;
+  uts.b0 = 4.0;
+  uts.gen_mx = 13;
+  uts.root_seed = 19;
+
+  for (std::size_t sb : kSubBlocks) {
+    ib::register_sim_benchmark("ablation_subblock/uts/sb:" + std::to_string(sb),
+                               [sb, uts](benchmark::State& state) {
+                                 auto opt = ib::cluster_opts(6, 4);
+                                 opt.sub_block_size = sb;
+                                 auto m = ib::run_uts_mem(opt, uts);
+                                 state.counters["fetchMB"] =
+                                     static_cast<double>(m.traverse.fetched_bytes) / 1e6;
+                                 g_table.add_row(
+                                     {std::to_string(sb), "uts-mem",
+                                      ib::result_table::fmt(m.traverse.time),
+                                      ib::result_table::fmt(
+                                          static_cast<double>(m.traverse.fetched_bytes) / 1e6, 1),
+                                      std::to_string(m.traverse.messages)});
+                                 return m.traverse.time;
+                               });
+    ib::register_sim_benchmark("ablation_subblock/cilksort/sb:" + std::to_string(sb),
+                               [sb](benchmark::State& state) {
+                                 auto opt = ib::cluster_opts(6, 4);
+                                 opt.sub_block_size = sb;
+                                 auto m = ib::run_cilksort(opt, 1 << 20, 16384);
+                                 state.counters["fetchMB"] =
+                                     static_cast<double>(m.fetched_bytes) / 1e6;
+                                 g_table.add_row(
+                                     {std::to_string(sb), "cilksort",
+                                      ib::result_table::fmt(m.time),
+                                      ib::result_table::fmt(
+                                          static_cast<double>(m.fetched_bytes) / 1e6, 1),
+                                      std::to_string(m.messages)});
+                                 return m.time;
+                               });
+  }
+
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  g_table.print();
+  return 0;
+}

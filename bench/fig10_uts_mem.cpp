@@ -1,0 +1,83 @@
+/// Paper Fig. 10: UTS-Mem traversal throughput (nodes/s) for two tree
+/// sizes, cache vs no cache, strong scaling.
+///
+/// Scaled trees: "T1L-analog" (~1.8e5 nodes) and "T1XL-analog" (~6.9e5 nodes)
+/// geometric trees (paper: 102M / 1.6G nodes). Claims to reproduce: the
+/// cached runtime scales and beats the uncached one by a large factor
+/// (paper: 7.1x on 36 nodes for T1XL) because runtime caching exploits the
+/// spatial locality of work-stealing-placed allocations, even though every
+/// tree node is visited exactly once.
+
+#include <cstdio>
+
+#include "support/bench_common.hpp"
+
+namespace ib = ityr::bench;
+using ityr::common::cache_policy;
+
+namespace {
+
+struct tree_def {
+  const char* name;
+  ityr::apps::uts_params params;
+};
+
+ityr::apps::uts_params geo(double b0, int gen_mx, int seed) {
+  ityr::apps::uts_params p;
+  p.kind = ityr::apps::uts_params::tree_kind::geometric;
+  p.b0 = b0;
+  p.gen_mx = gen_mx;
+  p.root_seed = seed;
+  return p;
+}
+
+// ~1.8e5 and ~6.9e5 node trees (counted by uts_count_serial).
+const tree_def kTrees[] = {
+    {"T1L-analog", geo(4.0, 13, 19)},
+    {"T1XL-analog", geo(4.0, 15, 19)},
+};
+
+struct topo {
+  int nodes, rpn;
+};
+const topo kTopos[] = {{1, 4}, {2, 4}, {6, 4}, {12, 4}};
+
+ib::result_table g_table("Fig. 10 analog: UTS-Mem traversal throughput",
+                         {"tree", "n_tree_nodes", "ranks", "policy", "traverse[s]",
+                          "throughput[nodes/s]", "fetch[MB]", "ok"});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  for (const tree_def& td : kTrees) {
+    for (const topo& t : kTopos) {
+      for (cache_policy policy : {cache_policy::none, cache_policy::write_back_lazy}) {
+        std::string name = std::string("fig10/") + td.name +
+                           "/ranks:" + std::to_string(t.nodes * t.rpn) +
+                           "/policy:" + ityr::common::to_string(policy);
+        ib::register_sim_benchmark(name, [td, t, policy](benchmark::State& state) {
+          auto opt = ib::cluster_opts(t.nodes, t.rpn);
+          opt.policy = policy;
+          opt.noncoll_heap_per_rank = 192 * ityr::common::MiB /
+                                      static_cast<std::size_t>(t.nodes * t.rpn) * 4;
+          auto m = ib::run_uts_mem(opt, td.params);
+          state.counters["nodes_per_s"] = m.throughput;
+          g_table.add_row({td.name, std::to_string(m.n_nodes),
+                           std::to_string(t.nodes * t.rpn), ityr::common::to_string(policy),
+                           ib::result_table::fmt(m.traverse.time),
+                           ib::result_table::fmt(m.throughput, 0),
+                           ib::result_table::fmt(static_cast<double>(m.traverse.fetched_bytes) / 1e6, 1),
+                           m.traverse.ok ? "yes" : "NO"});
+          return m.traverse.time;
+        });
+      }
+    }
+  }
+
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  g_table.print();
+  return 0;
+}

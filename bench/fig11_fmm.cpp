@@ -1,0 +1,100 @@
+/// Paper Fig. 11: ExaFMM-style FMM strong scaling for two body counts under
+/// No Cache / Write-Through / Write-Back / Write-Back (Lazy), plus the
+/// statically partitioned "MPI" baseline.
+///
+/// Scaled setup: 1e4 and 5e4 bodies (paper: 1M / 10M), theta=0.5, ncrit=32,
+/// P=4, nspawn=1000 (paper parameters except theta, whose MAC convention
+/// differs — see EXPERIMENTS.md). Claims to reproduce: the cached versions
+/// beat No Cache by a large factor (paper: up to 6x), write-back beats
+/// write-through, and the work-stealing runtime is comparable to the static
+/// MPI-style baseline, which it overtakes as load imbalance grows with node
+/// count.
+
+#include <cstdio>
+
+#include "support/bench_common.hpp"
+
+namespace ib = ityr::bench;
+using ityr::common::cache_policy;
+
+namespace {
+
+const std::size_t kSizes[] = {10000, 50000};
+
+struct topo {
+  int nodes, rpn;
+};
+const topo kTopos[] = {{1, 4}, {2, 4}, {6, 4}, {12, 4}};
+
+ityr::apps::fmm::fmm_config cfg() {
+  ityr::apps::fmm::fmm_config c;
+  c.theta = 0.5;
+  c.ncrit = 32;
+  c.nspawn = 1000;
+  return c;
+}
+
+ib::result_table g_table("Fig. 11 analog: FMM strong scaling (theta=0.5, ncrit=32, P=4)",
+                         {"bodies", "ranks", "variant", "time[s]", "speedup-vs-serial",
+                          "pot-err", "idleness", "ok"});
+
+double g_serial[2] = {0, 0};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  for (int si = 0; si < 2; si++) {
+    const std::size_t n = kSizes[si];
+    ib::register_sim_benchmark("fig11/serial/n:" + std::to_string(n),
+                               [n, si](benchmark::State&) {
+                                 g_serial[si] = ib::run_fmm_serial(n, cfg());
+                                 g_table.add_row({std::to_string(n), "serial", "elided",
+                                                  ib::result_table::fmt(g_serial[si]), "1.00",
+                                                  "-", "-", "yes"});
+                                 return g_serial[si];
+                               });
+
+    for (const topo& t : kTopos) {
+      for (cache_policy policy :
+           {cache_policy::none, cache_policy::write_through, cache_policy::write_back,
+            cache_policy::write_back_lazy}) {
+        std::string name = "fig11/n:" + std::to_string(n) +
+                           "/ranks:" + std::to_string(t.nodes * t.rpn) +
+                           "/policy:" + ityr::common::to_string(policy);
+        ib::register_sim_benchmark(name, [n, t, policy, si](benchmark::State& state) {
+          auto opt = ib::cluster_opts(t.nodes, t.rpn);
+          opt.policy = policy;
+          auto m = ib::run_fmm(opt, n, cfg(), /*static_baseline=*/false);
+          const double speedup = g_serial[si] > 0 ? g_serial[si] / m.solve.time : 0;
+          state.counters["speedup"] = speedup;
+          g_table.add_row({std::to_string(n), std::to_string(t.nodes * t.rpn),
+                           ityr::common::to_string(policy), ib::result_table::fmt(m.solve.time),
+                           ib::result_table::fmt(speedup, 2),
+                           ib::result_table::fmt(m.err.pot, 6), "-", m.solve.ok ? "yes" : "NO"});
+          return m.solve.time;
+        });
+      }
+      // The static "MPI" baseline (write-back-lazy cache, no work stealing).
+      std::string name = "fig11/n:" + std::to_string(n) +
+                         "/ranks:" + std::to_string(t.nodes * t.rpn) + "/variant:mpi_static";
+      ib::register_sim_benchmark(name, [n, t, si](benchmark::State& state) {
+        auto opt = ib::cluster_opts(t.nodes, t.rpn);
+        auto m = ib::run_fmm(opt, n, cfg(), /*static_baseline=*/true);
+        const double speedup = g_serial[si] > 0 ? g_serial[si] / m.solve.time : 0;
+        state.counters["idleness"] = m.idleness;
+        g_table.add_row({std::to_string(n), std::to_string(t.nodes * t.rpn), "mpi_static",
+                         ib::result_table::fmt(m.solve.time), ib::result_table::fmt(speedup, 2),
+                         ib::result_table::fmt(m.err.pot, 6),
+                         ib::result_table::fmt(m.idleness, 3), m.solve.ok ? "yes" : "NO"});
+        return m.solve.time;
+      });
+    }
+  }
+
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  g_table.print();
+  return 0;
+}

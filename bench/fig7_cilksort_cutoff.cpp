@@ -1,0 +1,58 @@
+/// Paper Fig. 7: Cilksort execution time vs task cutoff for the four cache
+/// configurations (No Cache / Write-Through / Write-Back / Write-Back Lazy)
+/// on a 12-node cluster.
+///
+/// Scaled setup: 2^20 elements (paper: 1G), 12 nodes x 4 ranks (paper: 12 x
+/// 48). The headline claims to reproduce: execution time decreases the more
+/// write-backs are delayed, and the gap widens as the cutoff shrinks — with
+/// No Cache an order of magnitude slower at the smallest cutoffs.
+
+#include <cstdio>
+
+#include "support/bench_common.hpp"
+
+namespace ib = ityr::bench;
+using ityr::common::cache_policy;
+
+namespace {
+
+constexpr std::size_t kN = 1 << 20;
+constexpr int kNodes = 12, kRpn = 4;
+
+const cache_policy kPolicies[] = {cache_policy::none, cache_policy::write_through,
+                                  cache_policy::write_back, cache_policy::write_back_lazy};
+const std::size_t kCutoffs[] = {64, 256, 1024, 4096, 16384, 65536};
+
+ib::result_table g_table("Fig. 7 analog: Cilksort cutoff sweep, 12 nodes x 4 ranks, 2^20 elements",
+                         {"cutoff", "policy", "time[s]", "steals", "fetch[MB]", "wb[MB]", "ok"});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  for (std::size_t cutoff : kCutoffs) {
+    for (cache_policy policy : kPolicies) {
+      std::string name = std::string("fig7/cutoff:") + std::to_string(cutoff) + "/policy:" +
+                         ityr::common::to_string(policy);
+      ib::register_sim_benchmark(name, [cutoff, policy](benchmark::State& state) {
+        auto opt = ib::cluster_opts(kNodes, kRpn);
+        opt.policy = policy;
+        auto m = ib::run_cilksort(opt, kN, cutoff);
+        state.counters["steals"] = static_cast<double>(m.steals);
+        state.counters["fetchMB"] = static_cast<double>(m.fetched_bytes) / 1e6;
+        g_table.add_row({std::to_string(cutoff), ityr::common::to_string(policy),
+                         ib::result_table::fmt(m.time), std::to_string(m.steals),
+                         ib::result_table::fmt(static_cast<double>(m.fetched_bytes) / 1e6, 1),
+                         ib::result_table::fmt(static_cast<double>(m.written_back_bytes) / 1e6, 1),
+                         m.ok ? "yes" : "NO"});
+        return m.time;
+      });
+    }
+  }
+
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  g_table.print();
+  return 0;
+}

@@ -1,0 +1,72 @@
+/// Paper Fig. 8: strong scaling of Cilksort for two input sizes, No Cache
+/// vs the lazy write-back cache, with the serial (runtime-elided) baseline.
+///
+/// Scaled setup: 2^20 and 2^22 elements (paper: 1G / 10G), rank counts 4 to
+/// 48 (paper: 48 to 1728 cores). Claims to reproduce: the cached version
+/// scales and beats No Cache, with the gap growing for the larger input
+/// (more cache reuse), and multi-node runs handle working sets larger than
+/// one rank's cache.
+
+#include <cstdio>
+
+#include "support/bench_common.hpp"
+
+namespace ib = ityr::bench;
+using ityr::common::cache_policy;
+
+namespace {
+
+const std::size_t kSizes[] = {1 << 20, 1 << 23};
+
+struct topo {
+  int nodes, rpn;
+};
+const topo kTopos[] = {{1, 4}, {2, 4}, {6, 4}, {12, 4}};
+
+ib::result_table g_table(
+    "Fig. 8 analog: Cilksort strong scaling (cutoff 16Ki)",
+    {"elements", "ranks", "policy", "time[s]", "speedup-vs-serial", "steals", "ok"});
+
+double g_serial[2] = {0, 0};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  for (int si = 0; si < 2; si++) {
+    const std::size_t n = kSizes[si];
+    ib::register_sim_benchmark("fig8/serial/n:" + std::to_string(n),
+                               [n, si](benchmark::State&) {
+                                 g_serial[si] = ib::run_cilksort_serial(n);
+                                 g_table.add_row({std::to_string(n), "serial", "elided",
+                                                  ib::result_table::fmt(g_serial[si]), "1.00",
+                                                  "0", "yes"});
+                                 return g_serial[si];
+                               });
+    for (const topo& t : kTopos) {
+      for (cache_policy policy : {cache_policy::none, cache_policy::write_back_lazy}) {
+        std::string name = "fig8/n:" + std::to_string(n) +
+                           "/ranks:" + std::to_string(t.nodes * t.rpn) +
+                           "/policy:" + ityr::common::to_string(policy);
+        ib::register_sim_benchmark(name, [n, t, policy, si](benchmark::State& state) {
+          auto opt = ib::cluster_opts(t.nodes, t.rpn);
+          opt.policy = policy;
+          auto m = ib::run_cilksort(opt, n, 16384);
+          const double speedup = g_serial[si] > 0 ? g_serial[si] / m.time : 0;
+          state.counters["speedup"] = speedup;
+          g_table.add_row({std::to_string(n), std::to_string(t.nodes * t.rpn),
+                           ityr::common::to_string(policy), ib::result_table::fmt(m.time),
+                           ib::result_table::fmt(speedup, 2), std::to_string(m.steals),
+                           m.ok ? "yes" : "NO"});
+          return m.time;
+        });
+      }
+    }
+  }
+
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  g_table.print();
+  return 0;
+}

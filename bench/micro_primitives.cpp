@@ -1,0 +1,123 @@
+/// Microbenchmarks of the runtime's host-side primitives, measured in real
+/// time with google-benchmark's standard loop (these are data-structure
+/// costs on the critical path of checkout/checkin, not simulated ones).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "itoyori/common/interval_set.hpp"
+#include "itoyori/common/rng.hpp"
+#include "itoyori/common/sha1.hpp"
+#include "itoyori/apps/fmm/kernels.hpp"
+#include "itoyori/pgas/free_list.hpp"
+
+namespace ic = ityr::common;
+
+namespace {
+
+void BM_IntervalSetAddCoalesced(benchmark::State& state) {
+  for (auto _ : state) {
+    ic::interval_set s;
+    for (std::uint64_t i = 0; i < 64; i++) s.add({i * 64, i * 64 + 64});
+    benchmark::DoNotOptimize(s.count());
+  }
+}
+BENCHMARK(BM_IntervalSetAddCoalesced);
+
+void BM_IntervalSetAddFragmented(benchmark::State& state) {
+  for (auto _ : state) {
+    ic::interval_set s;
+    for (std::uint64_t i = 0; i < 64; i++) s.add({i * 128, i * 128 + 64});
+    benchmark::DoNotOptimize(s.count());
+  }
+}
+BENCHMARK(BM_IntervalSetAddFragmented);
+
+void BM_IntervalSetMissingQuery(benchmark::State& state) {
+  ic::interval_set s;
+  for (std::uint64_t i = 0; i < 64; i++) s.add({i * 128, i * 128 + 64});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.missing({0, 8192}));
+  }
+}
+BENCHMARK(BM_IntervalSetMissingQuery);
+
+void BM_IntervalSetContainsHit(benchmark::State& state) {
+  ic::interval_set s;
+  s.add({0, 65536});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.contains({1024, 2048}));
+  }
+}
+BENCHMARK(BM_IntervalSetContainsHit);
+
+void BM_FreeListAllocFree(benchmark::State& state) {
+  ityr::pgas::free_list fl(1 << 24);
+  for (auto _ : state) {
+    auto a = fl.alloc(256, 64);
+    auto b = fl.alloc(1024, 64);
+    fl.dealloc(*a, 256);
+    fl.dealloc(*b, 1024);
+  }
+}
+BENCHMARK(BM_FreeListAllocFree);
+
+void BM_Sha1Block(benchmark::State& state) {
+  std::uint8_t data[24] = {1, 2, 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ic::sha1::hash(data, sizeof(data)));
+  }
+}
+BENCHMARK(BM_Sha1Block);
+
+void BM_XoshiroBelow(benchmark::State& state) {
+  ic::xoshiro256ss g(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.below(48));
+  }
+}
+BENCHMARK(BM_XoshiroBelow);
+
+void BM_FmmP2P(benchmark::State& state) {
+  namespace f = ityr::apps::fmm;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<f::body> b(n);
+  std::vector<f::body_acc> acc(n);
+  ic::xoshiro256ss g(2);
+  for (auto& x : b) x = {{g.uniform(), g.uniform(), g.uniform()}, 1.0};
+  for (auto _ : state) {
+    f::p2p(b.data(), n, acc.data(), b.data(), n);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_FmmP2P)->Arg(32)->Arg(128);
+
+void BM_FmmM2L(benchmark::State& state) {
+  namespace f = ityr::apps::fmm;
+  f::complex_t M[f::kNTerm] = {}, L[f::kNTerm] = {};
+  M[0] = 1.0;
+  for (auto _ : state) {
+    f::m2l(M, {0, 0, 0}, {4, 3, 2}, L);
+    benchmark::DoNotOptimize(L[0]);
+  }
+}
+BENCHMARK(BM_FmmM2L);
+
+void BM_FmmP2M(benchmark::State& state) {
+  namespace f = ityr::apps::fmm;
+  std::vector<f::body> b(32);
+  ic::xoshiro256ss g(3);
+  for (auto& x : b) x = {{g.uniform() - 0.5, g.uniform() - 0.5, g.uniform() - 0.5}, 1.0};
+  f::complex_t M[f::kNTerm] = {};
+  for (auto _ : state) {
+    f::p2m(b.data(), b.size(), {0, 0, 0}, M);
+    benchmark::DoNotOptimize(M[0]);
+  }
+}
+BENCHMARK(BM_FmmP2M);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Regenerate every paper table/figure plus the ablations, in the order of
+# the paper's evaluation. Run from the repository root after building:
+#
+#   cmake -B build -G Ninja && cmake --build build
+#   sh bench/run_all.sh | tee bench_output.txt
+#
+# Times are virtual seconds of the simulated cluster (see EXPERIMENTS.md).
+# Keep the host otherwise idle: application compute inside the simulation is
+# measured host-CPU time, so a loaded machine skews the compute:network
+# ratio.
+set -e
+for b in table1_environment fig7_cilksort_cutoff fig8_cilksort_scaling \
+         fig9_cilksort_breakdown fig10_uts_mem fig11_fmm table2_idleness \
+         ablation_subblock ablation_cache_size ablation_block_dist \
+         ablation_steal_policy micro_primitives; do
+  echo "#### bench/$b"
+  ./build/bench/$b
+  echo
+done

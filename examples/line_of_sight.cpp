@@ -1,0 +1,83 @@
+/// Line-of-sight: the classic prefix-scan application (Blelloch). Given
+/// terrain altitudes along a ray from an observer, point i is visible iff
+/// its viewing angle exceeds every angle before it — a running-maximum scan
+/// followed by an element-wise comparison, all over global memory.
+///
+///   $ ./line_of_sight [n_points]
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "itoyori/common/rng.hpp"
+#include "itoyori/core/ityr.hpp"
+#include "itoyori/core/scan.hpp"
+
+namespace {
+constexpr std::size_t grain = 8192;
+}
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 0) : (std::size_t{1} << 20);
+
+  ityr::options opt = ityr::options::from_env();
+  ityr::runtime rt(opt);
+
+  rt.spmd([n] {
+    auto angle = ityr::coll_new<double>(n);
+    auto prefix_max = ityr::coll_new<double>(n);
+
+    ityr::root_exec([=] {
+      // Synthetic rolling terrain: smooth hills with pseudo-random bumps.
+      ityr::parallel_for_each(angle, n, grain, ityr::access_mode::write,
+                              [n](double& a, std::size_t i) {
+                                std::uint64_t s = 0x9e3779b97f4a7c15ULL * (i + 1);
+                                const double noise =
+                                    static_cast<double>(ityr::common::splitmix64(s) >> 40);
+                                // Terrain starts well away from the observer so
+                                // early samples do not trivially dominate the
+                                // running maximum.
+                                const double x =
+                                    static_cast<double>(i + 1) + static_cast<double>(n) / 4;
+                                const double height =
+                                    200 * std::sin(x / 20000) + 40 * std::sin(x / 900) +
+                                    noise / 1e4 + 300 * (x / static_cast<double>(n));
+                                a = std::atan2(height, x);  // viewing angle
+                              });
+
+      // Running maximum of the viewing angle.
+      ityr::parallel_scan_inclusive(angle, prefix_max, n, grain, -1e300,
+                                    [](double x, double y) { return std::max(x, y); });
+    });
+
+    // Point i is visible iff its angle equals the running max at i; count
+    // with a chunked sweep holding both arrays under one task.
+    long count = ityr::root_exec([=] {
+      long total = 0;
+      for (std::size_t base = 0; base < n; base += grain) {
+        const std::size_t len = std::min(grain, n - base);
+        ityr::with_checkout(
+            angle + static_cast<std::ptrdiff_t>(base), len, ityr::access_mode::read,
+            [&](const double* a) {
+              ityr::with_checkout(prefix_max + static_cast<std::ptrdiff_t>(base), len,
+                                  ityr::access_mode::read, [&](const double* m) {
+                                    for (std::size_t i = 0; i < len; i++) {
+                                      if (a[i] >= m[i]) total++;
+                                    }
+                                  });
+            });
+      }
+      return total;
+    });
+
+    if (ityr::my_rank() == 0) {
+      std::printf("terrain points: %zu, visible from origin: %ld (%.4f%%)\n", n, count,
+                  100.0 * static_cast<double>(count) / static_cast<double>(n));
+    }
+    ityr::barrier();
+    ityr::coll_delete(angle, n);
+    ityr::coll_delete(prefix_max, n);
+  });
+  return 0;
+}

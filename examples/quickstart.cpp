@@ -1,0 +1,54 @@
+/// Quickstart: the smallest useful Itoyori program.
+///
+/// Builds a simulated 2-node x 4-rank cluster, allocates a global array,
+/// fills it and reduces over it with fork-join tasks, and shows explicit
+/// checkout/checkin access — the paper's programming model in ~60 lines.
+///
+///   $ ./quickstart
+///
+/// Environment knobs (see src/itoyori/common/options.hpp): ITYR_N_NODES,
+/// ITYR_RANKS_PER_NODE, ITYR_POLICY (none|write_through|write_back|
+/// write_back_lazy), ITYR_CACHE_SIZE, ...
+
+#include <cstdio>
+
+#include "itoyori/core/ityr.hpp"
+
+int main() {
+  ityr::options opt = ityr::options::from_env();
+  ityr::runtime rt(opt);
+
+  rt.spmd([] {
+    constexpr std::size_t n = 1 << 20;
+
+    // Collective allocation: the array is distributed block-cyclically over
+    // every rank's home memory.
+    ityr::global_ptr<double> a = ityr::coll_new<double>(n);
+
+    // Switch from the SPMD region into the fork-join region. The closure
+    // runs once as the root task; the runtime work-steals subtasks across
+    // the (simulated) cluster, caching global memory accesses.
+    double sum = ityr::root_exec([=] {
+      ityr::parallel_for_each(a, n, /*grain=*/8192, ityr::access_mode::write,
+                              [](double& x, std::size_t i) { x = 1.0 / static_cast<double>(i + 1); });
+      return ityr::parallel_reduce(
+          a, n, 8192, 0.0, [](double x) { return x; }, [](double x, double y) { return x + y; });
+    });
+
+    if (ityr::my_rank() == 0) {
+      std::printf("harmonic(%zu) = %.6f (expect ~14.440)\n", n, sum);
+
+      // Explicit checkout/checkin: direct, zero-copy access to cached global
+      // memory through ordinary pointers (paper Section 3.3).
+      ityr::with_checkout(a, 4, ityr::access_mode::read, [](const double* p) {
+        std::printf("a[0..3] = %.3f %.3f %.3f %.3f\n", p[0], p[1], p[2], p[3]);
+      });
+    }
+    ityr::barrier();
+    ityr::coll_delete(a, n);
+  });
+
+  std::printf("simulated cluster: %d nodes x %d ranks/node, virtual time %.3f ms\n", opt.n_nodes,
+              opt.ranks_per_node, rt.eng().max_clock() * 1e3);
+  return 0;
+}

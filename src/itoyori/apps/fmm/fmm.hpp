@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file
+/// Distributed FMM over Itoyori (paper Section 6.4): an adaptive octree in
+/// global memory, fork-join upward/horizontal/downward passes structured
+/// like the task-parallel ExaFMM of Taura et al., with all data accessed
+/// through checkout/checkin.
+///
+/// Memory layout is struct-of-arrays so that concurrent tasks touch disjoint
+/// byte ranges (data-race-freedom at byte granularity):
+///   * bodies  — sorted sources (read-only during passes)
+///   * acc     — per-body results (written only by the task owning the
+///               enclosing target leaf)
+///   * cells   — tree metadata (read-only after build)
+///   * M       — multipoles (written in the upward pass, one task per cell)
+///   * L       — locals (written only by the task owning the target subtree)
+
+#include <cstdint>
+#include <vector>
+
+#include "itoyori/apps/fmm/kernels.hpp"
+#include "itoyori/core/ityr.hpp"
+
+namespace ityr::apps::fmm {
+
+struct fmm_config {
+  real_t theta = 0.5;       ///< MAC: approximate when d * theta > Ri + Rj
+  std::uint32_t ncrit = 32; ///< max bodies per leaf (paper: 32)
+  std::uint32_t nspawn = 1000;  ///< fork only for subtrees above this many bodies
+  std::uint64_t seed = 42;
+};
+
+struct cell_meta {
+  vec3 X;            ///< center
+  real_t R = 0;      ///< half side length
+  std::uint32_t body_offset = 0;
+  std::uint32_t n_bodies = 0;
+  std::int32_t child_begin = -1;  ///< children are contiguous cell indices
+  std::int32_t n_children = 0;
+  std::uint32_t level = 0;
+
+  bool is_leaf() const { return n_children == 0; }
+};
+
+/// The tree and its global-memory arrays.
+struct fmm_tree {
+  global_ptr<body> bodies;
+  global_ptr<body_acc> acc;
+  global_ptr<cell_meta> cells;
+  global_ptr<complex_t> M;  ///< n_cells * kNTerm
+  global_ptr<complex_t> L;  ///< n_cells * kNTerm
+  std::size_t n_bodies = 0;
+  std::size_t n_cells = 0;
+  fmm_config cfg;
+};
+
+/// Fill [bodies, bodies+n) with a deterministic uniform-cube distribution
+/// (the paper's particle setup), total charge normalized to ~1.
+void fmm_generate_bodies(global_ptr<body> bodies, std::size_t n, std::uint64_t seed,
+                         std::size_t grain);
+
+/// Build the octree: Morton-sort the bodies and create the cell array.
+/// Collective call (SPMD region); the build itself runs on rank 0's cache.
+fmm_tree fmm_build_tree(global_ptr<body> bodies, std::size_t n, const fmm_config& cfg);
+
+/// Free the tree's collective arrays (bodies excluded: caller owns them).
+void fmm_destroy_tree(fmm_tree& t);
+
+/// The three FMM passes (call inside root_exec):
+void fmm_upward(const fmm_tree& t);                    // P2M + M2M
+void fmm_traverse(const fmm_tree& t);                  // dual tree: M2L + P2P
+void fmm_downward(const fmm_tree& t);                  // L2L + L2P
+
+/// Convenience: zero acc, then run all three passes (inside root_exec).
+void fmm_solve(const fmm_tree& t);
+
+/// Reference direct summation for a sample of targets; returns relative L2
+/// errors of potential and gradient over the first `n_sample` bodies.
+struct fmm_error {
+  real_t pot = 0;
+  real_t grad = 0;
+};
+fmm_error fmm_check(const fmm_tree& t, std::size_t n_sample);
+
+/// "MPI-like" static baseline (paper Fig. 11 "MPI" series and Table 2):
+/// the same kernels with a static owner-computes partition of target
+/// subtrees weighted by particle count, no work stealing. Runs in the SPMD
+/// region (all ranks call it). Returns per-rank busy times for the idleness
+/// metric: idleness = 1 - sum(busy) / (n_ranks * makespan).
+struct static_run_result {
+  std::vector<double> busy;  ///< per-rank busy seconds (traversal+downward)
+  double makespan = 0;
+
+  double idleness() const;
+};
+static_run_result fmm_solve_static(const fmm_tree& t);
+
+}  // namespace ityr::apps::fmm

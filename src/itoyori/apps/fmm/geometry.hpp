@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace ityr::apps::fmm {
+
+using real_t = double;
+
+struct vec3 {
+  real_t x = 0, y = 0, z = 0;
+
+  friend constexpr vec3 operator+(vec3 a, vec3 b) { return {a.x + b.x, a.y + b.y, a.z + b.z}; }
+  friend constexpr vec3 operator-(vec3 a, vec3 b) { return {a.x - b.x, a.y - b.y, a.z - b.z}; }
+  friend constexpr vec3 operator*(vec3 a, real_t s) { return {a.x * s, a.y * s, a.z * s}; }
+  friend constexpr vec3 operator*(real_t s, vec3 a) { return a * s; }
+  vec3& operator+=(vec3 b) { return *this = *this + b; }
+  vec3& operator-=(vec3 b) { return *this = *this - b; }
+  friend constexpr bool operator==(vec3, vec3) = default;
+};
+
+constexpr real_t dot(vec3 a, vec3 b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+constexpr real_t norm2(vec3 a) { return dot(a, a); }
+inline real_t norm(vec3 a) { return std::sqrt(norm2(a)); }
+
+/// Cartesian -> spherical (r, theta=polar angle from +z, phi=azimuth).
+inline void cart2sph(vec3 dX, real_t& r, real_t& theta, real_t& phi) {
+  r = norm(dX);
+  theta = r < 1e-100 ? 0 : std::acos(dX.z / r);
+  phi = std::atan2(dX.y, dX.x);
+}
+
+/// Spherical gradient components -> cartesian (ExaFMM's sph2cart).
+inline vec3 sph2cart(real_t r, real_t theta, real_t phi, vec3 spherical) {
+  const real_t st = std::sin(theta), ct = std::cos(theta);
+  const real_t sp = std::sin(phi), cp = std::cos(phi);
+  const real_t invR = 1 / r;
+  // Guard the 1/sin(theta) pole; the phi component vanishes there.
+  const real_t inv_st = std::fabs(st) < 1e-12 ? 0 : 1 / st;
+  vec3 c;
+  c.x = st * cp * spherical.x + ct * cp * invR * spherical.y - sp * invR * inv_st * spherical.z;
+  c.y = st * sp * spherical.x + ct * sp * invR * spherical.y + cp * invR * inv_st * spherical.z;
+  c.z = ct * spherical.x - st * invR * spherical.y;
+  return c;
+}
+
+/// 63-bit Morton key of a position inside [center-radius, center+radius)^3,
+/// 21 bits per dimension.
+inline std::uint64_t morton_key(vec3 X, vec3 center, real_t radius) {
+  constexpr int bits = 21;
+  constexpr std::uint64_t range = std::uint64_t{1} << bits;
+  auto clamp01 = [](real_t v) { return v < 0 ? 0 : (v >= 1 ? std::nextafter(1.0, 0.0) : v); };
+  const std::uint64_t ix =
+      static_cast<std::uint64_t>(clamp01((X.x - center.x + radius) / (2 * radius)) * range);
+  const std::uint64_t iy =
+      static_cast<std::uint64_t>(clamp01((X.y - center.y + radius) / (2 * radius)) * range);
+  const std::uint64_t iz =
+      static_cast<std::uint64_t>(clamp01((X.z - center.z + radius) / (2 * radius)) * range);
+  auto spread = [](std::uint64_t v) {
+    v &= 0x1fffff;
+    v = (v | v << 32) & 0x1f00000000ffffULL;
+    v = (v | v << 16) & 0x1f0000ff0000ffULL;
+    v = (v | v << 8) & 0x100f00f00f00f00fULL;
+    v = (v | v << 4) & 0x10c30c30c30c30c3ULL;
+    v = (v | v << 2) & 0x1249249249249249ULL;
+    return v;
+  };
+  return (spread(ix) << 2) | (spread(iy) << 1) | spread(iz);
+}
+
+/// Octant of a key at a tree level (level 0 = the root's children split).
+inline int key_octant(std::uint64_t key, int level) {
+  constexpr int bits = 21;
+  return static_cast<int>((key >> (3 * (bits - 1 - level))) & 7);
+}
+
+}  // namespace ityr::apps::fmm

@@ -1,0 +1,269 @@
+#include "itoyori/apps/fmm/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ityr::apps::fmm {
+
+namespace {
+
+constexpr int odd_or_even(int n) { return (n & 1) ? -1 : 1; }
+constexpr int ipow2n(int n) { return n >= 0 ? 1 : odd_or_even(n); }
+
+}  // namespace
+
+void eval_multipole(real_t rho, real_t alpha, real_t beta, complex_t* Ynm, complex_t* YnmTheta) {
+  const real_t x = std::cos(alpha);
+  real_t y = std::sin(alpha);
+  if (std::fabs(y) < 1e-30) y = 1e-30;  // theta-derivative pole guard
+  real_t fact = 1;
+  real_t pn = 1;
+  real_t rhom = 1;
+  const complex_t ei = std::exp(complex_t(0, 1) * beta);
+  complex_t eim = 1.0;
+  for (int m = 0; m < kP; m++) {
+    real_t p = pn;
+    int npn = m * m + 2 * m;
+    int nmn = m * m;
+    Ynm[npn] = rhom * p * eim;
+    Ynm[nmn] = std::conj(Ynm[npn]);
+    real_t p1 = p;
+    p = x * (2 * m + 1) * p1;
+    YnmTheta[npn] = rhom * (p - (m + 1) * x * p1) / y * eim;
+    YnmTheta[nmn] = std::conj(YnmTheta[npn]);
+    rhom *= rho;
+    real_t rhon = rhom;
+    for (int n = m + 1; n < kP; n++) {
+      int npm = n * n + n + m;
+      int nmm = n * n + n - m;
+      rhon /= -(n + m);
+      Ynm[npm] = rhon * p * eim;
+      Ynm[nmm] = std::conj(Ynm[npm]);
+      real_t p2 = p1;
+      p1 = p;
+      p = (x * (2 * n + 1) * p1 - (n + m) * p2) / (n - m + 1);
+      YnmTheta[npm] = rhon * ((n - m + 1) * p - (n + 1) * x * p1) / y * eim;
+      YnmTheta[nmm] = std::conj(YnmTheta[npm]);
+      rhon *= rho;
+    }
+    rhom /= -(2 * m + 2) * (2 * m + 1);
+    pn = -pn * fact * y;
+    fact += 2;
+    eim *= ei;
+  }
+}
+
+void eval_local(real_t rho, real_t alpha, real_t beta, complex_t* Ynm) {
+  const real_t x = std::cos(alpha);
+  const real_t y = std::sin(alpha);
+  real_t fact = 1;
+  real_t pn = 1;
+  const real_t invR = -1.0 / rho;
+  real_t rhom = -invR;
+  const complex_t ei = std::exp(complex_t(0, 1) * beta);
+  complex_t eim = 1.0;
+  for (int m = 0; m < 2 * kP; m++) {
+    real_t p = pn;
+    int npn = m * m + 2 * m;
+    int nmn = m * m;
+    Ynm[npn] = rhom * p * eim;
+    Ynm[nmn] = std::conj(Ynm[npn]);
+    real_t p1 = p;
+    p = x * (2 * m + 1) * p1;
+    rhom *= invR;
+    real_t rhon = rhom;
+    for (int n = m + 1; n < 2 * kP; n++) {
+      int npm = n * n + n + m;
+      int nmm = n * n + n - m;
+      Ynm[npm] = rhon * p * eim;
+      Ynm[nmm] = std::conj(Ynm[npm]);
+      real_t p2 = p1;
+      p1 = p;
+      p = (x * (2 * n + 1) * p1 - (n + m) * p2) / (n - m + 1);
+      rhon *= invR * (n - m + 1);
+    }
+    pn = -pn * fact * y;
+    fact += 2;
+    eim *= ei;
+  }
+}
+
+void p2p(const body* tgt, std::size_t n_tgt, body_acc* acc, const body* src, std::size_t n_src) {
+  for (std::size_t i = 0; i < n_tgt; i++) {
+    real_t p = 0;
+    vec3 d{};
+    for (std::size_t j = 0; j < n_src; j++) {
+      const vec3 dX = tgt[i].X - src[j].X;
+      const real_t R2 = norm2(dX);
+      if (R2 == 0) continue;  // self interaction (or exact overlap)
+      const real_t invR2 = 1 / R2;
+      const real_t invR = src[j].q * std::sqrt(invR2);
+      p += invR;
+      const vec3 g = dX * (invR2 * invR);
+      d -= g;
+    }
+    acc[i].p += p;
+    acc[i].dphi += d;
+  }
+}
+
+void p2m(const body* bodies, std::size_t n, vec3 center, complex_t* M) {
+  complex_t Ynm[kP * kP], YnmTheta[kP * kP];
+  for (std::size_t b = 0; b < n; b++) {
+    const vec3 dX = bodies[b].X - center;
+    real_t rho, alpha, beta;
+    cart2sph(dX, rho, alpha, beta);
+    eval_multipole(rho, alpha, beta, Ynm, YnmTheta);
+    for (int nn = 0; nn < kP; nn++) {
+      for (int m = 0; m <= nn; m++) {
+        const int nm = nn * nn + nn - m;
+        const int nms = nn * (nn + 1) / 2 + m;
+        M[nms] += bodies[b].q * Ynm[nm];
+      }
+    }
+  }
+}
+
+void m2m(const complex_t* M_child, vec3 child_center, vec3 parent_center, complex_t* M_parent) {
+  complex_t Ynm[kP * kP], YnmTheta[kP * kP];
+  const vec3 dX = parent_center - child_center;
+  real_t rho, alpha, beta;
+  cart2sph(dX, rho, alpha, beta);
+  eval_multipole(rho, alpha, beta, Ynm, YnmTheta);
+  for (int j = 0; j < kP; j++) {
+    for (int k = 0; k <= j; k++) {
+      const int jks = j * (j + 1) / 2 + k;
+      complex_t M = 0;
+      for (int n = 0; n <= j; n++) {
+        for (int m = std::max(-n, -j + k + n); m <= std::min(k - 1, n); m++) {
+          if (j - n >= k - m) {
+            const int jnkms = (j - n) * (j - n + 1) / 2 + k - m;
+            const int nm = n * n + n - m;
+            M += M_child[jnkms] * Ynm[nm] * real_t(ipow2n(m) * odd_or_even(n));
+          }
+        }
+        for (int m = k; m <= std::min(n, j + k - n); m++) {
+          if (j - n >= m - k) {
+            const int jnkms = (j - n) * (j - n + 1) / 2 - k + m;
+            const int nm = n * n + n - m;
+            M += std::conj(M_child[jnkms]) * Ynm[nm] * real_t(odd_or_even(k + n + m));
+          }
+        }
+      }
+      M_parent[jks] += M;
+    }
+  }
+}
+
+void m2l(const complex_t* M_src, vec3 src_center, vec3 tgt_center, complex_t* L_tgt) {
+  complex_t Ynm2[4 * kP * kP];
+  const vec3 dX = tgt_center - src_center;
+  real_t rho, alpha, beta;
+  cart2sph(dX, rho, alpha, beta);
+  eval_local(rho, alpha, beta, Ynm2);
+  for (int j = 0; j < kP; j++) {
+    const real_t Cnm = odd_or_even(j);
+    for (int k = 0; k <= j; k++) {
+      const int jks = j * (j + 1) / 2 + k;
+      complex_t L = 0;
+      for (int n = 0; n < kP; n++) {
+        for (int m = -n; m < 0; m++) {
+          const int nms = n * (n + 1) / 2 - m;
+          const int jnkm = (j + n) * (j + n) + j + n + m - k;
+          L += std::conj(M_src[nms]) * Cnm * Ynm2[jnkm];
+        }
+        for (int m = 0; m <= n; m++) {
+          const int nms = n * (n + 1) / 2 + m;
+          const int jnkm = (j + n) * (j + n) + j + n + m - k;
+          const real_t Cnm2 = Cnm * odd_or_even((k - m) * (k < m) + m);
+          L += M_src[nms] * Cnm2 * Ynm2[jnkm];
+        }
+      }
+      L_tgt[jks] += L;
+    }
+  }
+}
+
+void l2l(const complex_t* L_parent, vec3 parent_center, vec3 child_center, complex_t* L_child) {
+  complex_t Ynm[kP * kP], YnmTheta[kP * kP];
+  const vec3 dX = child_center - parent_center;
+  real_t rho, alpha, beta;
+  cart2sph(dX, rho, alpha, beta);
+  eval_multipole(rho, alpha, beta, Ynm, YnmTheta);
+  for (int j = 0; j < kP; j++) {
+    for (int k = 0; k <= j; k++) {
+      const int jks = j * (j + 1) / 2 + k;
+      complex_t L = 0;
+      for (int n = j; n < kP; n++) {
+        for (int m = j + k - n; m < 0; m++) {
+          const int jnkm = (n - j) * (n - j) + n - j + m - k;
+          const int nms = n * (n + 1) / 2 - m;
+          L += std::conj(L_parent[nms]) * Ynm[jnkm] * real_t(odd_or_even(k));
+        }
+        for (int m = 0; m <= n; m++) {
+          if (n - j >= std::abs(m - k)) {
+            const int jnkm = (n - j) * (n - j) + n - j + m - k;
+            const int nms = n * (n + 1) / 2 + m;
+            L += L_parent[nms] * Ynm[jnkm] * real_t(odd_or_even((m - k) * (m < k)));
+          }
+        }
+      }
+      L_child[jks] += L;
+    }
+  }
+}
+
+void l2p(const complex_t* L, vec3 center, const body* bodies, std::size_t n, body_acc* acc) {
+  complex_t Ynm[kP * kP], YnmTheta[kP * kP];
+  const complex_t I(0, 1);
+  for (std::size_t b = 0; b < n; b++) {
+    const vec3 dX = bodies[b].X - center;
+    vec3 spherical{};
+    real_t rho, alpha, beta;
+    cart2sph(dX, rho, alpha, beta);
+    if (rho < 1e-30) rho = 1e-30;
+    eval_multipole(rho, alpha, beta, Ynm, YnmTheta);
+    real_t p_acc = 0;
+    for (int nn = 0; nn < kP; nn++) {
+      int nm = nn * nn + nn;
+      int nms = nn * (nn + 1) / 2;
+      p_acc += std::real(L[nms] * Ynm[nm]);
+      spherical.x += std::real(L[nms] * Ynm[nm]) / rho * nn;
+      spherical.y += std::real(L[nms] * YnmTheta[nm]);
+      for (int m = 1; m <= nn; m++) {
+        nm = nn * nn + nn + m;
+        nms = nn * (nn + 1) / 2 + m;
+        p_acc += 2 * std::real(L[nms] * Ynm[nm]);
+        spherical.x += 2 * std::real(L[nms] * Ynm[nm]) / rho * nn;
+        spherical.y += 2 * std::real(L[nms] * YnmTheta[nm]);
+        spherical.z += 2 * std::real(L[nms] * Ynm[nm] * I) * m;
+      }
+    }
+    acc[b].p += p_acc;
+    acc[b].dphi += sph2cart(rho, alpha, beta, spherical);
+  }
+}
+
+void m2p(const complex_t* M, vec3 center, const body* bodies, std::size_t n, body_acc* acc) {
+  complex_t Ynm2[4 * kP * kP];
+  for (std::size_t b = 0; b < n; b++) {
+    const vec3 dX = bodies[b].X - center;
+    real_t rho, alpha, beta;
+    cart2sph(dX, rho, alpha, beta);
+    eval_local(rho, alpha, beta, Ynm2);
+    real_t p_acc = 0;
+    for (int nn = 0; nn < kP; nn++) {
+      int nm = nn * nn + nn;
+      int nms = nn * (nn + 1) / 2;
+      p_acc += std::real(M[nms] * Ynm2[nm]);
+      for (int m = 1; m <= nn; m++) {
+        nm = nn * nn + nn + m;
+        nms = nn * (nn + 1) / 2 + m;
+        p_acc += 2 * std::real(M[nms] * Ynm2[nm]);
+      }
+    }
+    acc[b].p += p_acc;
+  }
+}
+
+}  // namespace ityr::apps::fmm

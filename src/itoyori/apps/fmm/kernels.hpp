@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file
+/// Laplace kernels in spherical harmonics, following the operator set and
+/// conventions of ExaFMM's LaplaceSpherical CPU kernels (paper Section 6.4's
+/// workload): P2P, P2M, M2M, M2L, L2L, L2P, plus M2P (used by tests to
+/// validate each translation operator independently).
+///
+/// Multipole/local expansions are stored as P*(P+1)/2 complex coefficients
+/// (the m >= 0 half; negative m follows from conjugate symmetry). The
+/// factorial normalization constants are folded into the recurrences of
+/// evalMultipole/evalLocal, exactly as in ExaFMM.
+
+#include <complex>
+#include <cstddef>
+
+#include "itoyori/apps/fmm/geometry.hpp"
+
+namespace ityr::apps::fmm {
+
+inline constexpr int kP = 4;  ///< expansion order (paper: P = 4)
+inline constexpr int kNTerm = kP * (kP + 1) / 2;
+
+using complex_t = std::complex<real_t>;
+
+/// Source body: position and charge.
+struct body {
+  vec3 X;
+  real_t q = 0;
+};
+
+/// Target values: potential and potential gradient.
+struct body_acc {
+  real_t p = 0;
+  vec3 dphi;
+};
+
+// ---- expansion evaluation (regular / singular solid harmonics) ----
+
+/// Regular solid harmonics rho^n Y_n^m for n < P (full n*n+n+m indexing),
+/// plus their theta derivatives.
+void eval_multipole(real_t rho, real_t alpha, real_t beta, complex_t* Ynm, complex_t* YnmTheta);
+
+/// Singular solid harmonics rho^{-n-1} Y_n^m for n < 2P (no derivatives).
+void eval_local(real_t rho, real_t alpha, real_t beta, complex_t* Ynm);
+
+// ---- operators ----
+
+/// Direct particle-particle interaction: accumulate potential and gradient
+/// at each target from every source (skipping self-interactions at zero
+/// distance).
+void p2p(const body* tgt, std::size_t n_tgt, body_acc* acc, const body* src, std::size_t n_src);
+
+/// Particle -> multipole about `center`; accumulates into M[kNTerm].
+void p2m(const body* bodies, std::size_t n, vec3 center, complex_t* M);
+
+/// Multipole -> multipole translation (child expansion -> parent center).
+void m2m(const complex_t* M_child, vec3 child_center, vec3 parent_center, complex_t* M_parent);
+
+/// Multipole -> local translation between well-separated cells.
+void m2l(const complex_t* M_src, vec3 src_center, vec3 tgt_center, complex_t* L_tgt);
+
+/// Local -> local translation (parent expansion -> child center).
+void l2l(const complex_t* L_parent, vec3 parent_center, vec3 child_center, complex_t* L_child);
+
+/// Local expansion -> particles.
+void l2p(const complex_t* L, vec3 center, const body* bodies, std::size_t n, body_acc* acc);
+
+/// Multipole -> particles (potential only; used by tests and treecode-style
+/// checks).
+void m2p(const complex_t* M, vec3 center, const body* bodies, std::size_t n, body_acc* acc);
+
+}  // namespace ityr::apps::fmm

@@ -1,0 +1,207 @@
+#include "itoyori/apps/uts.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace ityr::apps {
+
+namespace {
+
+/// Uniform (0,1) value derived from a node's SHA-1 state.
+double state_uniform(const uts_node_id& id) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; i++) v = (v << 8) | id.state[static_cast<std::size_t>(i)];
+  double u = static_cast<double>(v >> 11) * 0x1.0p-53;
+  // Clamp away from 0 and 1 so log() in the geometric draw is safe.
+  if (u < 1e-12) u = 1e-12;
+  if (u > 1 - 1e-12) u = 1 - 1e-12;
+  return u;
+}
+
+}  // namespace
+
+uts_node_id uts_root(const uts_params& p) {
+  std::uint8_t seed_bytes[4];
+  for (int i = 0; i < 4; i++) seed_bytes[i] = static_cast<std::uint8_t>(p.root_seed >> (8 * i));
+  return {common::sha1::hash(seed_bytes, sizeof(seed_bytes))};
+}
+
+uts_node_id uts_child(const uts_node_id& parent, int i) {
+  common::sha1 h;
+  h.update(parent.state.data(), parent.state.size());
+  std::uint8_t idx_bytes[4];
+  for (int k = 0; k < 4; k++) idx_bytes[k] = static_cast<std::uint8_t>(i >> (8 * k));
+  h.update(idx_bytes, sizeof(idx_bytes));
+  return {h.finish()};
+}
+
+int uts_num_children(const uts_params& p, const uts_node_id& id, int depth) {
+  const double u = state_uniform(id);
+  if (p.kind == uts_params::tree_kind::geometric) {
+    // Branching factor decreases linearly with depth (UTS GEO/LINEAR shape).
+    if (depth >= p.gen_mx) return 0;
+    const double b = p.b0 * (1.0 - static_cast<double>(depth) / static_cast<double>(p.gen_mx));
+    if (b <= 0) return 0;
+    const double prob = 1.0 / (1.0 + b);
+    const int n = static_cast<int>(std::floor(std::log(1.0 - u) / std::log(1.0 - prob)));
+    return n < 0 ? 0 : n;
+  }
+  // Binomial: the root always has m_child children (so the tree does not die
+  // immediately); any other node has m_child children with probability q.
+  if (depth == 0) return p.m_child;
+  return u < p.q ? p.m_child : 0;
+}
+
+std::uint64_t uts_count_serial(const uts_params& p) {
+  struct frame {
+    uts_node_id id;
+    int depth;
+  };
+  std::vector<frame> stack;
+  stack.push_back({uts_root(p), 0});
+  std::uint64_t count = 0;
+  while (!stack.empty()) {
+    frame f = stack.back();
+    stack.pop_back();
+    count++;
+    const int n = uts_num_children(p, f.id, f.depth);
+    for (int i = 0; i < n; i++) stack.push_back({uts_child(f.id, i), f.depth + 1});
+  }
+  return count;
+}
+
+namespace {
+
+std::uint64_t count_subtree(const uts_params& p, const uts_node_id& id, int depth);
+
+/// Parallel recursion over a child index range.
+std::uint64_t count_children(const uts_params& p, const uts_node_id& id, int depth, int lo,
+                             int hi) {
+  if (hi - lo == 1) return count_subtree(p, uts_child(id, lo), depth + 1);
+  const int mid = lo + (hi - lo) / 2;
+  auto [a, b] = parallel_invoke([p, id, depth, lo, mid] { return count_children(p, id, depth, lo, mid); },
+                                [p, id, depth, mid, hi] { return count_children(p, id, depth, mid, hi); });
+  return a + b;
+}
+
+std::uint64_t count_subtree(const uts_params& p, const uts_node_id& id, int depth) {
+  const int n = uts_num_children(p, id, depth);
+  if (n == 0) return 1;
+  return 1 + count_children(p, id, depth, 0, n);
+}
+
+}  // namespace
+
+std::uint64_t uts_count_parallel(const uts_params& p) {
+  return count_subtree(p, uts_root(p), 0);
+}
+
+// ---------------------------------------------------------------------------
+// UTS-Mem
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kHeaderSize = offsetof(uts_mem_node, children);
+
+global_ptr<global_ptr<uts_mem_node>> child_slot(global_ptr<uts_mem_node> node, int i) {
+  return global_ptr<global_ptr<uts_mem_node>>(node.raw() + kHeaderSize)
+         + static_cast<std::ptrdiff_t>(i);
+}
+
+struct build_result {
+  global_ptr<uts_mem_node> node{};
+  std::uint64_t count = 0;
+};
+
+build_result build_subtree(const uts_params& p, const uts_node_id& id, int depth);
+
+/// Build children [lo, hi) in parallel, writing each child pointer into the
+/// parent's slot array (disjoint 8-byte writes: data-race-free at byte
+/// granularity).
+std::uint64_t build_children(const uts_params& p, const uts_node_id& id, int depth,
+                             global_ptr<uts_mem_node> parent, int lo, int hi) {
+  if (hi - lo == 1) {
+    build_result r = build_subtree(p, uts_child(id, lo), depth + 1);
+    ityr::put(child_slot(parent, lo), r.node);
+    return r.count;
+  }
+  const int mid = lo + (hi - lo) / 2;
+  auto [a, b] = parallel_invoke(
+      [p, id, depth, parent, lo, mid] { return build_children(p, id, depth, parent, lo, mid); },
+      [p, id, depth, parent, mid, hi] { return build_children(p, id, depth, parent, mid, hi); });
+  return a + b;
+}
+
+build_result build_subtree(const uts_params& p, const uts_node_id& id, int depth) {
+  const int n = uts_num_children(p, id, depth);
+  // Allocate on whichever rank this task is executing (noncollective policy,
+  // paper Section 6.3: locality follows the work-stealing schedule).
+  auto raw = noncoll_new<std::byte>(uts_mem_node::alloc_size(static_cast<std::uint32_t>(n)));
+  auto node = raw.cast<uts_mem_node>();
+  with_checkout(raw, kHeaderSize, access_mode::write, [&](std::byte* bytes) {
+    auto* h = reinterpret_cast<uts_mem_node*>(bytes);
+    h->n_children = static_cast<std::uint32_t>(n);
+    h->depth = static_cast<std::uint32_t>(depth);
+    h->state = id.state;
+  });
+  if (n == 0) return {node, 1};
+  const std::uint64_t child_count = build_children(p, id, depth, node, 0, n);
+  return {node, 1 + child_count};
+}
+
+std::uint64_t traverse_subtree(global_ptr<uts_mem_node> node);
+
+std::uint64_t traverse_children(global_ptr<uts_mem_node> node, int lo, int hi) {
+  if (hi - lo <= 2) {
+    std::uint64_t c = 0;
+    for (int i = lo; i < hi; i++) {
+      // Fine-grained pointer chase: one 8-byte global load per child link.
+      c += traverse_subtree(ityr::get(child_slot(node, i)));
+    }
+    return c;
+  }
+  const int mid = lo + (hi - lo) / 2;
+  auto [a, b] = parallel_invoke([node, lo, mid] { return traverse_children(node, lo, mid); },
+                                [node, mid, hi] { return traverse_children(node, mid, hi); });
+  return a + b;
+}
+
+std::uint64_t traverse_subtree(global_ptr<uts_mem_node> node) {
+  struct header_view {
+    std::uint32_t n_children;
+  };
+  const auto n = static_cast<int>(
+      with_checkout(node.cast<std::byte>(), sizeof(header_view), access_mode::read,
+                    [](const std::byte* b) {
+                      return reinterpret_cast<const header_view*>(b)->n_children;
+                    }));
+  if (n == 0) return 1;
+  return 1 + traverse_children(node, 0, n);
+}
+
+void destroy_subtree(global_ptr<uts_mem_node> node) {
+  std::uint32_t n = with_checkout(node.cast<std::byte>(), kHeaderSize, access_mode::read,
+                                  [](const std::byte* b) {
+                                    return reinterpret_cast<const uts_mem_node*>(b)->n_children;
+                                  });
+  for (std::uint32_t i = 0; i < n; i++) {
+    destroy_subtree(ityr::get(child_slot(node, static_cast<int>(i))));
+  }
+  noncoll_delete(node.cast<std::byte>(), uts_mem_node::alloc_size(n));
+}
+
+}  // namespace
+
+uts_mem_tree uts_mem_build(const uts_params& p) {
+  build_result r = build_subtree(p, uts_root(p), 0);
+  return {r.node, r.count};
+}
+
+std::uint64_t uts_mem_traverse(global_ptr<uts_mem_node> root) {
+  return traverse_subtree(root);
+}
+
+void uts_mem_destroy(global_ptr<uts_mem_node> root) { destroy_subtree(root); }
+
+}  // namespace ityr::apps

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace ityr::common {
+
+/// Raised when a checkout request cannot be satisfied because every cache
+/// block is pinned (checked out) or dirty-and-unwritable. Mirrors the
+/// "too-much-checkout exception" of the paper (Section 4.3.1).
+class too_much_checkout_error : public std::runtime_error {
+public:
+  explicit too_much_checkout_error(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
+/// Raised on misuse of the checkout/checkin API (mismatched pairs, bad mode,
+/// access outside the global heap, ...).
+class api_error : public std::logic_error {
+public:
+  explicit api_error(const std::string& what_arg) : std::logic_error(what_arg) {}
+};
+
+/// Raised when the simulated virtual-memory layer runs out of a hard
+/// resource (mapping entries, physical blocks, view space).
+class resource_error : public std::runtime_error {
+public:
+  explicit resource_error(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
+[[noreturn]] inline void die_impl(const char* file, int line, const char* msg) {
+  std::fprintf(stderr, "[itoyori] fatal: %s at %s:%d\n", msg, file, line);
+  std::abort();
+}
+
+}  // namespace ityr::common
+
+/// Internal invariant check. Always on: the runtime is a research artifact
+/// and silent corruption is worse than the branch cost.
+#define ITYR_CHECK(expr)                                                      \
+  do {                                                                        \
+    if (!(expr)) ::ityr::common::die_impl(__FILE__, __LINE__, "check failed: " #expr); \
+  } while (0)
+
+#define ITYR_DIE(msg) ::ityr::common::die_impl(__FILE__, __LINE__, (msg))

@@ -1,0 +1,173 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "itoyori/common/error.hpp"
+
+namespace ityr::common {
+
+/// Half-open interval [begin, end) of byte offsets or addresses.
+struct interval {
+  std::uint64_t begin = 0;
+  std::uint64_t end   = 0;
+
+  constexpr bool empty() const { return begin >= end; }
+  constexpr std::uint64_t size() const { return empty() ? 0 : end - begin; }
+
+  friend constexpr bool operator==(const interval&, const interval&) = default;
+
+  friend constexpr interval intersect(interval a, interval b) {
+    return {a.begin > b.begin ? a.begin : b.begin, a.end < b.end ? a.end : b.end};
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const interval& iv) {
+  return os << "[" << iv.begin << ", " << iv.end << ")";
+}
+
+/// Ordered set of disjoint, coalesced half-open intervals.
+///
+/// This is the workhorse behind per-block `validRegions` and dirty-region
+/// tracking (paper Fig. 4): byte-granularity region algebra with union,
+/// subtraction, and containment queries. The paper implements it as a linked
+/// list of intervals; we use a std::map keyed by interval start, which keeps
+/// the same O(k) merge behaviour with O(log n) lookup.
+class interval_set {
+public:
+  interval_set() = default;
+
+  bool empty() const { return ivs_.empty(); }
+  std::size_t count() const { return ivs_.size(); }
+
+  /// Total number of bytes covered.
+  std::uint64_t size() const {
+    std::uint64_t n = 0;
+    for (const auto& [b, e] : ivs_) n += e - b;
+    return n;
+  }
+
+  void clear() { ivs_.clear(); }
+
+  /// Union with [iv.begin, iv.end), coalescing adjacent/overlapping runs.
+  void add(interval iv) {
+    if (iv.empty()) return;
+    // First interval whose end could touch iv: predecessor of iv.begin.
+    auto it = ivs_.upper_bound(iv.begin);
+    if (it != ivs_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= iv.begin) {  // touches or overlaps on the left
+        iv.begin = prev->first;
+        iv.end   = iv.end > prev->second ? iv.end : prev->second;
+        it       = ivs_.erase(prev);
+      }
+    }
+    // Absorb all intervals starting within (or touching) [begin, end].
+    while (it != ivs_.end() && it->first <= iv.end) {
+      iv.end = iv.end > it->second ? iv.end : it->second;
+      it     = ivs_.erase(it);
+    }
+    ivs_.emplace(iv.begin, iv.end);
+  }
+
+  /// Remove [iv.begin, iv.end) from the set, splitting runs as needed.
+  void subtract(interval iv) {
+    if (iv.empty() || ivs_.empty()) return;
+    auto it = ivs_.upper_bound(iv.begin);
+    if (it != ivs_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second > iv.begin) it = prev;
+    }
+    while (it != ivs_.end() && it->first < iv.end) {
+      interval cur{it->first, it->second};
+      it = ivs_.erase(it);
+      if (cur.begin < iv.begin) ivs_.emplace(cur.begin, iv.begin);
+      if (cur.end > iv.end) {
+        ivs_.emplace(iv.end, cur.end);
+        break;
+      }
+    }
+  }
+
+  /// True iff [iv.begin, iv.end) is entirely covered.
+  bool contains(interval iv) const {
+    if (iv.empty()) return true;
+    auto it = ivs_.upper_bound(iv.begin);
+    if (it == ivs_.begin()) return false;
+    auto prev = std::prev(it);
+    return prev->first <= iv.begin && iv.end <= prev->second;
+  }
+
+  /// True iff some byte of [iv.begin, iv.end) is covered.
+  bool overlaps(interval iv) const {
+    if (iv.empty() || ivs_.empty()) return false;
+    auto it = ivs_.upper_bound(iv.begin);
+    if (it != ivs_.begin() && std::prev(it)->second > iv.begin) return true;
+    return it != ivs_.end() && it->first < iv.end;
+  }
+
+  /// The parts of `iv` NOT covered by this set, in increasing order.
+  /// This is `{iv} \ validRegions` from Fig. 4 line 19.
+  std::vector<interval> missing(interval iv) const {
+    std::vector<interval> out;
+    if (iv.empty()) return out;
+    std::uint64_t pos = iv.begin;
+    auto it = ivs_.upper_bound(iv.begin);
+    if (it != ivs_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second > pos) pos = prev->second;
+    }
+    for (; it != ivs_.end() && it->first < iv.end && pos < iv.end; ++it) {
+      if (it->first > pos) out.push_back({pos, it->first});
+      if (it->second > pos) pos = it->second;
+    }
+    if (pos < iv.end) out.push_back({pos, iv.end});
+    return out;
+  }
+
+  /// The parts of `iv` that ARE covered, in increasing order.
+  std::vector<interval> overlapping(interval iv) const {
+    std::vector<interval> out;
+    if (iv.empty() || ivs_.empty()) return out;
+    auto it = ivs_.upper_bound(iv.begin);
+    if (it != ivs_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second > iv.begin) it = prev;
+    }
+    for (; it != ivs_.end() && it->first < iv.end; ++it) {
+      interval x = intersect({it->first, it->second}, iv);
+      if (!x.empty()) out.push_back(x);
+    }
+    return out;
+  }
+
+  /// All intervals, in increasing order.
+  std::vector<interval> to_vector() const {
+    std::vector<interval> out;
+    out.reserve(ivs_.size());
+    for (const auto& [b, e] : ivs_) out.push_back({b, e});
+    return out;
+  }
+
+  friend bool operator==(const interval_set& a, const interval_set& b) {
+    return a.ivs_ == b.ivs_;
+  }
+
+private:
+  std::map<std::uint64_t, std::uint64_t> ivs_;  // begin -> end
+};
+
+inline std::ostream& operator<<(std::ostream& os, const interval_set& s) {
+  os << "{";
+  bool first = true;
+  for (const auto& iv : s.to_vector()) {
+    if (!first) os << ", ";
+    os << iv;
+    first = false;
+  }
+  return os << "}";
+}
+
+}  // namespace ityr::common

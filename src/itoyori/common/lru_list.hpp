@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstddef>
+
+#include "itoyori/common/error.hpp"
+
+namespace ityr::common {
+
+/// Hook to embed in objects managed by an lru_list.
+struct lru_hook {
+  lru_hook* prev = nullptr;
+  lru_hook* next = nullptr;
+
+  bool linked() const { return prev != nullptr; }
+};
+
+/// Intrusive doubly-linked LRU list (paper Section 4.3.1).
+///
+/// Head = least recently used, tail = most recently used. The block managers
+/// move a block to the tail on every GetMemBlock() and scan from the head on
+/// eviction. Intrusive linkage keeps touch() allocation-free and O(1), which
+/// matters because it sits on the checkout fast path.
+///
+/// `T` must derive from (or contain as first member) lru_hook; the list
+/// stores hooks and the owner converts back via static_cast.
+class lru_list {
+public:
+  lru_list() {
+    sentinel_.prev = &sentinel_;
+    sentinel_.next = &sentinel_;
+  }
+
+  lru_list(const lru_list&) = delete;
+  lru_list& operator=(const lru_list&) = delete;
+
+  bool empty() const { return sentinel_.next == &sentinel_; }
+  std::size_t size() const { return size_; }
+
+  /// Insert as most-recently-used.
+  void push_back(lru_hook& h) {
+    ITYR_CHECK(!h.linked());
+    h.prev                = sentinel_.prev;
+    h.next                = &sentinel_;
+    sentinel_.prev->next  = &h;
+    sentinel_.prev        = &h;
+    size_++;
+  }
+
+  void erase(lru_hook& h) {
+    ITYR_CHECK(h.linked());
+    h.prev->next = h.next;
+    h.next->prev = h.prev;
+    h.prev = h.next = nullptr;
+    size_--;
+  }
+
+  /// Mark as most-recently-used.
+  void touch(lru_hook& h) {
+    erase(h);
+    push_back(h);
+  }
+
+  /// Least-recently-used element, or nullptr if empty.
+  lru_hook* lru() const { return empty() ? nullptr : sentinel_.next; }
+
+  /// Iterate from LRU to MRU; `f(hook&)` returns true to stop.
+  /// Returns the hook that stopped the scan, or nullptr.
+  template <typename F>
+  lru_hook* find_from_lru(F&& f) const {
+    for (lru_hook* h = sentinel_.next; h != &sentinel_; h = h->next) {
+      if (f(*h)) return h;
+    }
+    return nullptr;
+  }
+
+private:
+  lru_hook sentinel_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ityr::common

@@ -1,0 +1,85 @@
+#include "itoyori/common/options.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "itoyori/common/error.hpp"
+
+namespace ityr::common {
+
+const char* to_string(cache_policy p) {
+  switch (p) {
+    case cache_policy::none:            return "none";
+    case cache_policy::write_through:   return "write_through";
+    case cache_policy::write_back:      return "write_back";
+    case cache_policy::write_back_lazy: return "write_back_lazy";
+  }
+  return "?";
+}
+
+cache_policy cache_policy_from_string(const std::string& s) {
+  if (s == "none") return cache_policy::none;
+  if (s == "write_through") return cache_policy::write_through;
+  if (s == "write_back") return cache_policy::write_back;
+  if (s == "write_back_lazy") return cache_policy::write_back_lazy;
+  throw api_error("unknown cache policy: " + s);
+}
+
+const char* to_string(steal_policy p) {
+  switch (p) {
+    case steal_policy::random:     return "random";
+    case steal_policy::node_first: return "node_first";
+  }
+  return "?";
+}
+
+const char* to_string(dist_policy p) {
+  switch (p) {
+    case dist_policy::block:        return "block";
+    case dist_policy::block_cyclic: return "block_cyclic";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename T>
+void env_get(const char* name, T& out) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return;
+  if constexpr (std::is_same_v<T, bool>) {
+    out = std::string(v) == "1" || std::string(v) == "true";
+  } else if constexpr (std::is_floating_point_v<T>) {
+    out = static_cast<T>(std::strtod(v, nullptr));
+  } else if constexpr (std::is_same_v<T, cache_policy>) {
+    out = cache_policy_from_string(v);
+  } else {
+    out = static_cast<T>(std::strtoull(v, nullptr, 0));
+  }
+}
+
+}  // namespace
+
+options options::from_env() {
+  options o;
+  env_get("ITYR_N_NODES", o.n_nodes);
+  env_get("ITYR_RANKS_PER_NODE", o.ranks_per_node);
+  env_get("ITYR_BLOCK_SIZE", o.block_size);
+  env_get("ITYR_SUB_BLOCK_SIZE", o.sub_block_size);
+  env_get("ITYR_CACHE_SIZE", o.cache_size);
+  env_get("ITYR_COLL_HEAP_PER_RANK", o.coll_heap_per_rank);
+  env_get("ITYR_NONCOLL_HEAP_PER_RANK", o.noncoll_heap_per_rank);
+  env_get("ITYR_MAX_MAP_ENTRIES", o.max_map_entries);
+  env_get("ITYR_POLICY", o.policy);
+  env_get("ITYR_ULT_STACK_SIZE", o.ult_stack_size);
+  env_get("ITYR_COMPUTE_SCALE", o.compute_scale);
+  env_get("ITYR_DETERMINISTIC", o.deterministic);
+  env_get("ITYR_SEED", o.seed);
+  env_get("ITYR_NET_INTER_LATENCY", o.net.inter_latency);
+  env_get("ITYR_NET_INTER_BANDWIDTH", o.net.inter_bandwidth);
+  env_get("ITYR_NET_INTRA_LATENCY", o.net.intra_latency);
+  env_get("ITYR_NET_INTRA_BANDWIDTH", o.net.intra_bandwidth);
+  return o;
+}
+
+}  // namespace ityr::common

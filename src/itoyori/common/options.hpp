@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ityr::common {
+
+inline constexpr std::size_t KiB = std::size_t{1} << 10;
+inline constexpr std::size_t MiB = std::size_t{1} << 20;
+inline constexpr std::size_t GiB = std::size_t{1} << 30;
+
+/// Dirty-data handling policy for the software cache (paper Section 4.4/5.2).
+enum class cache_policy {
+  none,             ///< no cache: GET/PUT baseline (paper Section 6.1)
+  write_through,    ///< flush dirty bytes on every checkin
+  write_back,       ///< flush dirty bytes at release fences
+  write_back_lazy,  ///< + delay Release #1 until the continuation is stolen
+};
+
+const char* to_string(cache_policy p);
+cache_policy cache_policy_from_string(const std::string& s);
+
+/// Memory distribution policy for collective allocations (paper Section 4.2).
+enum class dist_policy {
+  block,         ///< contiguous even split across ranks
+  block_cyclic,  ///< fixed-size blocks round-robin across ranks
+};
+
+const char* to_string(dist_policy p);
+
+/// Victim-selection policy for work stealing. `random` is the paper's
+/// uniformly random stealing; `node_first` is an extension implementing the
+/// paper's Section 8 future-work direction (locality-aware scheduling):
+/// thieves prefer victims on their own node, making most migrations
+/// intra-node (cheap, shared-memory) and improving cache affinity.
+enum class steal_policy {
+  random,
+  node_first,
+};
+
+const char* to_string(steal_policy p);
+
+/// Network cost-model constants, LogGP-flavoured.
+///
+/// An RMA operation of n bytes issued by rank r to rank t costs the issuer
+/// `o` (injection overhead) immediately; the payload occupies r's injection
+/// channel for n/bandwidth and the data lands at `latency` after the channel
+/// slot. Remote atomics are round trips. Defaults approximate a Tofu-D-like
+/// interconnect (the paper's testbed): ~1.2 us put/get latency, ~6 GB/s per
+/// link; intra-node transfers go through shared memory and are much cheaper.
+struct network_model {
+  double inter_latency   = 1.2e-6;   ///< seconds, one-way, inter-node
+  double inter_bandwidth = 6.0e9;    ///< bytes/second, inter-node
+  double intra_latency   = 0.15e-6;  ///< seconds, one-way, intra-node
+  double intra_bandwidth = 12.0e9;   ///< bytes/second, intra-node
+  double injection_overhead = 0.2e-6;  ///< seconds of issuer CPU per message
+  double atomic_latency  = 1.8e-6;   ///< seconds per remote atomic round trip
+};
+
+/// All tunables of the runtime, settable programmatically and via
+/// ITYR_*-prefixed environment variables (see from_env()).
+struct options {
+  // --- simulated cluster topology ---
+  int n_nodes        = 2;
+  int ranks_per_node = 4;
+
+  // --- memory system (paper Section 6.1 defaults, scaled) ---
+  std::size_t block_size     = 64 * KiB;  ///< cache/home block granularity
+  std::size_t sub_block_size = 4 * KiB;   ///< remote-fetch granularity
+  std::size_t cache_size     = 16 * MiB;  ///< per-rank software cache capacity
+
+  /// Per-rank collective-heap home segment and noncollective-heap segment.
+  std::size_t coll_heap_per_rank    = 64 * MiB;
+  std::size_t noncoll_heap_per_rank = 32 * MiB;
+
+  /// Modelled `vm.max_map_count`-style ledger (paper Section 4.3.2). The
+  /// number of home blocks simultaneously mapped per rank is limited so the
+  /// worst-case 2N+1 mapping entries stay under this bound.
+  std::size_t max_map_entries = 65530;
+
+  cache_policy policy       = cache_policy::write_back_lazy;
+  dist_policy default_dist  = dist_policy::block_cyclic;
+
+  // --- scheduler ---
+  std::size_t ult_stack_size = 256 * KiB;  ///< user-level thread stacks
+  double steal_backoff       = 2.0e-6;     ///< seconds between failed steal rounds
+  double poll_interval       = 0.5e-6;     ///< epoch-poll spin granularity
+  steal_policy steal         = steal_policy::random;
+  double node_first_prob     = 0.75;       ///< node_first: P(choose intra-node victim)
+
+  // --- time model ---
+  /// Scale factor from measured host-CPU seconds to virtual seconds. The
+  /// simulation host differs from A64FX; 1.0 keeps compute:network ratios
+  /// in a realistic regime for the scaled-down problem sizes.
+  double compute_scale = 1.0;
+  /// If true, measured compute time is replaced by a fixed cost per resume,
+  /// making the whole simulation bit-deterministic (used by tests).
+  bool deterministic = false;
+  double deterministic_resume_cost = 0.5e-6;
+
+  network_model net;
+
+  std::uint64_t seed = 42;
+
+  int n_ranks() const { return n_nodes * ranks_per_node; }
+
+  /// Read overrides from ITYR_* environment variables on top of defaults.
+  static options from_env();
+};
+
+}  // namespace ityr::common

@@ -1,0 +1,150 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "itoyori/common/error.hpp"
+
+namespace ityr::common {
+
+/// Profiling categories matching the paper's Fig. 9 breakdown, plus a few
+/// runtime-internal ones.
+enum class prof_event : std::uint8_t {
+  get,            ///< single-element global loads (e.g. binary search)
+  checkout,
+  checkin,
+  release,        ///< normal releases (Release #2/#3)
+  release_lazy,   ///< delayed write-backs requested by thieves (Release #1)
+  acquire,        ///< includes lazy-release wait time
+  steal,          ///< steal attempts and migrations
+  spmd,           ///< SPMD-mode collective work (alloc, barrier, init)
+  serial_a,       ///< app-defined serial kernel A (e.g. Serial Quicksort)
+  serial_b,       ///< app-defined serial kernel B (e.g. Serial Merge)
+  serial_c,       ///< app-defined serial kernel C
+  count_
+};
+
+inline constexpr std::size_t n_prof_events = static_cast<std::size_t>(prof_event::count_);
+
+inline const char* to_string(prof_event e) {
+  switch (e) {
+    case prof_event::get:          return "Get";
+    case prof_event::checkout:     return "Checkout";
+    case prof_event::checkin:      return "Checkin";
+    case prof_event::release:      return "Release";
+    case prof_event::release_lazy: return "Lazy Release";
+    case prof_event::acquire:      return "Acquire";
+    case prof_event::steal:        return "Steal";
+    case prof_event::spmd:         return "SPMD";
+    case prof_event::serial_a:     return "Serial A";
+    case prof_event::serial_b:     return "Serial B";
+    case prof_event::serial_c:     return "Serial C";
+    case prof_event::count_:       break;
+  }
+  return "?";
+}
+
+/// Nested-scope profiler over virtual time (the basis of Fig. 9).
+///
+/// Each rank has its own scope stack; intervals are attributed exclusively
+/// to the innermost scope (a child scope's duration is subtracted from its
+/// parent). Time and rank come from injected sources so this layer stays
+/// independent of the simulator.
+class profiler {
+public:
+  void configure(int n_ranks, std::function<double()> time_source,
+                 std::function<int()> rank_source) {
+    acc_.assign(static_cast<std::size_t>(n_ranks), {});
+    stacks_.assign(static_cast<std::size_t>(n_ranks), {});
+    time_ = std::move(time_source);
+    rank_ = std::move(rank_source);
+  }
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void begin(prof_event e) {
+    if (!enabled_) return;
+    auto& st = stacks_[static_cast<std::size_t>(rank_())];
+    st.push_back({e, time_(), 0.0});
+  }
+
+  void end(prof_event e) {
+    if (!enabled_) return;
+    const auto r = static_cast<std::size_t>(rank_());
+    auto& st = stacks_[r];
+    ITYR_CHECK(!st.empty() && st.back().e == e);
+    const double now = time_();
+    const double total = now - st.back().t0;
+    const double self = total - st.back().child_time;
+    acc_[r][static_cast<std::size_t>(e)] += self > 0 ? self : 0;
+    st.pop_back();
+    if (!st.empty()) st.back().child_time += total;
+  }
+
+  /// RAII scope.
+  class scope {
+  public:
+    scope(profiler& p, prof_event e) : p_(p), e_(e) { p_.begin(e_); }
+    ~scope() { p_.end(e_); }
+    scope(const scope&) = delete;
+    scope& operator=(const scope&) = delete;
+
+  private:
+    profiler& p_;
+    prof_event e_;
+  };
+
+  /// RAII scope over a possibly-null profiler (for layers where profiling
+  /// is optional).
+  class maybe_scope {
+  public:
+    maybe_scope(profiler* p, prof_event e) : p_(p != nullptr && p->enabled() ? p : nullptr), e_(e) {
+      if (p_ != nullptr) p_->begin(e_);
+    }
+    ~maybe_scope() {
+      if (p_ != nullptr) p_->end(e_);
+    }
+    maybe_scope(const maybe_scope&) = delete;
+    maybe_scope& operator=(const maybe_scope&) = delete;
+
+  private:
+    profiler* p_;
+    prof_event e_;
+  };
+
+  double accumulated(int rank, prof_event e) const {
+    return acc_[static_cast<std::size_t>(rank)][static_cast<std::size_t>(e)];
+  }
+  double total(prof_event e) const {
+    double t = 0;
+    for (const auto& a : acc_) t += a[static_cast<std::size_t>(e)];
+    return t;
+  }
+  double total_all_events() const {
+    double t = 0;
+    for (std::size_t i = 0; i < n_prof_events; i++) t += total(static_cast<prof_event>(i));
+    return t;
+  }
+
+  void reset() {
+    for (auto& a : acc_) a.fill(0.0);
+  }
+
+private:
+  struct frame {
+    prof_event e;
+    double t0;
+    double child_time;
+  };
+
+  bool enabled_ = false;
+  std::function<double()> time_;
+  std::function<int()> rank_;
+  std::vector<std::array<double, n_prof_events>> acc_;
+  std::vector<std::vector<frame>> stacks_;
+};
+
+}  // namespace ityr::common

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+
+namespace ityr::common {
+
+/// splitmix64: used to seed other generators and as a cheap stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, deterministic.
+/// Each simulated rank owns one instance seeded from (global seed, rank), so
+/// victim selection sequences are reproducible across runs.
+class xoshiro256ss {
+public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr xoshiro256ss(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    std::uint64_t sm = seed;
+    for (auto& si : s_) si = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t      = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Unbiased-enough bounded draw (Lemire-style multiply-shift).
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>((*this)()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace ityr::common

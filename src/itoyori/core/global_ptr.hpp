@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <ostream>
+
+#include "itoyori/common/error.hpp"
+#include "itoyori/pgas/types.hpp"
+
+namespace ityr {
+
+/// Typed pointer into the global address space.
+///
+/// Global addresses are unified virtual addresses (paper Section 3.2): the
+/// same numeric address names the same datum on every rank, and ordinary
+/// pointer arithmetic works. Dereferencing requires a checkout; global_ptr
+/// itself is a trivially copyable value that can be freely stored inside
+/// global data structures (this is how UTS-Mem's tree links its children).
+template <typename T>
+class global_ptr {
+public:
+  using element_type = T;
+  using difference_type = std::ptrdiff_t;
+
+  constexpr global_ptr() = default;
+  constexpr explicit global_ptr(pgas::gaddr_t g) : g_(g) {}
+
+  constexpr pgas::gaddr_t raw() const { return g_; }
+  constexpr explicit operator bool() const { return g_ != pgas::null_gaddr; }
+
+  constexpr global_ptr operator+(difference_type n) const {
+    return global_ptr(g_ + static_cast<pgas::gaddr_t>(n * static_cast<difference_type>(sizeof(T))));
+  }
+  constexpr global_ptr operator-(difference_type n) const { return *this + (-n); }
+  constexpr difference_type operator-(global_ptr other) const {
+    return static_cast<difference_type>(g_ - other.g_) / static_cast<difference_type>(sizeof(T));
+  }
+  global_ptr& operator+=(difference_type n) { return *this = *this + n; }
+  global_ptr& operator-=(difference_type n) { return *this = *this - n; }
+  global_ptr& operator++() { return *this += 1; }
+  global_ptr& operator--() { return *this -= 1; }
+
+  template <typename U>
+  constexpr global_ptr<U> cast() const {
+    return global_ptr<U>(g_);
+  }
+
+  friend constexpr bool operator==(global_ptr, global_ptr) = default;
+  friend constexpr auto operator<=>(global_ptr, global_ptr) = default;
+
+private:
+  pgas::gaddr_t g_ = pgas::null_gaddr;
+};
+
+template <typename T>
+inline std::ostream& operator<<(std::ostream& os, global_ptr<T> p) {
+  return os << "g0x" << std::hex << p.raw() << std::dec;
+}
+
+/// Contiguous view over global memory: (pointer, count), mirroring the
+/// std::span-based style of the paper's Cilksort listing (Fig. 1).
+template <typename T>
+class global_span {
+public:
+  using element_type = T;
+
+  constexpr global_span() = default;
+  constexpr global_span(global_ptr<T> data, std::size_t size) : data_(data), size_(size) {}
+
+  constexpr global_ptr<T> data() const { return data_; }
+  constexpr std::size_t size() const { return size_; }
+  constexpr std::size_t size_bytes() const { return size_ * sizeof(T); }
+  constexpr bool empty() const { return size_ == 0; }
+
+  constexpr global_ptr<T> ptr(std::size_t i) const {
+    ITYR_CHECK(i < size_);
+    return data_ + static_cast<std::ptrdiff_t>(i);
+  }
+
+  constexpr global_span first(std::size_t n) const {
+    ITYR_CHECK(n <= size_);
+    return {data_, n};
+  }
+  constexpr global_span last(std::size_t n) const {
+    ITYR_CHECK(n <= size_);
+    return {data_ + static_cast<std::ptrdiff_t>(size_ - n), n};
+  }
+  constexpr global_span subspan(std::size_t off, std::size_t n) const {
+    ITYR_CHECK(off + n <= size_);
+    return {data_ + static_cast<std::ptrdiff_t>(off), n};
+  }
+
+  friend constexpr bool operator==(global_span, global_span) = default;
+
+private:
+  global_ptr<T> data_{};
+  std::size_t size_ = 0;
+};
+
+/// Split a span into halves (Fig. 1's split_two).
+template <typename T>
+constexpr std::pair<global_span<T>, global_span<T>> split_two(global_span<T> s) {
+  const std::size_t h = s.size() / 2;
+  return {s.first(h), s.subspan(h, s.size() - h)};
+}
+
+/// Split at an explicit index (Fig. 1's split_at).
+template <typename T>
+constexpr std::pair<global_span<T>, global_span<T>> split_at(global_span<T> s, std::size_t i) {
+  return {s.first(i), s.subspan(i, s.size() - i)};
+}
+
+}  // namespace ityr

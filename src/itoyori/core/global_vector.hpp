@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstddef>
+
+#include "itoyori/core/ityr.hpp"
+
+namespace ityr {
+
+/// A dynamically sized array in global memory.
+///
+/// The handle itself is a trivially copyable value (pointer + sizes) that
+/// can be stored inside other global objects — the role vector members play
+/// in ExaFMM's octree cells (paper Section 6.4). The element buffer is
+/// noncollectively allocated; all element access goes through
+/// checkout/checkin, so elements keep stable global addresses for their
+/// whole lifetime (paper Section 3.2).
+///
+/// Ownership is explicit: destroy() frees the buffer (handles are values
+/// and may be freely copied, so no RAII here — mirroring how global
+/// pointers behave). Mutating operations are not internally synchronized;
+/// callers must ensure data-race-freedom like for any global memory.
+template <typename T>
+class global_vector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "global_vector elements are moved with raw-byte transfers on "
+                "reallocation; store non-trivially-copyable objects via "
+                "make_global instead");
+
+public:
+  global_vector() = default;
+
+  explicit global_vector(std::size_t n) { resize(n); }
+
+  global_ptr<T> data() const { return data_; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+
+  global_ptr<T> ptr(std::size_t i) const {
+    ITYR_CHECK(i < size_);
+    return data_ + static_cast<std::ptrdiff_t>(i);
+  }
+
+  /// Read / write one element (convenience; prefer with_checkout for bulk).
+  T get(std::size_t i) const { return ityr::get(ptr(i)); }
+  void put(std::size_t i, const T& v) { ityr::put(ptr(i), v); }
+
+  void reserve(std::size_t n) {
+    if (n <= capacity_) return;
+    std::size_t new_cap = capacity_ == 0 ? 8 : capacity_;
+    while (new_cap < n) new_cap *= 2;
+    global_ptr<T> new_data = noncoll_new<T>(new_cap);
+    if (size_ > 0) {
+      // Relocate as raw bytes (T is trivially copyable), chunked so huge
+      // vectors do not overflow the cache.
+      constexpr std::size_t chunk = 4096;
+      for (std::size_t base = 0; base < size_; base += chunk) {
+        const std::size_t len = std::min(chunk, size_ - base);
+        with_checkout(data_ + static_cast<std::ptrdiff_t>(base), len, access_mode::read,
+                      [&](const T* src) {
+                        with_checkout(new_data + static_cast<std::ptrdiff_t>(base), len,
+                                      access_mode::write,
+                                      [&](T* dst) { std::copy(src, src + len, dst); });
+                      });
+      }
+    }
+    if (data_) noncoll_delete(data_, capacity_);
+    data_ = new_data;
+    capacity_ = new_cap;
+  }
+
+  void resize(std::size_t n) {
+    reserve(n);
+    size_ = n;
+  }
+
+  void push_back(const T& v) {
+    reserve(size_ + 1);
+    with_checkout(data_ + static_cast<std::ptrdiff_t>(size_), 1, access_mode::write,
+                  [&](T* p) { *p = v; });
+    size_++;
+  }
+
+  void clear() { size_ = 0; }
+
+  /// Free the element buffer. The handle becomes empty.
+  void destroy() {
+    if (data_) noncoll_delete(data_, capacity_);
+    data_ = global_ptr<T>{};
+    size_ = 0;
+    capacity_ = 0;
+  }
+
+  friend bool operator==(const global_vector&, const global_vector&) = default;
+
+private:
+  global_ptr<T> data_{};
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace ityr

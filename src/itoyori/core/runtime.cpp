@@ -1,0 +1,33 @@
+#include "itoyori/core/runtime.hpp"
+
+namespace ityr {
+
+namespace {
+runtime* g_runtime = nullptr;
+}
+
+runtime& runtime::instance() {
+  ITYR_CHECK(g_runtime != nullptr);
+  return *g_runtime;
+}
+
+bool runtime::active() { return g_runtime != nullptr; }
+
+runtime::runtime(const common::options& opt)
+    : eng_(opt), rma_(eng_), pgas_(eng_, rma_), sched_(eng_, pgas_) {
+  ITYR_CHECK(g_runtime == nullptr || !"only one ityr::runtime may exist at a time");
+  prof_.configure(
+      eng_.n_ranks(), [this] { return eng_.now_precise(); }, [this] { return eng_.my_rank(); });
+  sched_.set_profiler(&prof_);
+  g_runtime = this;
+}
+
+runtime::~runtime() {
+  if (g_runtime == this) g_runtime = nullptr;
+}
+
+void runtime::spmd(std::function<void()> fn) {
+  eng_.run([&fn](int) { fn(); });
+}
+
+}  // namespace ityr

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstddef>
+
+#include "itoyori/core/ityr.hpp"
+
+namespace ityr {
+
+namespace detail {
+
+/// Run fn(chunk_index) for every index in [lo, hi) as a parallel recursion.
+template <typename Fn>
+void over_chunks(std::size_t lo, std::size_t hi, Fn fn) {
+  if (hi - lo == 1) {
+    fn(lo);
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  parallel_invoke([=] { over_chunks(lo, mid, fn); }, [=] { over_chunks(mid, hi, fn); });
+}
+
+}  // namespace detail
+
+/// Inclusive parallel prefix scan over global memory:
+///   out[i] = init op in[0] op ... op in[i]
+/// Returns the total (init op in[0] op ... op in[n-1]). `in` and `out` may
+/// alias exactly (in-place scan) but must not partially overlap.
+///
+/// Three-phase chunked algorithm (work-efficient, O(n)):
+///   1. parallel: per-chunk partial sums into a scratch global array,
+///   2. serial: exclusive scan of the (n/grain) partials on the root task,
+///   3. parallel: per-chunk inclusive scan seeded with its chunk's prefix.
+///
+/// Like all range patterns, `grain` bounds the per-task checkout size so
+/// arrays far larger than the cache can be processed (paper Section 3.3).
+template <typename T, typename BinOp>
+T parallel_scan_inclusive(global_ptr<T> in, global_ptr<T> out, std::size_t n, std::size_t grain,
+                          T init, BinOp op) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (n == 0) return init;
+  ITYR_CHECK(grain > 0);
+
+  const std::size_t n_chunks = (n + grain - 1) / grain;
+  auto partials = noncoll_new<T>(n_chunks);
+
+  auto chunk_range = [n, grain](std::size_t c) {
+    const std::size_t base = c * grain;
+    return std::pair<std::size_t, std::size_t>(base, std::min(n, base + grain) - base);
+  };
+
+  // Phase 1: per-chunk sums (disjoint writes into `partials`).
+  detail::over_chunks(0, n_chunks, [=](std::size_t c) {
+    const auto [base, len] = chunk_range(c);
+    with_checkout(in + static_cast<std::ptrdiff_t>(base), len, access_mode::read,
+                  [&](const T* p) {
+                    T s = p[0];
+                    for (std::size_t i = 1; i < len; i++) s = op(s, p[i]);
+                    ityr::put(partials + static_cast<std::ptrdiff_t>(c), s);
+                  });
+  });
+
+  // Phase 2: serial exclusive scan of the partials (n_chunks is small).
+  T total = init;
+  with_checkout(partials, n_chunks, access_mode::read_write, [&](T* ps) {
+    for (std::size_t c = 0; c < n_chunks; c++) {
+      const T chunk_sum = ps[c];
+      ps[c] = total;  // becomes the chunk's carry-in
+      total = op(total, chunk_sum);
+    }
+  });
+
+  // Phase 3: per-chunk inclusive scans seeded with the carry-ins.
+  detail::over_chunks(0, n_chunks, [=](std::size_t c) {
+    const auto [base, len] = chunk_range(c);
+    const T carry = ityr::get(partials + static_cast<std::ptrdiff_t>(c));
+    with_checkout(in + static_cast<std::ptrdiff_t>(base), len, access_mode::read,
+                  [&](const T* pi) {
+                    with_checkout(out + static_cast<std::ptrdiff_t>(base), len,
+                                  access_mode::write, [&](T* po) {
+                                    T running = carry;
+                                    for (std::size_t i = 0; i < len; i++) {
+                                      running = op(running, pi[i]);
+                                      po[i] = running;
+                                    }
+                                  });
+                  });
+  });
+
+  noncoll_delete(partials, n_chunks);
+  return total;
+}
+
+}  // namespace ityr

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+#include "itoyori/core/ityr.hpp"
+
+namespace ityr {
+
+/// Low-level fork-join primitive: a future-like handle to a forked task
+/// (paper Section 3.1: "Itoyori can dynamically spawn user-level threads by
+/// using low-level threading primitives such as futures").
+///
+/// The child starts executing immediately (child-first policy) and this
+/// thread's continuation becomes stealable; join() returns the child's
+/// value. Like std::thread, a ityr::thread must be joined before
+/// destruction; unlike std::thread it may not be detached (the fork-join
+/// discipline is what makes the memory model work).
+template <typename T>
+class thread {
+public:
+  thread() = default;
+
+  template <typename F, typename = std::enable_if_t<std::is_invocable_r_v<T, F>>>
+  explicit thread(F&& f) : handle_(detail::fork_typed(std::forward<F>(f))), active_(true) {}
+
+  thread(thread&& other) noexcept { *this = std::move(other); }
+  thread& operator=(thread&& other) noexcept {
+    ITYR_CHECK(!active_ || !"assigning over an unjoined ityr::thread");
+    handle_ = other.handle_;
+    active_ = other.active_;
+    other.active_ = false;
+    return *this;
+  }
+
+  thread(const thread&) = delete;
+  thread& operator=(const thread&) = delete;
+
+  ~thread() { ITYR_CHECK(!active_ || !"ityr::thread destroyed without join()"); }
+
+  bool joinable() const { return active_; }
+
+  /// True if the child ran to completion without the continuation being
+  /// stolen (the fence-free fast path, paper Section 5.1).
+  bool serialized() const { return active_ && handle_.serialized; }
+
+  T join() {
+    ITYR_CHECK(active_);
+    active_ = false;
+    if constexpr (std::is_void_v<T>) {
+      detail::join_typed<void>(handle_);
+    } else {
+      return detail::join_typed<T>(handle_);
+    }
+  }
+
+private:
+  sched::thread_handle handle_{};
+  bool active_ = false;
+};
+
+template <typename F>
+thread(F&&) -> thread<std::invoke_result_t<std::decay_t<F>>>;
+
+}  // namespace ityr

@@ -1,0 +1,17 @@
+#pragma once
+
+/// \file
+/// Umbrella header: the whole Itoyori public API.
+///
+///   #include "itoyori/itoyori.hpp"
+///
+/// brings in the runtime (ityr::runtime, ityr::options), global memory
+/// (global_ptr/global_span/checkout/with_checkout, collective and
+/// noncollective allocation), tasking (root_exec, parallel_invoke,
+/// ityr::thread), the range patterns (parallel_for_each / reduce /
+/// transform / fill / scan), and global_vector.
+
+#include "itoyori/core/global_vector.hpp"
+#include "itoyori/core/ityr.hpp"
+#include "itoyori/core/scan.hpp"
+#include "itoyori/core/thread.hpp"

@@ -1,0 +1,385 @@
+#include "itoyori/pgas/cache_system.hpp"
+
+#include <algorithm>
+
+namespace ityr::pgas {
+
+namespace {
+// Fixed virtual cost of one mmap/munmap when running in deterministic mode
+// (in measured mode the real syscall cost is captured by the engine).
+constexpr double kDeterministicMmapCost = 2.0e-6;
+}  // namespace
+
+cache_system::cache_system(sim::engine& eng, rma::context& rma, global_heap& heap,
+                           rma::window& ctrl_win, int rank)
+    : eng_(eng),
+      rma_(rma),
+      heap_(heap),
+      ctrl_win_(ctrl_win),
+      rank_(rank),
+      block_size_(eng.opts().block_size),
+      sub_block_size_(std::min(eng.opts().sub_block_size, eng.opts().block_size)),
+      policy_(eng.opts().policy),
+      view_(heap.total_size()),
+      cache_pool_(block_size_, std::max<std::size_t>(1, eng.opts().cache_size / block_size_),
+                  "ityr-cache"),
+      n_cache_blocks_(cache_pool_.n_blocks()) {
+  ITYR_CHECK(block_size_ % sub_block_size_ == 0);
+
+  // Mapping-entry budget (paper Section 4.3.2): the OS limit is shared by
+  // the whole simulated cluster (one real process), and each mapped block
+  // can cost up to two entries. Split the budget evenly across ranks,
+  // reserve the cache blocks' share, and let home blocks use the rest.
+  const std::size_t per_rank_budget =
+      eng.opts().max_map_entries / (2 * static_cast<std::size_t>(eng.n_ranks()) + 2);
+  home_mapped_limit_ = per_rank_budget > n_cache_blocks_ + 64
+                           ? per_rank_budget - n_cache_blocks_
+                           : 64;
+
+  free_slots_.reserve(n_cache_blocks_);
+  for (std::size_t s = n_cache_blocks_; s-- > 0;) free_slots_.push_back(s);
+}
+
+std::uint64_t* cache_system::epoch_words() const {
+  return reinterpret_cast<std::uint64_t*>(ctrl_win_.addr(rank_, 0, 2 * sizeof(std::uint64_t)));
+}
+
+void cache_system::charge_mmap() {
+  if (eng_.opts().deterministic) eng_.charge(kDeterministicMmapCost);
+}
+
+void cache_system::map_block(mem_block& mb) {
+  ITYR_CHECK(!mb.mapped);
+  const std::uint64_t voff = mb.mb_id * block_size_;
+  if (mb.k == mem_block::kind::home) {
+    view_.map(voff, *mb.home.pool, mb.home.pool_off, block_size_);
+  } else {
+    view_.map(voff, cache_pool_, mb.slot * block_size_, block_size_);
+  }
+  mb.mapped = true;
+  charge_mmap();
+}
+
+void cache_system::unmap_block(mem_block& mb) {
+  ITYR_CHECK(mb.mapped);
+  view_.unmap(mb.mb_id * block_size_, block_size_);
+  mb.mapped = false;
+  charge_mmap();
+}
+
+cache_system::mem_block& cache_system::get_home_block(std::uint64_t mb_id,
+                                                      const global_heap::home_loc& home) {
+  auto it = home_blocks_.find(mb_id);
+  if (it != home_blocks_.end()) {
+    home_lru_.touch(*it->second);
+    return *it->second;
+  }
+  if (home_blocks_.size() >= home_mapped_limit_) evict_home_block();
+
+  auto mb = std::make_unique<mem_block>();
+  mb->k = mem_block::kind::home;
+  mb->mb_id = mb_id;
+  mb->home = home;
+  mem_block& ref = *mb;
+  home_blocks_.emplace(mb_id, std::move(mb));
+  home_lru_.push_back(ref);
+  return ref;
+}
+
+void cache_system::evict_home_block() {
+  auto* hook = home_lru_.find_from_lru(
+      [](common::lru_hook& h) { return static_cast<mem_block&>(h).ref_count == 0; });
+  if (hook == nullptr) {
+    throw common::too_much_checkout_error(
+        "all home-block mapping entries are pinned by outstanding checkouts");
+  }
+  auto& mb = static_cast<mem_block&>(*hook);
+  if (mb.mapped) unmap_block(mb);
+  home_lru_.erase(mb);
+  st_.home_evictions++;
+  home_blocks_.erase(mb.mb_id);
+}
+
+cache_system::mem_block& cache_system::get_cache_block(std::uint64_t mb_id,
+                                                       const global_heap::home_loc& home) {
+  auto it = cache_blocks_.find(mb_id);
+  if (it != cache_blocks_.end()) {
+    cache_lru_.touch(*it->second);
+    return *it->second;
+  }
+  if (free_slots_.empty()) {
+    if (!try_evict_cache_block()) {
+      // Everything is pinned or dirty: write back all dirty data and retry
+      // (paper Section 4.4); if still nothing is evictable, the checkout
+      // request exceeds the cache capacity.
+      writeback_all();
+      if (!try_evict_cache_block()) {
+        throw common::too_much_checkout_error(
+            "checkout request exceeds the cache capacity (too-much-checkout)");
+      }
+    }
+  }
+  const std::size_t slot = free_slots_.back();
+  free_slots_.pop_back();
+
+  auto mb = std::make_unique<mem_block>();
+  mb->k = mem_block::kind::cache;
+  mb->mb_id = mb_id;
+  mb->home = home;
+  mb->slot = slot;
+  mem_block& ref = *mb;
+  cache_blocks_.emplace(mb_id, std::move(mb));
+  cache_lru_.push_back(ref);
+  return ref;
+}
+
+bool cache_system::try_evict_cache_block() {
+  auto* hook = cache_lru_.find_from_lru([](common::lru_hook& h) {
+    auto& mb = static_cast<mem_block&>(h);
+    return mb.ref_count == 0 && mb.dirty.empty();
+  });
+  if (hook == nullptr) return false;
+  auto& mb = static_cast<mem_block&>(*hook);
+  if (mb.mapped) unmap_block(mb);
+  cache_lru_.erase(mb);
+  free_slots_.push_back(mb.slot);
+  st_.cache_evictions++;
+  cache_blocks_.erase(mb.mb_id);
+  return true;
+}
+
+void* cache_system::checkout(gaddr_t g, std::size_t size, access_mode mode) {
+  ITYR_CHECK(eng_.my_rank() == rank_);
+  ITYR_CHECK(size > 0);
+  if (!heap_.in_heap(g, size)) throw common::api_error("checkout outside the global heap");
+  st_.checkouts++;
+
+  const std::uint64_t off0 = heap_.view_off(g);
+  const std::uint64_t off1 = off0 + size;
+  blocks_to_map_.clear();
+
+  // Blocks already pinned by this checkout, for rollback if a later block
+  // raises too-much-checkout: the failed checkout must leave no dangling
+  // refcounts and no "valid" claims over never-fetched write-mode bytes.
+  struct touched {
+    mem_block* mb;
+    common::interval write_added;  // empty unless write-mode valid.add
+  };
+  std::vector<touched> pinned;
+
+  auto rollback = [&] {
+    for (auto& t : pinned) {
+      ITYR_CHECK(t.mb->ref_count > 0);
+      t.mb->ref_count--;
+      if (!t.write_added.empty()) t.mb->valid.subtract(t.write_added);
+    }
+  };
+
+  try {
+    for (std::uint64_t mb_id = off0 / block_size_; mb_id <= (off1 - 1) / block_size_; mb_id++) {
+      const std::uint64_t block_base = mb_id * block_size_;
+      const auto home = heap_.locate_block(mb_id);
+
+      if (home.rank == rank_ || eng_.same_node(home.rank, rank_)) {
+        mem_block& mb = get_home_block(mb_id, home);
+        if (!mb.mapped) blocks_to_map_.push_back(&mb);
+        mb.ref_count++;
+        pinned.push_back({&mb, {}});
+        continue;
+      }
+
+      mem_block& mb = get_cache_block(mb_id, home);
+      // Requested region, block-relative.
+      const common::interval req{std::max(off0, block_base) - block_base,
+                                 std::min(off1, block_base + block_size_) - block_base};
+      common::interval write_added{};
+      if (mode == access_mode::write) {
+        // Write-only: the bytes will be fully overwritten; no fetch (Fig. 4
+        // line 16). They become "valid" in the sense that the cache copy is
+        // the authoritative one from now on.
+        mb.valid.add(req);
+        write_added = req;
+      } else if (!mb.valid.contains(req)) {
+        st_.block_misses++;
+        // Fetch at sub-block granularity for spatial locality, skipping
+        // already-valid (possibly dirty!) byte ranges (Fig. 4 lines 18-21).
+        const common::interval padded{req.begin / sub_block_size_ * sub_block_size_,
+                                      std::min<std::uint64_t>(
+                                          (req.end + sub_block_size_ - 1) / sub_block_size_ *
+                                              sub_block_size_,
+                                          block_size_)};
+        for (const auto& miss : mb.valid.missing(padded)) {
+          rma_.get_nb(*home.win, home.rank, home.pool_off + miss.begin,
+                      cache_slot_ptr(mb) + miss.begin, miss.size());
+          st_.fetched_bytes += miss.size();
+          mb.valid.add(miss);
+        }
+      } else {
+        st_.block_hits++;
+      }
+      if (!mb.mapped) blocks_to_map_.push_back(&mb);
+      mb.ref_count++;
+      pinned.push_back({&mb, write_added});
+    }
+  } catch (const common::too_much_checkout_error&) {
+    rollback();
+    rma_.flush();  // fetches already issued must still complete
+    throw;
+  }
+
+  // Update memory mappings only after all communication has been issued, to
+  // overlap the mmap syscalls with the transfers (Fig. 4 lines 25-29).
+  for (mem_block* mb : blocks_to_map_) map_block(*mb);
+  rma_.flush();
+
+  checked_out_bytes_ += size;
+  return view_.at(off0);
+}
+
+void cache_system::checkin(gaddr_t g, std::size_t size, access_mode mode) {
+  ITYR_CHECK(eng_.my_rank() == rank_);
+  ITYR_CHECK(size > 0);
+  if (!heap_.in_heap(g, size)) throw common::api_error("checkin outside the global heap");
+  st_.checkins++;
+
+  const std::uint64_t off0 = heap_.view_off(g);
+  const std::uint64_t off1 = off0 + size;
+  bool flushed_any = false;
+
+  for (std::uint64_t mb_id = off0 / block_size_; mb_id <= (off1 - 1) / block_size_; mb_id++) {
+    const std::uint64_t block_base = mb_id * block_size_;
+    const auto home = heap_.locate_block(mb_id);
+
+    if (home.rank == rank_ || eng_.same_node(home.rank, rank_)) {
+      auto it = home_blocks_.find(mb_id);
+      if (it == home_blocks_.end() || it->second->ref_count == 0)
+        throw common::api_error("checkin without matching checkout (home block)");
+      it->second->ref_count--;
+      continue;
+    }
+
+    auto it = cache_blocks_.find(mb_id);
+    if (it == cache_blocks_.end() || it->second->ref_count == 0)
+      throw common::api_error("checkin without matching checkout (cache block)");
+    mem_block& mb = *it->second;
+
+    if (mode != access_mode::read) {
+      const common::interval req{std::max(off0, block_base) - block_base,
+                                 std::min(off1, block_base + block_size_) - block_base};
+      if (policy_ == common::cache_policy::write_through) {
+        rma_.put_nb(*home.win, home.rank, home.pool_off + req.begin,
+                    cache_slot_ptr(mb) + req.begin, req.size());
+        st_.write_through_bytes += req.size();
+        flushed_any = true;
+      } else {
+        mark_dirty(mb, req);
+      }
+    }
+    mb.ref_count--;
+  }
+
+  if (flushed_any) rma_.flush();
+  ITYR_CHECK(checked_out_bytes_ >= size);
+  checked_out_bytes_ -= size;
+}
+
+void cache_system::mark_dirty(mem_block& mb, common::interval iv) {
+  mb.dirty.add(iv);
+  if (!mb.in_dirty_list) {
+    mb.in_dirty_list = true;
+    dirty_blocks_.push_back(&mb);
+  }
+}
+
+void cache_system::writeback_all() {
+  if (dirty_blocks_.empty()) return;
+  for (mem_block* mb : dirty_blocks_) {
+    for (const auto& iv : mb->dirty.to_vector()) {
+      rma_.put_nb(*mb->home.win, mb->home.rank, mb->home.pool_off + iv.begin,
+                  cache_slot_ptr(*mb) + iv.begin, iv.size());
+      st_.written_back_bytes += iv.size();
+    }
+    mb->dirty.clear();
+    mb->in_dirty_list = false;
+  }
+  dirty_blocks_.clear();
+  rma_.flush();
+  // Completing a write-back round advances this process's epoch, releasing
+  // any acquirer waiting on a handler from before this round (Fig. 6).
+  epoch_words()[0]++;
+  st_.releases++;
+}
+
+void cache_system::invalidate_all() {
+  for (auto& [id, mb] : cache_blocks_) {
+    // Self-invalidation must not happen while data is checked out: checkouts
+    // must be checked in before any point where threads can migrate
+    // (Section 3.3).
+    ITYR_CHECK(mb->ref_count == 0);
+    ITYR_CHECK(mb->dirty.empty());
+    mb->valid.clear();
+  }
+  st_.acquires++;
+}
+
+void cache_system::release() {
+  ITYR_CHECK(eng_.my_rank() == rank_);
+  writeback_all();
+}
+
+release_handler cache_system::release_lazy() {
+  ITYR_CHECK(eng_.my_rank() == rank_);
+  if (!has_dirty()) return {};  // Unneeded
+  return {rank_, epoch_words()[0] + 1};
+}
+
+void cache_system::acquire() {
+  ITYR_CHECK(eng_.my_rank() == rank_);
+  ITYR_CHECK(!has_dirty());
+  invalidate_all();
+}
+
+void cache_system::acquire(release_handler h) {
+  ITYR_CHECK(eng_.my_rank() == rank_);
+  if (h.needed()) {
+    if (h.rank == rank_) {
+      // Degenerate case: the handler refers to our own cache; a local
+      // write-back round satisfies it directly.
+      if (epoch_words()[0] < h.epoch) writeback_all();
+    } else {
+      ITYR_CHECK(!has_dirty());
+      bool first = true;
+      while (rma_.get_value(ctrl_win_, h.rank, 0) < h.epoch) {
+        if (first) {
+          // Ask the releaser (once) to perform its next write-back round.
+          // Multiple acquirers race benignly: only the max epoch matters,
+          // hence the remote atomic max (Fig. 6 lines 51-53).
+          rma_.atomic_max(ctrl_win_, h.rank, sizeof(std::uint64_t), h.epoch);
+          first = false;
+          st_.lazy_release_waits++;
+        }
+        eng_.advance(eng_.opts().poll_interval);
+      }
+    }
+  }
+  invalidate_all();
+}
+
+void cache_system::poll() {
+  std::uint64_t* ew = epoch_words();
+  if (ew[0] < ew[1]) {
+    // A thief requested a write-back of the data it stole a continuation
+    // for (DoReleaseIfRequested, Fig. 6 lines 55-58).
+    if (has_dirty()) {
+      writeback_all();  // bumps the epoch
+    } else {
+      // The dirty data the handler covered was already flushed by an
+      // eviction or another fence; still advance the epoch so the waiting
+      // acquirer makes progress.
+      ew[0]++;
+      st_.releases++;
+    }
+  }
+}
+
+}  // namespace ityr::pgas

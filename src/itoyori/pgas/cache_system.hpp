@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "itoyori/common/interval_set.hpp"
+#include "itoyori/common/lru_list.hpp"
+#include "itoyori/common/options.hpp"
+#include "itoyori/pgas/global_heap.hpp"
+#include "itoyori/pgas/types.hpp"
+#include "itoyori/rma/window.hpp"
+#include "itoyori/sim/engine.hpp"
+#include "itoyori/vm/view_region.hpp"
+
+namespace ityr::pgas {
+
+/// Per-rank software cache and coherence engine (paper Sections 4 and 5.2).
+///
+/// Owns this rank's global view (a reserved VA range covering the whole
+/// heap) and a fixed pool of cache blocks. checkout()/checkin() implement
+/// Fig. 4: per-block hash lookup with LRU eviction, byte-granularity valid
+/// and dirty interval sets, sub-block remote fetch, deferred mmap of view
+/// mappings, and refcount pinning. Home blocks — blocks whose home rank is
+/// this rank or an intra-node peer — are mapped directly from the owner's
+/// pool (zero copy, no cache), and are themselves dynamically managed
+/// because of the mapping-entry budget (Section 4.3.2).
+///
+/// Coherence follows SC-for-DRF with self-invalidation: release() writes
+/// all dirty bytes back to their homes; acquire() invalidates every cache
+/// block. release_lazy()/acquire(handler)/poll() implement the epoch-based
+/// lazy release protocol of Fig. 6.
+class cache_system {
+public:
+  struct stats {
+    std::uint64_t checkouts = 0;
+    std::uint64_t checkins = 0;
+    std::uint64_t block_hits = 0;        ///< cache block lookups fully valid
+    std::uint64_t block_misses = 0;      ///< lookups that fetched remote data
+    std::uint64_t fetched_bytes = 0;
+    std::uint64_t written_back_bytes = 0;
+    std::uint64_t write_through_bytes = 0;
+    std::uint64_t cache_evictions = 0;
+    std::uint64_t home_evictions = 0;
+    std::uint64_t releases = 0;          ///< write-back-all rounds
+    std::uint64_t acquires = 0;          ///< invalidate-all rounds
+    std::uint64_t lazy_release_waits = 0;  ///< acquires that had to wait
+  };
+
+  /// `ctrl_win` must expose, at offsets 0 and 8 of each rank's region, the
+  /// current-epoch and request-epoch words of that rank.
+  cache_system(sim::engine& eng, rma::context& rma, global_heap& heap, rma::window& ctrl_win,
+               int rank);
+
+  // ---- checkout/checkin (Section 3.3 / Fig. 4) ----
+  void* checkout(gaddr_t g, std::size_t size, access_mode mode);
+  void checkin(gaddr_t g, std::size_t size, access_mode mode);
+
+  // ---- fences (Section 4.4, Fig. 6) ----
+  void release();
+  release_handler release_lazy();
+  void acquire();                    ///< plain acquire: self-invalidate
+  void acquire(release_handler h);   ///< wait for the releaser's epoch first
+  void poll();                       ///< DoReleaseIfRequested
+
+  // ---- introspection ----
+  bool has_dirty() const { return !dirty_blocks_.empty(); }
+  std::uint64_t current_epoch() const { return epoch_words()[0]; }
+  std::size_t n_cache_blocks() const { return n_cache_blocks_; }
+  std::size_t home_mapped_limit() const { return home_mapped_limit_; }
+  std::size_t checked_out_bytes() const { return checked_out_bytes_; }
+  const stats& get_stats() const { return st_; }
+  const vm::view_region& view() const { return view_; }
+
+  /// Raw view pointer for a gaddr (valid only while checked out).
+  std::byte* view_ptr(gaddr_t g) { return view_.at(heap_.view_off(g)); }
+
+private:
+  struct mem_block : common::lru_hook {
+    enum class kind : std::uint8_t { home, cache };
+    kind k{};
+    std::uint64_t mb_id = 0;
+    global_heap::home_loc home{};
+    bool mapped = false;
+    std::uint32_t ref_count = 0;
+    // cache blocks only:
+    std::size_t slot = 0;                 ///< index into the cache pool
+    common::interval_set valid;           ///< block-relative [0, block_size)
+    common::interval_set dirty;
+    bool in_dirty_list = false;
+  };
+
+  std::uint64_t* epoch_words() const;  // [0]=currentEpoch, [1]=requestEpoch
+
+  mem_block& get_home_block(std::uint64_t mb_id, const global_heap::home_loc& home);
+  mem_block& get_cache_block(std::uint64_t mb_id, const global_heap::home_loc& home);
+  void evict_home_block();
+  bool try_evict_cache_block();  // returns false if nothing evictable
+  void map_block(mem_block& mb);
+  void unmap_block(mem_block& mb);
+  void writeback_all();  // flush dirty + bump epoch
+  void invalidate_all();
+  void mark_dirty(mem_block& mb, common::interval iv);
+  std::byte* cache_slot_ptr(const mem_block& mb) const {
+    return cache_pool_.block_ptr(mb.slot);
+  }
+  void charge_mmap();
+
+  sim::engine& eng_;
+  rma::context& rma_;
+  global_heap& heap_;
+  rma::window& ctrl_win_;
+  const int rank_;
+  const std::size_t block_size_;
+  const std::size_t sub_block_size_;
+  const common::cache_policy policy_;
+
+  vm::view_region view_;
+  vm::physical_pool cache_pool_;
+  std::size_t n_cache_blocks_;
+  std::size_t home_mapped_limit_;
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<mem_block>> cache_blocks_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<mem_block>> home_blocks_;
+  common::lru_list cache_lru_;
+  common::lru_list home_lru_;
+  std::vector<std::size_t> free_slots_;
+  std::vector<mem_block*> dirty_blocks_;
+  std::size_t checked_out_bytes_ = 0;
+
+  // Reused per checkout to batch mmap updates after communication starts.
+  std::vector<mem_block*> blocks_to_map_;
+
+  stats st_;
+};
+
+}  // namespace ityr::pgas

@@ -1,0 +1,114 @@
+#include "itoyori/pgas/pgas_space.hpp"
+
+namespace ityr::pgas {
+
+pgas_space::pgas_space(sim::engine& eng, rma::context& rma)
+    : eng_(eng), rma_(rma), heap_(eng, rma) {
+  const auto n = static_cast<std::size_t>(eng_.n_ranks());
+  epochs_.assign(n, {0, 0});
+  std::vector<rma::window::region> regions;
+  regions.reserve(n);
+  for (auto& e : epochs_) {
+    regions.push_back({reinterpret_cast<std::byte*>(e.data()), sizeof(e)});
+  }
+  ctrl_win_ = rma_.create_window(std::move(regions));
+
+  caches_.reserve(n);
+  for (std::size_t r = 0; r < n; r++) {
+    caches_.push_back(
+        std::make_unique<cache_system>(eng_, rma_, heap_, *ctrl_win_, static_cast<int>(r)));
+  }
+}
+
+void pgas_space::get(gaddr_t from, void* to, std::size_t size) {
+  ITYR_CHECK(size > 0);
+  if (!heap_.in_heap(from, size)) throw common::api_error("GET outside the global heap");
+  const std::size_t bs = heap_.block_size();
+  const std::uint64_t off0 = heap_.view_off(from);
+  auto* dst = static_cast<std::byte*>(to);
+  std::uint64_t pos = off0;
+  const std::uint64_t end = off0 + size;
+  while (pos < end) {
+    const std::uint64_t mb_id = pos / bs;
+    const std::uint64_t in_block = pos % bs;
+    const std::uint64_t len = std::min<std::uint64_t>(bs - in_block, end - pos);
+    const auto home = heap_.locate_block(mb_id);
+    rma_.get_nb(*home.win, home.rank, home.pool_off + in_block, dst + (pos - off0), len);
+    pos += len;
+  }
+  rma_.flush();
+}
+
+void pgas_space::put(const void* from, gaddr_t to, std::size_t size) {
+  ITYR_CHECK(size > 0);
+  if (!heap_.in_heap(to, size)) throw common::api_error("PUT outside the global heap");
+  const std::size_t bs = heap_.block_size();
+  const std::uint64_t off0 = heap_.view_off(to);
+  const auto* src = static_cast<const std::byte*>(from);
+  std::uint64_t pos = off0;
+  const std::uint64_t end = off0 + size;
+  while (pos < end) {
+    const std::uint64_t mb_id = pos / bs;
+    const std::uint64_t in_block = pos % bs;
+    const std::uint64_t len = std::min<std::uint64_t>(bs - in_block, end - pos);
+    const auto home = heap_.locate_block(mb_id);
+    rma_.put_nb(*home.win, home.rank, home.pool_off + in_block, src + (pos - off0), len);
+    pos += len;
+  }
+  rma_.flush();
+}
+
+void pgas_space::barrier() {
+  // Release before the rendezvous, acquire after: a barrier is a global
+  // synchronization point under SC-for-DRF.
+  cache().release();
+
+  const int n = eng_.n_ranks();
+  const std::uint64_t my_generation = barrier_generation_;
+  if (++barrier_arrived_ == n) {
+    barrier_arrived_ = 0;
+    barrier_generation_++;
+  } else {
+    while (barrier_generation_ == my_generation) {
+      if (eng_.any_rank_failed()) {
+        // A peer died with an exception; unblock so the error surfaces
+        // instead of spinning forever.
+        barrier_arrived_--;
+        throw common::resource_error("barrier aborted: another rank failed");
+      }
+      eng_.advance(eng_.opts().poll_interval);
+    }
+  }
+  // Latency of the barrier tree itself. This must *advance* (yield), not
+  // just charge: a barrier is a synchronization point, and yielding commits
+  // the measured compute of the slice that ran before it — otherwise a
+  // single-rank barrier would leave the preceding computation's time
+  // uncommitted and invisible to now().
+  double depth = 0.0;
+  for (int p = 1; p < n; p *= 2) depth += 1.0;
+  eng_.advance(depth * eng_.opts().net.inter_latency);
+
+  cache().acquire();
+}
+
+cache_system::stats pgas_space::aggregate_stats() const {
+  cache_system::stats agg;
+  for (const auto& c : caches_) {
+    const auto& s = c->get_stats();
+    agg.checkouts += s.checkouts;
+    agg.checkins += s.checkins;
+    agg.block_hits += s.block_hits;
+    agg.block_misses += s.block_misses;
+    agg.fetched_bytes += s.fetched_bytes;
+    agg.written_back_bytes += s.written_back_bytes;
+    agg.write_through_bytes += s.write_through_bytes;
+    agg.cache_evictions += s.cache_evictions;
+    agg.home_evictions += s.home_evictions;
+    agg.releases += s.releases;
+    agg.acquires += s.acquires;
+    agg.lazy_release_waits += s.lazy_release_waits;
+  }
+  return agg;
+}
+
+}  // namespace ityr::pgas

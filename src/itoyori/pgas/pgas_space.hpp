@@ -1,0 +1,75 @@
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "itoyori/pgas/cache_system.hpp"
+#include "itoyori/pgas/global_heap.hpp"
+#include "itoyori/pgas/types.hpp"
+
+namespace ityr::pgas {
+
+/// The full PGAS layer of the simulated cluster: the shared global heap plus
+/// one cache_system per rank, the epoch control window for the lazy-release
+/// protocol, a GET/PUT baseline (paper Section 6.1's "No Cache"
+/// configuration: thin wrappers over MPI_Get/MPI_Put into user buffers), and
+/// an SPMD barrier.
+///
+/// All per-rank operations dispatch on the calling rank; they must be called
+/// from inside simulated rank fibers.
+class pgas_space {
+public:
+  pgas_space(sim::engine& eng, rma::context& rma);
+
+  global_heap& heap() { return heap_; }
+  cache_system& cache() { return cache_of(eng_.my_rank()); }
+  cache_system& cache_of(int rank) { return *caches_[static_cast<std::size_t>(rank)]; }
+
+  // ---- checkout/checkin on the calling rank ----
+  void* checkout(gaddr_t g, std::size_t size, access_mode mode) {
+    return cache().checkout(g, size, mode);
+  }
+  void checkin(gaddr_t g, std::size_t size, access_mode mode) {
+    cache().checkin(g, size, mode);
+  }
+
+  // ---- fences on the calling rank ----
+  void release() { cache().release(); }
+  release_handler release_lazy() { return cache().release_lazy(); }
+  void acquire() { cache().acquire(); }
+  void acquire(release_handler h) { cache().acquire(h); }
+  void poll() {
+    cache().poll();
+    heap_.poll();
+  }
+
+  // ---- GET/PUT baseline (uncached, copies into user memory) ----
+  void get(gaddr_t from, void* to, std::size_t size);
+  void put(const void* from, gaddr_t to, std::size_t size);
+
+  /// SPMD-mode barrier across all ranks, with release/acquire semantics
+  /// (all writes before the barrier are visible after it).
+  void barrier();
+
+  /// Aggregate cache statistics over all ranks.
+  cache_system::stats aggregate_stats() const;
+
+private:
+  sim::engine& eng_;
+  rma::context& rma_;
+  global_heap heap_;
+
+  // Epoch control words, one pair per rank, registered as an RMA window so
+  // thieves can poll/request write-backs remotely (Fig. 6).
+  std::vector<std::array<std::uint64_t, 2>> epochs_;
+  rma::window* ctrl_win_ = nullptr;
+
+  std::vector<std::unique_ptr<cache_system>> caches_;
+
+  // Barrier state (shared; the DES serializes access).
+  std::uint64_t barrier_generation_ = 0;
+  int barrier_arrived_ = 0;
+};
+
+}  // namespace ityr::pgas

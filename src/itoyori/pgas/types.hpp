@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+
+namespace ityr::pgas {
+
+/// A global address: a virtual address in the unified global view. Every
+/// rank reserves the same-size view region, so a gaddr denotes the same
+/// global datum on every rank (paper Section 3.2 "unified virtual
+/// addresses"); 0 is the null global address.
+using gaddr_t = std::uint64_t;
+
+inline constexpr gaddr_t null_gaddr = 0;
+
+/// Access mode for checkout/checkin (paper Section 3.3).
+///
+/// Note the paper's semantics: the mode describes *events*, not privileges.
+/// read_write/write at checkin marks every byte of the region dirty whether
+/// or not it was actually stored to, so "always read_write" is NOT a
+/// conservative default — concurrent read_write checkouts of the same
+/// region are a data race.
+enum class access_mode {
+  read,        ///< read event at checkout
+  write,       ///< write event at checkin; region may start uninitialized
+  read_write,  ///< both
+};
+
+inline const char* to_string(access_mode m) {
+  switch (m) {
+    case access_mode::read:       return "read";
+    case access_mode::write:      return "write";
+    case access_mode::read_write: return "read_write";
+  }
+  return "?";
+}
+
+/// Handle returned by a lazy release fence (paper Fig. 6): identifies "the
+/// next write-back epoch of process `rank`". Passed by value to the matching
+/// acquire fence. A default-constructed handler means Unneeded.
+struct release_handler {
+  int rank = -1;
+  std::uint64_t epoch = 0;
+
+  bool needed() const { return rank >= 0; }
+
+  friend bool operator==(const release_handler&, const release_handler&) = default;
+};
+
+}  // namespace ityr::pgas

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "itoyori/common/options.hpp"
+#include "itoyori/sim/engine.hpp"
+
+namespace ityr::rma {
+
+/// LogGP-flavoured network cost model over the simulated topology.
+///
+/// Each rank owns one injection channel: a message of n bytes issued at
+/// virtual time t (a) costs the issuer `injection_overhead` of CPU,
+/// (b) occupies the channel for n/bandwidth starting no earlier than t, and
+/// (c) completes (data delivered / fetched) one `latency` after leaving the
+/// channel. Nonblocking operations record their completion time; flush()
+/// advances the issuer to the latest pending completion — mirroring
+/// MPI_Win_flush_all over RDMA, where the target CPU is never involved.
+class network {
+public:
+  explicit network(sim::engine& eng) : eng_(eng), nm_(eng.opts().net) {
+    state_.resize(static_cast<std::size_t>(eng.n_ranks()));
+  }
+
+  double latency_to(int target) const {
+    return eng_.same_node(eng_.my_rank(), target) ? nm_.intra_latency : nm_.inter_latency;
+  }
+  double bandwidth_to(int target) const {
+    return eng_.same_node(eng_.my_rank(), target) ? nm_.intra_bandwidth : nm_.inter_bandwidth;
+  }
+
+  /// Charge issue-side costs of a nonblocking transfer; remembers the
+  /// completion time for the next flush(). Returns the completion time.
+  double issue(int target, std::size_t bytes) {
+    per_rank& s = state_[static_cast<std::size_t>(eng_.my_rank())];
+    eng_.charge(nm_.injection_overhead);
+    const double now = eng_.now();
+    const double channel_free = s.channel_busy_until > now ? s.channel_busy_until : now;
+    const double done = channel_free + static_cast<double>(bytes) / bandwidth_to(target) +
+                        latency_to(target);
+    s.channel_busy_until = channel_free + static_cast<double>(bytes) / bandwidth_to(target);
+    if (done > s.pending_until) s.pending_until = done;
+    s.messages++;
+    s.bytes += bytes;
+    return done;
+  }
+
+  /// Wait (in virtual time) for all of this rank's pending transfers.
+  void flush() {
+    per_rank& s = state_[static_cast<std::size_t>(eng_.my_rank())];
+    const double now = eng_.now();
+    if (s.pending_until > now) {
+      eng_.advance(s.pending_until - now);
+    }
+    s.pending_until = 0.0;
+  }
+
+  bool has_pending() const {
+    const per_rank& s = state_[static_cast<std::size_t>(eng_.my_rank())];
+    return s.pending_until > eng_.now();
+  }
+
+  /// Blocking round trip for remote atomics (network-offloaded, so the
+  /// target CPU is not charged). Yields, so other ranks interleave within
+  /// the round-trip window — giving realistic contention races on CAS.
+  void atomic_round_trip() { eng_.advance(nm_.atomic_latency); }
+
+  std::uint64_t total_messages() const {
+    std::uint64_t n = 0;
+    for (const auto& s : state_) n += s.messages;
+    return n;
+  }
+  std::uint64_t total_bytes() const {
+    std::uint64_t n = 0;
+    for (const auto& s : state_) n += s.bytes;
+    return n;
+  }
+  std::uint64_t messages_of(int rank) const {
+    return state_[static_cast<std::size_t>(rank)].messages;
+  }
+  std::uint64_t bytes_of(int rank) const { return state_[static_cast<std::size_t>(rank)].bytes; }
+
+private:
+  struct per_rank {
+    double channel_busy_until = 0.0;
+    double pending_until = 0.0;
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  sim::engine& eng_;
+  common::network_model nm_;
+  std::vector<per_rank> state_;
+};
+
+}  // namespace ityr::rma

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "itoyori/rma/network.hpp"
+
+namespace ityr::rma {
+
+/// One registered memory region per rank (an MPI_Win equivalent).
+struct window {
+  struct region {
+    std::byte* base = nullptr;
+    std::size_t size = 0;
+  };
+  std::vector<region> regions;  // indexed by rank
+
+  std::byte* addr(int rank, std::uint64_t off, std::size_t len) const {
+    const auto& r = regions[static_cast<std::size_t>(rank)];
+    ITYR_CHECK(r.base != nullptr);
+    ITYR_CHECK(off + len <= r.size);
+    return r.base + off;
+  }
+};
+
+/// One-sided communication context: get/put (nonblocking until flush) and
+/// remote atomics over windows. The simulated cluster shares one OS address
+/// space, so data movement is memcpy; *when* data is usable is governed by
+/// the network cost model, and the target rank's CPU is never involved
+/// (true RDMA semantics, as assumed throughout paper Section 5).
+class context {
+public:
+  explicit context(sim::engine& eng) : eng_(eng), net_(eng) {}
+
+  network& net() { return net_; }
+
+  /// Collectively create a window from per-rank regions. In the simulator
+  /// the call itself is local; callers are responsible for the collective
+  /// discipline (mirroring MPI_Win_create).
+  window* create_window(std::vector<window::region> regions) {
+    windows_.push_back(std::make_unique<window>());
+    windows_.back()->regions = std::move(regions);
+    return windows_.back().get();
+  }
+
+  /// Nonblocking get: data is copied now (an admissible RMA completion
+  /// order) but the issuer's virtual time only reflects completion after
+  /// flush(). Mirrors MPI_Get + MPI_Win_flush_all.
+  void get_nb(window& w, int target, std::uint64_t off, void* dst, std::size_t len) {
+    std::memcpy(dst, w.addr(target, off, len), len);
+    net_.issue(target, len);
+    gets_++;
+  }
+
+  /// Nonblocking put (MPI_Put).
+  void put_nb(window& w, int target, std::uint64_t off, const void* src, std::size_t len) {
+    std::memcpy(w.addr(target, off, len), src, len);
+    net_.issue(target, len);
+    puts_++;
+  }
+
+  /// Complete all outstanding one-sided operations of the calling rank.
+  void flush() { net_.flush(); }
+
+  /// Blocking 8-byte read (MPI_Get of a single word + flush): the epoch
+  /// polls of the lazy-release protocol use this.
+  std::uint64_t get_value(window& w, int target, std::uint64_t off) {
+    std::uint64_t v;
+    std::memcpy(&v, w.addr(target, off, sizeof(v)), sizeof(v));
+    net_.issue(target, sizeof(v));
+    net_.flush();
+    gets_++;
+    return v;
+  }
+
+  void put_value(window& w, int target, std::uint64_t off, std::uint64_t v) {
+    net_.issue(target, sizeof(v));
+    net_.flush();
+    std::memcpy(w.addr(target, off, sizeof(v)), &v, sizeof(v));
+    puts_++;
+  }
+
+  /// MPI_Compare_and_swap: atomic at the point the round trip lands.
+  std::uint64_t compare_and_swap(window& w, int target, std::uint64_t off, std::uint64_t expected,
+                                 std::uint64_t desired) {
+    net_.atomic_round_trip();
+    auto* p = reinterpret_cast<std::uint64_t*>(w.addr(target, off, sizeof(std::uint64_t)));
+    const std::uint64_t old = *p;
+    if (old == expected) *p = desired;
+    atomics_++;
+    return old;
+  }
+
+  /// MPI_Fetch_and_op(MPI_SUM).
+  std::uint64_t fetch_and_add(window& w, int target, std::uint64_t off, std::uint64_t operand) {
+    net_.atomic_round_trip();
+    auto* p = reinterpret_cast<std::uint64_t*>(w.addr(target, off, sizeof(std::uint64_t)));
+    const std::uint64_t old = *p;
+    *p = old + operand;
+    atomics_++;
+    return old;
+  }
+
+  /// Remote atomic max emulated with a CAS loop (paper footnote 6: the
+  /// MPI_MAX fetch-and-op is not RDMA-offloaded, so Itoyori loops on
+  /// MPI_Compare_and_swap instead).
+  void atomic_max(window& w, int target, std::uint64_t off, std::uint64_t value) {
+    std::uint64_t cur = get_value(w, target, off);
+    while (cur < value) {
+      const std::uint64_t old = compare_and_swap(w, target, off, cur, value);
+      if (old == cur) return;  // won the race
+      cur = old;
+    }
+  }
+
+  std::uint64_t n_gets() const { return gets_; }
+  std::uint64_t n_puts() const { return puts_; }
+  std::uint64_t n_atomics() const { return atomics_; }
+
+private:
+  sim::engine& eng_;
+  network net_;
+  std::vector<std::unique_ptr<window>> windows_;
+  std::uint64_t gets_ = 0;
+  std::uint64_t puts_ = 0;
+  std::uint64_t atomics_ = 0;
+};
+
+}  // namespace ityr::rma

@@ -1,0 +1,432 @@
+#include "itoyori/sched/scheduler.hpp"
+
+namespace ityr::sched {
+
+scheduler::scheduler(sim::engine& eng, pgas::pgas_space& pgas) : eng_(eng), pgas_(pgas) {
+  ranks_.resize(static_cast<std::size_t>(eng_.n_ranks()));
+}
+
+scheduler::stats scheduler::get_stats() const {
+  stats agg;
+  for (const auto& rs : ranks_) {
+    agg.forks += rs.st.forks;
+    agg.serialized_joins += rs.st.serialized_joins;
+    agg.steal_attempts += rs.st.steal_attempts;
+    agg.steals += rs.st.steals;
+    agg.intra_node_steals += rs.st.intra_node_steals;
+    agg.local_pops += rs.st.local_pops;
+    agg.join_suspends += rs.st.join_suspends;
+    agg.migrations += rs.st.migrations;
+    agg.migrated_stack_bytes += rs.st.migrated_stack_bytes;
+  }
+  return agg;
+}
+
+thread_state* scheduler::acquire_ts() {
+  if (!ts_pool_.empty()) {
+    thread_state* ts = ts_pool_.back();
+    ts_pool_.pop_back();
+    ts->reset();
+    return ts;
+  }
+  ts_storage_.push_back(std::make_unique<thread_state>());
+  return ts_storage_.back().get();
+}
+
+void scheduler::release_ts(thread_state* ts) { ts_pool_.push_back(ts); }
+
+void scheduler::charge_ts_touch(const thread_state* ts) {
+  // Reading/updating a join descriptor that lives on another rank is a
+  // small one-sided operation.
+  if (ts->owner_rank != eng_.my_rank()) {
+    eng_.advance(eng_.opts().net.inter_latency);
+  }
+}
+
+void scheduler::busy_begin() {
+  rank_state& rs = self();
+  if (rs.busy_since < 0) rs.busy_since = eng_.now();
+}
+
+void scheduler::busy_end() {
+  rank_state& rs = self();
+  if (rs.busy_since >= 0) {
+    rs.busy_time += eng_.now() - rs.busy_since;
+    rs.busy_since = -1.0;
+  }
+}
+
+void scheduler::reap() {
+  rank_state& rs = self();
+  for (sim::fiber* f : rs.dead) eng_.free_fiber(f);
+  rs.dead.clear();
+}
+
+scheduler::resume_kind scheduler::consume_note() {
+  rank_state& rs = self();
+  const resume_kind k = rs.note;
+  ITYR_CHECK(k != resume_kind::none);
+  rs.note = resume_kind::none;
+  return k;
+}
+
+void scheduler::poll() {
+  // Time spent here is (almost entirely) thief-requested delayed write-backs
+  // (Release #1 executed lazily, Section 5.2).
+  common::profiler::maybe_scope sc(prof_, common::prof_event::release_lazy);
+  pgas_.poll();
+}
+
+// ---------------------------------------------------------------------------
+// fork
+// ---------------------------------------------------------------------------
+
+thread_handle scheduler::fork(std::function<void(thread_state*)> child_fn) {
+  ITYR_CHECK(active_);
+  // Checked-out regions must be checked in before any point where the
+  // thread can migrate (paper Section 3.3) — fork is such a point.
+  ITYR_CHECK(pgas_.cache().checked_out_bytes() == 0 ||
+             !"fork while global memory is checked out");
+  rank_state& rs = self();
+  rs.st.forks++;
+  poll();  // DoReleaseIfRequested is polled at every fork (Section 5.2)
+  // Commit this task's measured compute to the virtual clock and give other
+  // ranks a chance to interleave (steal) at this fork point. This is both
+  // the fork's modelled overhead and the DES's concurrency granularity.
+  eng_.yield();
+
+  thread_state* ts = acquire_ts();
+  ts->owner_rank = eng_.my_rank();
+
+  // Release #1 (paper Fig. 5/6). Its execution depends on the policy:
+  //  * write_back_lazy — deferred: a handler rides along with the stealable
+  //    continuation and the write-back happens only if a thief requests it;
+  //  * write_back      — eager: all dirty data is flushed at *every* fork,
+  //    which is exactly what makes it expensive for fine-grained tasks
+  //    (the Fig. 7 comparison);
+  //  * write_through / none — no dirty data can exist; nothing to release.
+  pgas::release_handler rh{};
+  const auto policy = eng_.opts().policy;
+  if (policy == common::cache_policy::write_back_lazy) {
+    rh = pgas_.release_lazy();
+  } else if (policy == common::cache_policy::write_back) {
+    common::profiler::maybe_scope sc(prof_, common::prof_event::release);
+    pgas_.release();
+  }
+
+  const std::uint64_t serial = ++serial_counter_;
+  sim::fiber* parent_fib = eng_.current_fiber();
+
+  sim::fiber* child_fib = eng_.spawn_fiber(
+      [this, fn = std::move(child_fn), ts, serial] { child_body(fn, ts, serial); });
+
+  rs.deque.push_back({parent_fib, rh, serial});
+  // Child-first: run the child immediately; the parent's continuation is now
+  // stealable. Acquire #3 is skipped because the child starts on this rank.
+  eng_.switch_to(child_fib);
+
+  // --- the parent continuation resumes here, on some rank ---
+  reap();
+  const resume_kind k = consume_note();
+  if (k == resume_kind::child_done) {
+    self().st.serialized_joins++;
+    return {ts, true};
+  }
+  ITYR_CHECK(k == resume_kind::taken_over);
+  return {ts, false};
+}
+
+void scheduler::child_body(const std::function<void(thread_state*)>& fn, thread_state* ts,
+                           std::uint64_t parent_serial) {
+  try {
+    fn(ts);
+  } catch (...) {
+    ts->error = std::current_exception();
+  }
+
+  rank_state& rs = self();
+  if (!rs.deque.empty() && rs.deque.back().serial == parent_serial) {
+    // Fast path: the parent was not stolen. The child was effectively a
+    // serialized function call; skip all fences (work-first principle).
+    cont_entry e = rs.deque.back();
+    rs.deque.pop_back();
+    ts->finished = true;
+    rs.note = resume_kind::child_done;
+    rs.dead.push_back(eng_.current_fiber());
+    eng_.exit_to(e.fib);
+  }
+
+  // Slow path: the parent's continuation was stolen (or locally resumed by
+  // the worker loop after we blocked at some inner join). Publish our
+  // updates (Release #2) before signalling completion.
+  {
+    common::profiler::maybe_scope sc(prof_, common::prof_event::release);
+    pgas_.release();
+  }
+  charge_ts_touch(ts);
+  ts->finished = true;
+
+  if (ts->parent_waiting) {
+    // The parent suspended at join; the last finisher resumes it here
+    // (possibly migrating it to this rank).
+    sim::fiber* pf = ts->parent_fiber;
+    if (ts->parent_wait_rank != eng_.my_rank()) {
+      rs.st.migrations++;
+      const std::size_t stack_bytes = pf->live_stack_bytes();
+      rs.st.migrated_stack_bytes += stack_bytes;
+      const bool same_node = eng_.same_node(ts->parent_wait_rank, eng_.my_rank());
+      const auto& net = eng_.opts().net;
+      eng_.advance((same_node ? net.intra_latency : net.inter_latency) +
+                   static_cast<double>(stack_bytes) /
+                       (same_node ? net.intra_bandwidth : net.inter_bandwidth));
+    }
+    rs.note = resume_kind::join_done;
+    rs.dead.push_back(eng_.current_fiber());
+    eng_.exit_to(pf);
+  }
+
+  // Parent will discover ts->finished at its join; return to the worker.
+  rank_state& rs2 = self();
+  rs2.dead.push_back(eng_.current_fiber());
+  eng_.exit_to(rs2.sched_fiber);
+}
+
+// ---------------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------------
+
+void scheduler::join(thread_handle& h) {
+  ITYR_CHECK(h.ts != nullptr);
+  ITYR_CHECK(pgas_.cache().checked_out_bytes() == 0 ||
+             !"join while global memory is checked out");
+  thread_state* ts = h.ts;
+
+  if (h.serialized) {
+    // Fast path: child already completed on this rank with no steal in
+    // between; its effects are in our cache. No fences (Section 5.1).
+    if (ts->error) {
+      auto err = ts->error;
+      recycle(h);
+      std::rethrow_exception(err);
+    }
+    return;
+  }
+
+  poll();
+
+  // The parent was stolen at fork: the join is a real synchronization.
+  // Release #3 first (it yields; afterwards the finished-check plus suspend
+  // runs without yielding, so no wakeup can be lost).
+  {
+    common::profiler::maybe_scope sc(prof_, common::prof_event::release);
+    pgas_.release();
+  }
+  charge_ts_touch(ts);
+
+  if (!ts->finished) {
+    rank_state& rs = self();
+    rs.st.join_suspends++;
+    ts->parent_waiting = true;
+    ts->parent_fiber = eng_.current_fiber();
+    ts->parent_wait_rank = eng_.my_rank();
+    busy_end();
+    eng_.switch_to(rs.sched_fiber);
+    // Resumed by the finishing child (maybe on another rank).
+    busy_begin();
+    reap();
+    const resume_kind k = consume_note();
+    ITYR_CHECK(k == resume_kind::join_done);
+  }
+
+  // Acquire #1: observe the child's (and our own released) writes.
+  {
+    common::profiler::maybe_scope sc(prof_, common::prof_event::acquire);
+    pgas_.acquire();
+  }
+
+  if (ts->error) {
+    auto err = ts->error;
+    recycle(h);
+    std::rethrow_exception(err);
+  }
+}
+
+void scheduler::recycle(thread_handle& h) {
+  ITYR_CHECK(h.ts != nullptr);
+  release_ts(h.ts);
+  h.ts = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// worker loop & stealing
+// ---------------------------------------------------------------------------
+
+bool scheduler::try_steal() {
+  rank_state& rs = self();
+  const int n = eng_.n_ranks();
+  if (n == 1) return false;
+  common::profiler::maybe_scope steal_sc(prof_, common::prof_event::steal);
+
+  const auto& opt = eng_.opts();
+  const int me = eng_.my_rank();
+
+  // Victim selection: uniformly random (paper Section 2.1), or node-first
+  // (a locality-aware extension; Section 8 future work).
+  int victim;
+  const int rpn = opt.ranks_per_node;
+  if (opt.steal == common::steal_policy::node_first && rpn > 1 &&
+      eng_.rng().uniform() < opt.node_first_prob) {
+    const int node_base = eng_.node_of(me) * rpn;
+    victim = node_base + static_cast<int>(eng_.rng().below(static_cast<std::uint64_t>(rpn - 1)));
+    if (victim >= me) victim++;
+  } else {
+    victim = static_cast<int>(eng_.rng().below(static_cast<std::uint64_t>(n - 1)));
+    if (victim >= me) victim++;
+  }
+  rank_state& vs = ranks_[static_cast<std::size_t>(victim)];
+  rs.st.steal_attempts++;
+
+  const bool same_node = eng_.same_node(me, victim);
+  const double latency = same_node ? opt.net.intra_latency : opt.net.inter_latency;
+  const double bandwidth = same_node ? opt.net.intra_bandwidth : opt.net.inter_bandwidth;
+
+  // Probe the victim's deque bounds: one small one-sided read.
+  eng_.advance(latency);
+  if (vs.deque.empty()) return false;
+
+  // CAS to claim the top entry (fully one-sided steal; the victim's CPU is
+  // not involved). The round trip yields, so the entry may be gone or
+  // claimed by another thief when we land: re-check.
+  pgas_.cache().poll();
+  eng_.advance(opt.net.atomic_latency);
+  if (vs.deque.empty()) return false;
+
+  cont_entry e = vs.deque.front();
+  vs.deque.pop_front();
+  rs.st.steals++;
+  if (same_node) rs.st.intra_node_steals++;
+
+  // Fetch the continuation descriptor and migrate the thread's stack.
+  rs.st.migrations++;
+  const std::size_t stack_bytes = e.fib->live_stack_bytes();
+  rs.st.migrated_stack_bytes += stack_bytes;
+  eng_.advance(latency + static_cast<double>(stack_bytes) / bandwidth);
+
+  // Acquire #2: synchronize with the victim's delayed Release #1.
+  {
+    common::profiler::maybe_scope sc(prof_, common::prof_event::acquire);
+    pgas_.acquire(e.rh);
+  }
+  return_to_task_ = e.fib;
+  return true;
+}
+
+void scheduler::worker_loop() {
+  // Exponential backoff between failed steal rounds (capped): keeps idle
+  // workers from hammering victims while work is scarce, without hurting
+  // time-to-steal much relative to task granularity.
+  int failed_rounds = 0;
+  while (!done_) {
+    reap();
+    poll();
+
+    rank_state& rs = self();
+    if (!rs.deque.empty()) {
+      // Our own bottom-most continuation is ready work (its child blocked or
+      // completed elsewhere). Same rank, never migrated: no fences.
+      cont_entry e = rs.deque.back();
+      rs.deque.pop_back();
+      rs.st.local_pops++;
+      rs.note = resume_kind::taken_over;
+      busy_begin();
+      eng_.switch_to(e.fib);
+      busy_end();
+      failed_rounds = 0;
+      continue;
+    }
+
+    if (try_steal()) {
+      sim::fiber* f = return_to_task_;
+      return_to_task_ = nullptr;
+      rs.note = resume_kind::taken_over;
+      busy_begin();
+      eng_.switch_to(f);
+      busy_end();
+      failed_rounds = 0;
+    } else {
+      const int shift = failed_rounds < 5 ? failed_rounds : 5;
+      eng_.advance(eng_.opts().steal_backoff * static_cast<double>(1 << shift));
+      failed_rounds++;
+    }
+  }
+  reap();
+}
+
+// ---------------------------------------------------------------------------
+// root_exec
+// ---------------------------------------------------------------------------
+
+void scheduler::root_exec(std::function<void()> root_fn) {
+  ITYR_CHECK(!active_ || !"root_exec cannot be nested");
+
+  // Entering the fork-join region is a global synchronization point: all
+  // SPMD-mode writes must be visible to every task.
+  pgas_.barrier();
+
+  rank_state& rs = self();
+  rs.sched_fiber = eng_.current_fiber();
+  rs.busy_time = 0.0;
+  rs.busy_since = -1.0;
+
+  if (eng_.my_rank() == 0) {
+    done_ = false;
+    active_ = true;
+    root_error_ = nullptr;
+    sim::fiber* root_fib = eng_.spawn_fiber([this, fn = std::move(root_fn)] {
+      try {
+        fn();
+      } catch (...) {
+        root_error_ = std::current_exception();
+      }
+      // The root thread may finish on any rank; flush its updates and stop
+      // the cluster.
+      pgas_.release();
+      rank_state& cur = self();
+      busy_end();
+      done_ = true;
+      cur.dead.push_back(eng_.current_fiber());
+      eng_.exit_to(cur.sched_fiber);
+    });
+    busy_begin();
+    eng_.switch_to(root_fib);
+    busy_end();
+  } else {
+    // Workers may arrive before rank 0 set done_=false; wait for the region
+    // to open (or for an immediate close if the root ran to completion
+    // before we got here — done_ flips back to true in that case, which the
+    // generation check below distinguishes via the barrier that follows).
+    while (done_ && !active_) {
+      if (eng_.any_rank_failed()) break;  // rank 0 died; fall through to teardown
+      eng_.advance(eng_.opts().poll_interval);
+    }
+  }
+
+  worker_loop();
+
+  // Region teardown: flush every rank's cache and resynchronize.
+  pgas_.release();
+  pgas_.barrier();
+  if (eng_.my_rank() == 0) {
+    active_ = false;
+  }
+  pgas_.barrier();
+  pgas_.acquire();
+
+  if (eng_.my_rank() == 0 && root_error_) {
+    auto err = root_error_;
+    root_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace ityr::sched

@@ -1,0 +1,167 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "itoyori/common/profiler.hpp"
+#include "itoyori/pgas/pgas_space.hpp"
+#include "itoyori/sim/engine.hpp"
+
+namespace ityr::sched {
+
+/// Join state of one forked user-level thread. Allocated from the runtime
+/// heap (never on a task stack: stacks migrate, paper Section 3.1) and
+/// accessed by parent and child possibly on different ranks; remote touches
+/// are charged as small RMA operations.
+struct thread_state {
+  static constexpr std::size_t result_capacity = 128;
+
+  bool finished = false;
+  bool parent_waiting = false;
+  sim::fiber* parent_fiber = nullptr;  ///< valid when parent_waiting
+  int parent_wait_rank = -1;           ///< rank the parent suspended on
+  int owner_rank = -1;                 ///< rank that forked (allocation home)
+  std::exception_ptr error;
+  alignas(16) unsigned char result[result_capacity]{};  ///< type-erased slot
+
+  void reset() {
+    finished = false;
+    parent_waiting = false;
+    parent_fiber = nullptr;
+    parent_wait_rank = -1;
+    owner_rank = -1;
+    error = nullptr;
+  }
+};
+
+/// Handle returned by fork(): join target plus the serialized-fast-path flag
+/// (paper Section 5.1: if the parent was never stolen, the child behaved as
+/// a plain function call and every fence can be skipped).
+struct thread_handle {
+  thread_state* ts = nullptr;
+  bool serialized = false;
+};
+
+/// Distributed child-first work-stealing scheduler over the uni-address
+/// threading model (paper Sections 2.1, 3.1, 5).
+///
+/// fork() suspends the parent, pushes its continuation (the suspended fiber
+/// plus a lazy release handler, Fig. 5/6) onto the bottom of the local
+/// deque, and runs the child immediately in a fresh fiber. Completion of the
+/// child pops the continuation back on the fast path; otherwise the
+/// continuation has been stolen and the child synchronizes through the
+/// thread_state. Thieves steal from the top of remote deques using one-sided
+/// operations only (probe + CAS + descriptor fetch + stack migration), each
+/// charged through the network model.
+///
+/// Fence insertion (paper Fig. 5 and Section 5.1):
+///  * fork      -> Release #1 as a *lazy* handler attached to the stolen
+///                 continuation; Acquire #3 skipped (child-first).
+///  * steal     -> Acquire #2 with that handler, on the thief.
+///  * child end -> Release #2 only if the parent was stolen.
+///  * join slow -> Release #3 before suspending, Acquire #1 when resumed.
+///  * fast path -> no fences at all (work-first principle).
+class scheduler {
+public:
+  struct stats {
+    std::uint64_t forks = 0;
+    std::uint64_t serialized_joins = 0;   ///< fast-path fork returns
+    std::uint64_t steal_attempts = 0;
+    std::uint64_t steals = 0;             ///< successful steals
+    std::uint64_t intra_node_steals = 0;  ///< steals from same-node victims
+    std::uint64_t local_pops = 0;         ///< own-deque continuation pops
+    std::uint64_t join_suspends = 0;
+    std::uint64_t migrations = 0;         ///< cross-rank thread movements
+    std::uint64_t migrated_stack_bytes = 0;
+  };
+
+  scheduler(sim::engine& eng, pgas::pgas_space& pgas);
+
+  /// Attach an (optional) profiler for fence/steal attribution (Fig. 9).
+  void set_profiler(common::profiler* p) { prof_ = p; }
+
+  /// SPMD entry point: every rank calls this collectively; `root_fn` runs
+  /// once as the root thread (started on rank 0, free to migrate), all other
+  /// ranks act as workers until it completes.
+  void root_exec(std::function<void()> root_fn);
+
+  // ---- task primitives (call only from inside the fork-join region) ----
+  /// The child closure receives its own thread_state so typed wrappers can
+  /// deposit results into ts->result (never into a parent stack slot, which
+  /// would break under migration).
+  thread_handle fork(std::function<void(thread_state*)> child_fn);
+
+  /// Synchronize with the child. On return, h.ts->result is still valid;
+  /// call recycle() after extracting it. Rethrows the child's exception
+  /// (recycling first).
+  void join(thread_handle& h);
+  void recycle(thread_handle& h);
+
+  /// Scheduler/coherence poll: DoReleaseIfRequested + allocator upkeep.
+  void poll();
+
+  bool in_fork_join_region() const { return active_; }
+
+  stats get_stats() const;
+  const stats& stats_of(int rank) const { return ranks_[static_cast<std::size_t>(rank)].st; }
+
+  /// Busy time (task execution, excluding the idle steal loop) per rank;
+  /// used for the idleness metric (paper Table 2).
+  double busy_time_of(int rank) const { return ranks_[static_cast<std::size_t>(rank)].busy_time; }
+
+private:
+  struct cont_entry {
+    sim::fiber* fib = nullptr;
+    pgas::release_handler rh;
+    std::uint64_t serial = 0;
+  };
+
+  enum class resume_kind : std::uint8_t {
+    none,
+    child_done,   ///< fast path: fork returns serialized
+    taken_over,   ///< continuation resumed by thief or local worker pop
+    join_done,    ///< suspended joiner resumed by the finishing child
+  };
+
+  struct rank_state {
+    std::deque<cont_entry> deque;
+    sim::fiber* sched_fiber = nullptr;  ///< this rank's worker-loop fiber
+    resume_kind note = resume_kind::none;
+    std::vector<sim::fiber*> dead;      ///< fibers to recycle
+    stats st;
+    double busy_time = 0.0;
+    double busy_since = -1.0;
+  };
+
+  rank_state& self() { return ranks_[static_cast<std::size_t>(eng_.my_rank())]; }
+
+  void worker_loop();
+  bool try_steal();
+  void reap();
+  void child_body(const std::function<void(thread_state*)>& fn, thread_state* ts,
+                  std::uint64_t parent_serial);
+  resume_kind consume_note();
+  void charge_ts_touch(const thread_state* ts);
+  thread_state* acquire_ts();
+  void release_ts(thread_state* ts);
+  void busy_begin();
+  void busy_end();
+
+  sim::engine& eng_;
+  pgas::pgas_space& pgas_;
+  common::profiler* prof_ = nullptr;
+  std::vector<rank_state> ranks_;
+  std::vector<thread_state*> ts_pool_;
+  std::vector<std::unique_ptr<thread_state>> ts_storage_;
+  std::uint64_t serial_counter_ = 0;
+  sim::fiber* return_to_task_ = nullptr;  ///< stolen task handoff from try_steal
+  bool done_ = true;
+  bool active_ = false;
+  std::exception_ptr root_error_;
+};
+
+}  // namespace ityr::sched

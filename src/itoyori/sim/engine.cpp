@@ -1,0 +1,148 @@
+#include "itoyori/sim/engine.hpp"
+
+#include <limits>
+
+namespace ityr::sim {
+
+namespace {
+engine* g_engine = nullptr;
+}
+
+engine& current_engine() {
+  ITYR_CHECK(g_engine != nullptr);
+  return *g_engine;
+}
+
+bool engine_active() { return g_engine != nullptr; }
+
+namespace detail {
+void set_current_engine(engine* e) { g_engine = e; }
+}
+
+engine::engine(const common::options& opt) : opt_(opt) {
+  ITYR_CHECK(opt_.n_ranks() >= 1);
+  ranks_.resize(static_cast<std::size_t>(opt_.n_ranks()));
+  for (int r = 0; r < opt_.n_ranks(); r++) {
+    ranks_[r].rng = common::xoshiro256ss(opt_.seed * 0x9e3779b97f4a7c15ULL +
+                                         static_cast<std::uint64_t>(r) + 1);
+  }
+  pool_ = std::make_unique<fiber_pool>(opt_.ult_stack_size);
+  detail::set_current_engine(this);
+}
+
+engine::~engine() {
+  if (g_engine == this) detail::set_current_engine(nullptr);
+}
+
+double engine::now_precise() const {
+  double t = ranks_[my_rank()].clock;
+  if (!opt_.deterministic) {
+    const auto elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - resume_t0_).count();
+    t += elapsed * opt_.compute_scale;
+  }
+  return t;
+}
+
+void engine::advance(double dt) {
+  ITYR_CHECK(dt >= 0);
+  ranks_[my_rank()].clock += (dt > min_advance_ ? dt : min_advance_);
+  yield_to_scheduler();
+}
+
+void engine::yield_to_scheduler() {
+  rank_state& rs = ranks_[my_rank()];
+  ITYR_CHECK(rs.running != nullptr);
+  fiber_switch(rs.running->context(), &main_ctx_);
+}
+
+void engine::switch_to(fiber* f) {
+  rank_state& rs = ranks_[my_rank()];
+  fiber* from = rs.running;
+  ITYR_CHECK(from != nullptr && f != nullptr && from != f);
+  rs.running = f;
+  fiber_switch(from->context(), f->context());
+}
+
+void engine::exit_to(fiber* f) {
+  rank_state& rs = ranks_[my_rank()];
+  ITYR_CHECK(f != nullptr);
+  rs.running = f;
+  fiber_exit_to(f->context());
+  __builtin_unreachable();
+}
+
+int engine::pick_next() const {
+  int best = -1;
+  double best_clock = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < n_ranks(); r++) {
+    if (!ranks_[r].finished && ranks_[r].clock < best_clock) {
+      best = r;
+      best_clock = ranks_[r].clock;
+    }
+  }
+  return best;
+}
+
+void engine::run(std::function<void(int)> rank_main) {
+  ITYR_CHECK(!running_);
+  running_ = true;
+
+  for (int r = 0; r < n_ranks(); r++) {
+    rank_state& rs = ranks_[r];
+    rs.clock = 0.0;
+    rs.finished = false;
+    rs.error = nullptr;
+    rs.main = std::make_unique<fiber>(opt_.ult_stack_size, [this, r, &rank_main] {
+      rank_state& self = ranks_[r];
+      try {
+        rank_main(r);
+      } catch (...) {
+        self.error = std::current_exception();
+        failed_ranks_++;
+      }
+      self.finished = true;
+      // Return control to the run loop; this fiber is dead.
+      fiber_exit_to(&main_ctx_);
+    });
+    rs.running = rs.main.get();
+  }
+
+  while (true) {
+    const int r = pick_next();
+    if (r < 0) break;
+    current_rank_ = r;
+    total_resumes_++;
+    resume_t0_ = std::chrono::steady_clock::now();
+    fiber_switch(&main_ctx_, ranks_[r].running->context());
+    // Commit measured compute for the slice that just ran.
+    if (opt_.deterministic) {
+      ranks_[r].clock += opt_.deterministic_resume_cost;
+    } else {
+      const auto elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - resume_t0_).count();
+      ranks_[r].clock += elapsed * opt_.compute_scale;
+    }
+    current_rank_ = -1;
+  }
+
+  running_ = false;
+  failed_ranks_ = 0;
+  for (auto& rs : ranks_) {
+    rs.main.reset();
+    rs.running = nullptr;
+    if (rs.error) {
+      auto err = rs.error;
+      rs.error = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+double engine::max_clock() const {
+  double m = 0.0;
+  for (const auto& rs : ranks_) m = rs.clock > m ? rs.clock : m;
+  return m;
+}
+
+}  // namespace ityr::sim

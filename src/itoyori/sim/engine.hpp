@@ -1,0 +1,139 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "itoyori/common/error.hpp"
+#include "itoyori/common/options.hpp"
+#include "itoyori/common/rng.hpp"
+#include "itoyori/sim/fiber.hpp"
+
+namespace ityr::sim {
+
+/// Deterministic discrete-event simulator of a multi-node cluster.
+///
+/// Each simulated MPI process ("rank") runs as a fiber with its own virtual
+/// clock. The engine always resumes the unfinished rank with the smallest
+/// clock, which yields a causally consistent interleaving: when rank A reads
+/// a flag at virtual time t, every write rank B performed before t has
+/// already executed. This is the substitution for the paper's real cluster
+/// (see DESIGN.md): the runtime layers above are identical logic; only the
+/// transport and the notion of time differ.
+///
+/// Time advances two ways:
+///  * measured: host-CPU time spent inside the fiber between resume and
+///    yield, scaled by options::compute_scale (application compute), and
+///  * modelled: explicit charge()/advance() calls from the network and
+///    scheduler layers (communication, fences, steals).
+class engine {
+public:
+  explicit engine(const common::options& opt);
+  ~engine();
+
+  engine(const engine&) = delete;
+  engine& operator=(const engine&) = delete;
+
+  const common::options& opts() const { return opt_; }
+
+  /// Run `rank_main(rank)` to completion on every rank. Rethrows the first
+  /// exception that escaped a rank main.
+  void run(std::function<void(int)> rank_main);
+
+  // ---- topology ----
+  int n_ranks() const { return opt_.n_ranks(); }
+  int node_of(int rank) const { return rank / opt_.ranks_per_node; }
+  bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+
+  // ---- callable only from inside rank fibers ----
+  int my_rank() const {
+    ITYR_CHECK(current_rank_ >= 0);
+    return current_rank_;
+  }
+
+  /// Committed virtual time of the calling rank.
+  double now() const { return ranks_[my_rank()].clock; }
+
+  /// Virtual time including not-yet-committed measured compute since the
+  /// last resume; used for profiling attribution.
+  double now_precise() const;
+
+  /// Charge `dt` virtual seconds without yielding.
+  void charge(double dt) {
+    ITYR_CHECK(dt >= 0);
+    ranks_[my_rank()].clock += dt;
+  }
+
+  /// Charge `dt` and yield to the simulator (other ranks may run).
+  void advance(double dt);
+
+  /// Yield with a minimal epsilon charge (progress guarantee).
+  void yield() { advance(min_advance_); }
+
+  /// Deterministic per-rank random stream.
+  common::xoshiro256ss& rng() { return ranks_[my_rank()].rng; }
+
+  // ---- fiber management for the tasking layer ----
+  fiber* current_fiber() const { return ranks_[my_rank()].running; }
+
+  /// Create a fiber from the pooled stacks. It is not scheduled; switch to
+  /// it explicitly.
+  fiber* spawn_fiber(fiber::entry_fn fn) { return pool_->acquire(std::move(fn)); }
+
+  /// Recycle a fiber that is no longer running.
+  void free_fiber(fiber* f) { pool_->release(f); }
+
+  /// Save the current fiber and run `f` on this rank (no DES involvement;
+  /// the measured-compute timer keeps running).
+  void switch_to(fiber* f);
+
+  /// The current fiber terminates; run `f` on this rank.
+  [[noreturn]] void exit_to(fiber* f);
+
+  // ---- statistics ----
+  std::uint64_t total_resumes() const { return total_resumes_; }
+
+  /// True once any rank's main has terminated with an exception; pollers
+  /// (e.g. barriers) use this to abort instead of waiting forever.
+  bool any_rank_failed() const { return failed_ranks_ > 0; }
+  double clock_of(int rank) const { return ranks_[rank].clock; }
+  double max_clock() const;
+
+private:
+  struct rank_state {
+    double clock = 0.0;
+    fiber* running = nullptr;     ///< fiber to resume next for this rank
+    std::unique_ptr<fiber> main;  ///< the rank-main fiber (owned)
+    bool finished = false;
+    common::xoshiro256ss rng;
+    std::exception_ptr error;
+  };
+
+  void yield_to_scheduler();  // save current fiber, return to the run loop
+  int pick_next() const;
+
+  common::options opt_;
+  std::vector<rank_state> ranks_;
+  std::unique_ptr<fiber_pool> pool_;
+  ucontext_t main_ctx_{};
+  int current_rank_ = -1;
+  bool running_ = false;
+  double min_advance_ = 1.0e-9;
+  std::uint64_t total_resumes_ = 0;
+  int failed_ranks_ = 0;
+  std::chrono::steady_clock::time_point resume_t0_{};
+};
+
+/// The engine currently executing (valid while engine::run is live). The
+/// simulator is single-threaded, so a plain global suffices.
+engine& current_engine();
+bool engine_active();
+
+namespace detail {
+void set_current_engine(engine* e);
+}
+
+}  // namespace ityr::sim

@@ -1,0 +1,113 @@
+#include "itoyori/sim/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+
+namespace ityr::sim {
+
+namespace {
+
+std::size_t page_size() {
+  static const std::size_t ps = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+}  // namespace
+
+fiber::fiber(std::size_t stack_size, entry_fn fn) : fn_(std::move(fn)) {
+  const std::size_t ps = page_size();
+  stack_size_ = (stack_size + ps - 1) / ps * ps;
+  // One guard page below the stack catches overflow instead of corrupting
+  // a neighbouring fiber's stack.
+  void* region = ::mmap(nullptr, stack_size_ + ps, PROT_READ | PROT_WRITE,
+                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (region == MAP_FAILED) throw common::resource_error("fiber stack mmap failed");
+  if (::mprotect(region, ps, PROT_NONE) != 0)
+    throw common::resource_error("fiber guard mprotect failed");
+  stack_ = static_cast<char*>(region) + ps;
+  prepare_context();
+}
+
+fiber::~fiber() {
+  if (stack_ != nullptr) {
+    ::munmap(static_cast<char*>(stack_) - page_size(), stack_size_ + page_size());
+  }
+}
+
+void fiber::prepare_context() {
+  ITYR_CHECK(::getcontext(&ctx_) == 0);
+  ctx_.uc_stack.ss_sp = stack_;
+  ctx_.uc_stack.ss_size = stack_size_;
+  ctx_.uc_link = nullptr;  // fibers never fall off the end (see trampoline)
+  // makecontext only forwards int arguments, so smuggle the 64-bit `this`
+  // through two 32-bit halves (the classic portable-ucontext idiom).
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  ::makecontext(&ctx_, reinterpret_cast<void (*)()>(&fiber::trampoline), 2,
+                static_cast<unsigned>(self & 0xffffffffu),
+                static_cast<unsigned>(self >> 32));
+  done_ = false;
+}
+
+void fiber::trampoline(unsigned lo, unsigned hi) {
+  auto* self = reinterpret_cast<fiber*>(std::uintptr_t{lo} | (std::uintptr_t{hi} << 32));
+  self->fn_();
+  // Entry functions must terminate via an explicit context switch (the
+  // scheduler decides what runs next); falling off the end is a bug.
+  ITYR_DIE("fiber entry function returned without switching away");
+}
+
+void fiber::reset(entry_fn fn) {
+  fn_ = std::move(fn);
+  prepare_context();
+}
+
+std::size_t fiber::live_stack_bytes() const {
+#if defined(__x86_64__)
+  // The live region runs from the saved stack pointer to the top of the
+  // stack; this feeds the migration cost model.
+  const auto sp = static_cast<std::uintptr_t>(ctx_.uc_mcontext.gregs[REG_RSP]);
+  const auto base = reinterpret_cast<std::uintptr_t>(stack_);
+  if (sp >= base && sp < base + stack_size_) {
+    return base + stack_size_ - sp;
+  }
+#endif
+  // Unknown ABI or context not yet saved: conservatively the whole region.
+  return stack_size_;
+}
+
+void fiber_switch(ucontext_t* from, ucontext_t* to) {
+  ITYR_CHECK(::swapcontext(from, to) == 0);
+}
+
+namespace {
+// Scratch context used as the "from" side when a fiber exits: its state is
+// dead, so saving into a throwaway slot is fine and avoids setcontext's
+// inability to report errors.
+ucontext_t g_exit_scratch;
+}  // namespace
+
+void fiber_exit_to(ucontext_t* next) {
+  ITYR_CHECK(::swapcontext(&g_exit_scratch, next) == 0);
+  ITYR_DIE("resumed a dead fiber");
+}
+
+fiber* fiber_pool::acquire(fiber::entry_fn fn) {
+  outstanding_++;
+  if (!free_.empty()) {
+    fiber* f = free_.back().release();
+    free_.pop_back();
+    f->reset(std::move(fn));
+    return f;
+  }
+  return std::make_unique<fiber>(stack_size_, std::move(fn)).release();
+}
+
+void fiber_pool::release(fiber* f) {
+  ITYR_CHECK(outstanding_ > 0);
+  outstanding_--;
+  free_.emplace_back(f);
+}
+
+}  // namespace ityr::sim

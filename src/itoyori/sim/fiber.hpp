@@ -1,0 +1,81 @@
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "itoyori/common/error.hpp"
+
+namespace ityr::sim {
+
+/// A ucontext-based fiber with an mmap'd, guard-paged stack.
+///
+/// Fibers serve two roles in the simulator: (1) each simulated rank's main
+/// context, and (2) the user-level threads of the uni-address tasking layer.
+/// A suspended fiber is a self-contained continuation — handing the pointer
+/// to another rank *is* thread migration (the network cost of copying the
+/// stack is charged separately by the scheduler).
+class fiber {
+public:
+  using entry_fn = std::function<void()>;
+
+  fiber(std::size_t stack_size, entry_fn fn);
+  ~fiber();
+
+  fiber(const fiber&) = delete;
+  fiber& operator=(const fiber&) = delete;
+
+  ucontext_t* context() { return &ctx_; }
+  std::size_t stack_size() const { return stack_size_; }
+  bool done() const { return done_; }
+
+  /// Estimated live stack bytes (for migration cost modelling): the distance
+  /// from the saved stack pointer to the top of the stack region.
+  std::size_t live_stack_bytes() const;
+
+  /// Reinitialize a finished fiber with a new entry (used by the stack pool).
+  void reset(entry_fn fn);
+
+private:
+  static void trampoline(unsigned lo, unsigned hi);
+
+  void prepare_context();
+
+  ucontext_t ctx_{};
+  void* stack_ = nullptr;
+  std::size_t stack_size_ = 0;
+  entry_fn fn_;
+  bool done_ = false;
+
+  friend class fiber_pool;
+  friend void fiber_exit_to(ucontext_t* next);
+};
+
+/// Swap from `from` to `to`. `from` is saved and can be resumed later.
+void fiber_switch(ucontext_t* from, ucontext_t* to);
+
+/// The current fiber terminates; control transfers to `next` and never
+/// returns here.
+void fiber_exit_to(ucontext_t* next);
+
+/// Pool of reusable fibers: ULT spawn/death is on the fork/join fast path,
+/// so stacks are recycled rather than mmap'd per task.
+class fiber_pool {
+public:
+  explicit fiber_pool(std::size_t stack_size) : stack_size_(stack_size) {}
+
+  fiber* acquire(fiber::entry_fn fn);
+  void release(fiber* f);
+
+  std::size_t outstanding() const { return outstanding_; }
+
+private:
+  std::size_t stack_size_;
+  std::vector<std::unique_ptr<fiber>> free_;
+  std::size_t outstanding_ = 0;
+};
+
+}  // namespace ityr::sim

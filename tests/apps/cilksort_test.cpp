@@ -1,0 +1,139 @@
+#include "itoyori/apps/cilksort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "../support/fixture.hpp"
+
+namespace ia = ityr::apps;
+
+namespace {
+
+ityr::options app_opts(int nodes = 2, int rpn = 2) {
+  auto o = ityr::test::tiny_opts(nodes, rpn);
+  o.coll_heap_per_rank = 4 * ityr::common::MiB;
+  o.cache_size = 128 * ityr::common::KiB;
+  return o;
+}
+
+}  // namespace
+
+TEST(CilksortSerial, QuicksortSortsRandom) {
+  std::mt19937_64 gen(1);
+  std::vector<int> v(4097);
+  for (auto& x : v) x = static_cast<int>(gen() % 100000);
+  auto ref = v;
+  ia::detail::quicksort_serial(v.data(), v.size());
+  std::sort(ref.begin(), ref.end());
+  EXPECT_EQ(v, ref);
+}
+
+TEST(CilksortSerial, QuicksortEdgeCases) {
+  // Empty, single, all-equal, already sorted, reverse sorted.
+  std::vector<int> empty;
+  ia::detail::quicksort_serial(empty.data(), 0);
+
+  std::vector<int> one{5};
+  ia::detail::quicksort_serial(one.data(), 1);
+  EXPECT_EQ(one[0], 5);
+
+  std::vector<int> eq(1000, 7);
+  ia::detail::quicksort_serial(eq.data(), eq.size());
+  EXPECT_TRUE(std::all_of(eq.begin(), eq.end(), [](int x) { return x == 7; }));
+
+  std::vector<int> rev(1000);
+  for (int i = 0; i < 1000; i++) rev[static_cast<std::size_t>(i)] = 1000 - i;
+  ia::detail::quicksort_serial(rev.data(), rev.size());
+  EXPECT_TRUE(std::is_sorted(rev.begin(), rev.end()));
+}
+
+TEST(CilksortSerial, MergeInterleaves) {
+  std::vector<int> a{1, 3, 5, 7}, b{2, 4, 6, 8, 10}, d(9);
+  ia::detail::merge_serial(a.data(), a.size(), b.data(), b.size(), d.data());
+  EXPECT_EQ(d, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8, 10}));
+}
+
+TEST(CilksortSerial, MergeEmptySides) {
+  std::vector<int> a{1, 2}, d(2);
+  ia::detail::merge_serial<int>(a.data(), a.size(), nullptr, 0, d.data());
+  EXPECT_EQ(d, a);
+  ia::detail::merge_serial<int>(nullptr, 0, a.data(), a.size(), d.data());
+  EXPECT_EQ(d, a);
+}
+
+class CilksortParam : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(CilksortParam, SortsCorrectly) {
+  const auto [n, cutoff] = GetParam();
+  ityr::runtime rt(app_opts());
+  rt.spmd([&, n = n, cutoff = cutoff] {
+    auto a = ityr::coll_new<std::uint32_t>(n);
+    auto b = ityr::coll_new<std::uint32_t>(n);
+    bool ok = ityr::root_exec([=] {
+      ia::cilksort_generate(a, n, 42, 1024);
+      ia::cilksort(ityr::global_span<std::uint32_t>(a, n),
+                   ityr::global_span<std::uint32_t>(b, n), cutoff);
+      return ia::cilksort_validate(a, n, 42, 1024);
+    });
+    EXPECT_TRUE(ok) << "n=" << n << " cutoff=" << cutoff;
+    ityr::coll_delete(a, n);
+    ityr::coll_delete(b, n);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndCutoffs, CilksortParam,
+    ::testing::Values(std::make_tuple(std::size_t{1000}, std::size_t{64}),
+                      std::make_tuple(std::size_t{4096}, std::size_t{64}),
+                      std::make_tuple(std::size_t{10000}, std::size_t{256}),
+                      std::make_tuple(std::size_t{65536}, std::size_t{1024}),
+                      std::make_tuple(std::size_t{100000}, std::size_t{4096}),
+                      std::make_tuple(std::size_t{12345}, std::size_t{128})));
+
+TEST(Cilksort, WorksUnderEveryCachePolicy) {
+  for (auto policy : {ityr::cache_policy::none, ityr::cache_policy::write_through,
+                      ityr::cache_policy::write_back, ityr::cache_policy::write_back_lazy}) {
+    auto o = app_opts();
+    o.policy = policy;
+    ityr::runtime rt(o);
+    rt.spmd([&] {
+      const std::size_t n = 20000;
+      auto a = ityr::coll_new<std::uint32_t>(n);
+      auto b = ityr::coll_new<std::uint32_t>(n);
+      bool ok = ityr::root_exec([=] {
+        ia::cilksort_generate(a, n, 7, 512);
+        ia::cilksort(ityr::global_span<std::uint32_t>(a, n),
+                     ityr::global_span<std::uint32_t>(b, n), 512);
+        return ia::cilksort_validate(a, n, 7, 512);
+      });
+      EXPECT_TRUE(ok) << "policy=" << ityr::common::to_string(policy);
+      ityr::coll_delete(a, n);
+      ityr::coll_delete(b, n);
+    });
+  }
+}
+
+TEST(Cilksort, LargerThanCacheWorkingSet) {
+  // 1M uint32 = 4 MB per buffer; cache is 128 KiB per rank: heavy eviction.
+  auto o = app_opts(2, 2);
+  o.coll_heap_per_rank = 8 * ityr::common::MiB;
+  ityr::runtime rt(o);
+  rt.spmd([&] {
+    const std::size_t n = 1 << 20;
+    auto a = ityr::coll_new<std::uint32_t>(n);
+    auto b = ityr::coll_new<std::uint32_t>(n);
+    bool ok = ityr::root_exec([=] {
+      ia::cilksort_generate(a, n, 3, 8192);
+      ia::cilksort(ityr::global_span<std::uint32_t>(a, n), ityr::global_span<std::uint32_t>(b, n),
+                   16384);
+      return ia::cilksort_validate(a, n, 3, 8192);
+    });
+    EXPECT_TRUE(ok);
+    ityr::coll_delete(a, n);
+    ityr::coll_delete(b, n);
+  });
+  EXPECT_GT(rt.pgas().aggregate_stats().cache_evictions, 0u);
+}

@@ -1,0 +1,183 @@
+#include "itoyori/apps/fmm/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace f = ityr::apps::fmm;
+
+namespace {
+
+struct cluster {
+  std::vector<f::body> bodies;
+  f::vec3 center;
+};
+
+cluster make_cluster(f::vec3 center, f::real_t radius, std::size_t n, unsigned seed) {
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<double> u(-radius, radius);
+  cluster c{{}, center};
+  c.bodies.resize(n);
+  for (auto& b : c.bodies) {
+    b.X = center + f::vec3{u(gen), u(gen), u(gen)};
+    b.q = u(gen) / radius + 1.0;
+  }
+  return c;
+}
+
+double pot_rel_err(const std::vector<f::body_acc>& got, const std::vector<f::body_acc>& want) {
+  double e = 0, r = 0;
+  for (std::size_t i = 0; i < got.size(); i++) {
+    e += (got[i].p - want[i].p) * (got[i].p - want[i].p);
+    r += want[i].p * want[i].p;
+  }
+  return std::sqrt(e / (r + 1e-300));
+}
+
+double grad_rel_err(const std::vector<f::body_acc>& got, const std::vector<f::body_acc>& want) {
+  double e = 0, r = 0;
+  for (std::size_t i = 0; i < got.size(); i++) {
+    e += norm2(got[i].dphi - want[i].dphi);
+    r += norm2(want[i].dphi);
+  }
+  return std::sqrt(e / (r + 1e-300));
+}
+
+}  // namespace
+
+TEST(FmmGeometry, Cart2SphRoundTrip) {
+  f::real_t r, theta, phi;
+  f::cart2sph({1, 0, 0}, r, theta, phi);
+  EXPECT_NEAR(r, 1.0, 1e-12);
+  EXPECT_NEAR(theta, M_PI / 2, 1e-12);
+  EXPECT_NEAR(phi, 0.0, 1e-12);
+  f::cart2sph({0, 0, 2}, r, theta, phi);
+  EXPECT_NEAR(theta, 0.0, 1e-12);
+  EXPECT_NEAR(r, 2.0, 1e-12);
+}
+
+TEST(FmmGeometry, MortonKeysPreserveLocality) {
+  const f::vec3 c{0, 0, 0};
+  const f::real_t R = 1.0;
+  auto k1 = f::morton_key({-0.9, -0.9, -0.9}, c, R);
+  auto k2 = f::morton_key({-0.89, -0.9, -0.9}, c, R);
+  auto k3 = f::morton_key({0.9, 0.9, 0.9}, c, R);
+  EXPECT_LT(k1, k3);
+  EXPECT_LT(std::max(k1, k2) - std::min(k1, k2), k3 - k1);
+  // Octant extraction at the top level.
+  EXPECT_EQ(f::key_octant(f::morton_key({-0.5, -0.5, -0.5}, c, R), 0), 0);
+  EXPECT_EQ(f::key_octant(f::morton_key({0.5, 0.5, 0.5}, c, R), 0), 7);
+  EXPECT_EQ(f::key_octant(f::morton_key({0.5, -0.5, -0.5}, c, R), 0), 4);
+}
+
+TEST(FmmKernels, P2PPotentialAndGradient) {
+  std::vector<f::body> src{{{0, 0, 0}, 2.0}};
+  std::vector<f::body> tgt{{{3, 0, 0}, 1.0}};
+  std::vector<f::body_acc> acc(1);
+  f::p2p(tgt.data(), 1, acc.data(), src.data(), 1);
+  EXPECT_NEAR(acc[0].p, 2.0 / 3.0, 1e-12);
+  // grad(q/r) = -q x / r^3
+  EXPECT_NEAR(acc[0].dphi.x, -2.0 * 3 / 27, 1e-12);
+  EXPECT_NEAR(acc[0].dphi.y, 0, 1e-12);
+}
+
+TEST(FmmKernels, P2PSkipsSelfInteraction) {
+  std::vector<f::body> b{{{1, 1, 1}, 1.0}, {{2, 2, 2}, 1.0}};
+  std::vector<f::body_acc> acc(2);
+  f::p2p(b.data(), 2, acc.data(), b.data(), 2);
+  const double d = std::sqrt(3.0);
+  EXPECT_NEAR(acc[0].p, 1.0 / d, 1e-12);
+  EXPECT_NEAR(acc[1].p, 1.0 / d, 1e-12);
+}
+
+TEST(FmmKernels, P2MM2PMatchesDirectFarField) {
+  auto src = make_cluster({0, 0, 0}, 0.3, 50, 1);
+  auto tgt = make_cluster({5, 4, 3}, 0.3, 20, 2);
+
+  std::vector<f::body_acc> exact(20), approx(20);
+  f::p2p(tgt.bodies.data(), 20, exact.data(), src.bodies.data(), 50);
+
+  f::complex_t M[f::kNTerm] = {};
+  f::p2m(src.bodies.data(), 50, src.center, M);
+  f::m2p(M, src.center, tgt.bodies.data(), 20, approx.data());
+  EXPECT_LT(pot_rel_err(approx, exact), 1e-4);
+}
+
+TEST(FmmKernels, M2MPreservesFarField) {
+  auto src = make_cluster({0.1, -0.1, 0.2}, 0.2, 30, 3);
+  auto tgt = make_cluster({6, 5, 4}, 0.2, 10, 4);
+
+  f::complex_t Mc[f::kNTerm] = {}, Mp[f::kNTerm] = {};
+  f::p2m(src.bodies.data(), 30, src.center, Mc);
+  const f::vec3 parent_center{0, 0, 0};
+  f::m2m(Mc, src.center, parent_center, Mp);
+
+  std::vector<f::body_acc> via_child(10), via_parent(10);
+  f::m2p(Mc, src.center, tgt.bodies.data(), 10, via_child.data());
+  f::m2p(Mp, parent_center, tgt.bodies.data(), 10, via_parent.data());
+  EXPECT_LT(pot_rel_err(via_parent, via_child), 1e-4);
+}
+
+TEST(FmmKernels, M2LL2PMatchesDirect) {
+  auto src = make_cluster({0, 0, 0}, 0.25, 40, 5);
+  auto tgt = make_cluster({4, 3, 2}, 0.25, 15, 6);
+
+  std::vector<f::body_acc> exact(15), approx(15);
+  f::p2p(tgt.bodies.data(), 15, exact.data(), src.bodies.data(), 40);
+
+  f::complex_t M[f::kNTerm] = {}, L[f::kNTerm] = {};
+  f::p2m(src.bodies.data(), 40, src.center, M);
+  f::m2l(M, src.center, tgt.center, L);
+  f::l2p(L, tgt.center, tgt.bodies.data(), 15, approx.data());
+
+  EXPECT_LT(pot_rel_err(approx, exact), 1e-3);
+  EXPECT_LT(grad_rel_err(approx, exact), 1e-2);
+}
+
+TEST(FmmKernels, L2LPreservesLocalField) {
+  auto src = make_cluster({0, 0, 0}, 0.25, 40, 7);
+  auto tgt = make_cluster({4.2, 3.1, 2.4}, 0.15, 12, 8);
+
+  f::complex_t M[f::kNTerm] = {}, Lp[f::kNTerm] = {}, Lc[f::kNTerm] = {};
+  f::p2m(src.bodies.data(), 40, src.center, M);
+  const f::vec3 parent_center{4.0, 3.0, 2.2};
+  f::m2l(M, src.center, parent_center, Lp);
+  f::l2l(Lp, parent_center, tgt.center, Lc);
+
+  std::vector<f::body_acc> via_parent(12), via_child(12);
+  f::l2p(Lp, parent_center, tgt.bodies.data(), 12, via_parent.data());
+  f::l2p(Lc, tgt.center, tgt.bodies.data(), 12, via_child.data());
+  EXPECT_LT(pot_rel_err(via_child, via_parent), 1e-3);
+}
+
+TEST(FmmKernels, AccuracyImprovesWithDistance) {
+  auto src = make_cluster({0, 0, 0}, 0.3, 30, 9);
+  double prev_err = 1.0;
+  for (double dist : {2.0, 4.0, 8.0}) {
+    auto tgt = make_cluster({dist, 0.2, 0.1}, 0.1, 10, 10);
+    std::vector<f::body_acc> exact(10), approx(10);
+    f::p2p(tgt.bodies.data(), 10, exact.data(), src.bodies.data(), 30);
+    f::complex_t M[f::kNTerm] = {};
+    f::p2m(src.bodies.data(), 30, src.center, M);
+    f::m2p(M, src.center, tgt.bodies.data(), 10, approx.data());
+    const double err = pot_rel_err(approx, exact);
+    EXPECT_LT(err, prev_err) << "dist=" << dist;
+    prev_err = err;
+  }
+}
+
+TEST(FmmKernels, MultipoleOfPointChargeAtCenter) {
+  // A single unit charge at the expansion center: M[0] = q, higher terms ~ 0,
+  // and the far potential is q/r.
+  std::vector<f::body> src{{{0, 0, 0}, 1.0}};
+  f::complex_t M[f::kNTerm] = {};
+  f::p2m(src.data(), 1, {0, 0, 0}, M);
+  EXPECT_NEAR(std::abs(M[0]), 1.0, 1e-12);
+  for (int i = 1; i < f::kNTerm; i++) EXPECT_NEAR(std::abs(M[i]), 0.0, 1e-12);
+
+  std::vector<f::body> tgt{{{0, 0, 7}, 1.0}};
+  std::vector<f::body_acc> acc(1);
+  f::m2p(M, {0, 0, 0}, tgt.data(), 1, acc.data());
+  EXPECT_NEAR(acc[0].p, 1.0 / 7.0, 1e-9);
+}

@@ -1,0 +1,215 @@
+#include "itoyori/apps/fmm/fmm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/fixture.hpp"
+
+namespace f = ityr::apps::fmm;
+
+namespace {
+
+ityr::options fmm_opts(int nodes = 2, int rpn = 2) {
+  auto o = ityr::test::tiny_opts(nodes, rpn);
+  o.coll_heap_per_rank = 16 * ityr::common::MiB;
+  o.cache_size = 512 * ityr::common::KiB;
+  return o;
+}
+
+f::fmm_config small_cfg() {
+  f::fmm_config cfg;
+  cfg.theta = 0.5;
+  cfg.ncrit = 16;
+  cfg.nspawn = 64;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(FmmTree, BuildCoversAllBodies) {
+  ityr::runtime rt(fmm_opts());
+  rt.spmd([&] {
+    const std::size_t n = 2000;
+    auto bodies = ityr::coll_new<f::body>(n);
+    ityr::root_exec([=] { f::fmm_generate_bodies(bodies, n, 1, 256); });
+    auto cfg = small_cfg();
+    f::fmm_tree t = f::fmm_build_tree(bodies, n, cfg);
+
+    EXPECT_GT(t.n_cells, 1u);
+    if (ityr::my_rank() == 0) {
+      // Root covers everything; children partition each parent's bodies.
+      auto root = ityr::get(t.cells);
+      EXPECT_EQ(root.n_bodies, n);
+      std::uint64_t leaf_bodies = 0;
+      std::uint64_t max_leaf = 0;
+      for (std::size_t c = 0; c < t.n_cells; c++) {
+        auto m = ityr::get(t.cells + static_cast<std::ptrdiff_t>(c));
+        if (m.is_leaf()) {
+          leaf_bodies += m.n_bodies;
+          max_leaf = std::max<std::uint64_t>(max_leaf, m.n_bodies);
+        } else {
+          // Children cover the parent exactly and contiguously.
+          std::uint32_t covered = 0;
+          for (std::int32_t k = m.child_begin; k < m.child_begin + m.n_children; k++) {
+            covered += ityr::get(t.cells + k).n_bodies;
+          }
+          EXPECT_EQ(covered, m.n_bodies);
+        }
+      }
+      EXPECT_EQ(leaf_bodies, n);
+      EXPECT_LE(max_leaf, cfg.ncrit);
+    }
+    ityr::barrier();
+    f::fmm_destroy_tree(t);
+    ityr::coll_delete(bodies, n);
+  });
+}
+
+TEST(FmmTree, BodiesSortedByMortonWithinTree) {
+  ityr::runtime rt(fmm_opts(1, 2));
+  rt.spmd([&] {
+    const std::size_t n = 1000;
+    auto bodies = ityr::coll_new<f::body>(n);
+    ityr::root_exec([=] { f::fmm_generate_bodies(bodies, n, 2, 256); });
+    auto cfg = small_cfg();
+    f::fmm_tree t = f::fmm_build_tree(bodies, n, cfg);
+    if (ityr::my_rank() == 0) {
+      // Every leaf's bodies must lie inside the leaf's cube.
+      for (std::size_t c = 0; c < t.n_cells; c++) {
+        auto m = ityr::get(t.cells + static_cast<std::ptrdiff_t>(c));
+        if (!m.is_leaf()) continue;
+        for (std::uint32_t b = 0; b < m.n_bodies; b++) {
+          auto body = ityr::get(t.bodies + static_cast<std::ptrdiff_t>(m.body_offset + b));
+          EXPECT_LE(std::abs(body.X.x - m.X.x), m.R * 1.0001);
+          EXPECT_LE(std::abs(body.X.y - m.X.y), m.R * 1.0001);
+          EXPECT_LE(std::abs(body.X.z - m.X.z), m.R * 1.0001);
+        }
+      }
+    }
+    ityr::barrier();
+    f::fmm_destroy_tree(t);
+    ityr::coll_delete(bodies, n);
+  });
+}
+
+TEST(FmmSolve, MatchesDirectSummation) {
+  ityr::runtime rt(fmm_opts(2, 2));
+  rt.spmd([&] {
+    const std::size_t n = 3000;
+    auto bodies = ityr::coll_new<f::body>(n);
+    ityr::root_exec([=] { f::fmm_generate_bodies(bodies, n, 3, 256); });
+    auto cfg = small_cfg();
+    f::fmm_tree t = f::fmm_build_tree(bodies, n, cfg);
+    auto err = ityr::root_exec([=] {
+      f::fmm_solve(t);
+      return f::fmm_check(t, 100);
+    });
+    EXPECT_LT(err.pot, 2e-3) << "potential error too large";
+    EXPECT_LT(err.grad, 5e-2) << "gradient error too large";
+    f::fmm_destroy_tree(t);
+    ityr::coll_delete(bodies, n);
+  });
+}
+
+TEST(FmmSolve, TighterThetaIsMoreAccurate) {
+  ityr::runtime rt(fmm_opts(1, 2));
+  rt.spmd([&] {
+    const std::size_t n = 1500;
+    auto bodies = ityr::coll_new<f::body>(n);
+    ityr::root_exec([=] { f::fmm_generate_bodies(bodies, n, 4, 256); });
+
+    double errs[2];
+    int i = 0;
+    for (double theta : {0.9, 0.35}) {
+      auto cfg = small_cfg();
+      cfg.theta = theta;
+      f::fmm_tree t = f::fmm_build_tree(bodies, n, cfg);
+      auto err = ityr::root_exec([=] {
+        f::fmm_solve(t);
+        return f::fmm_check(t, 64);
+      });
+      errs[i++] = err.pot;
+      f::fmm_destroy_tree(t);
+    }
+    EXPECT_LT(errs[1], errs[0]);
+    ityr::coll_delete(bodies, n);
+  });
+}
+
+TEST(FmmSolve, RepeatedSolvesAreIdempotent) {
+  // acc is zeroed at the start of fmm_solve, but M/L accumulate; spell out
+  // that a fresh tree gives the same answer (catches missing resets).
+  ityr::runtime rt(fmm_opts(1, 2));
+  rt.spmd([&] {
+    const std::size_t n = 800;
+    auto bodies = ityr::coll_new<f::body>(n);
+    ityr::root_exec([=] { f::fmm_generate_bodies(bodies, n, 5, 256); });
+    auto cfg = small_cfg();
+
+    double pot1 = 0, pot2 = 0;
+    {
+      f::fmm_tree t = f::fmm_build_tree(bodies, n, cfg);
+      pot1 = ityr::root_exec([=] {
+        f::fmm_solve(t);
+        return ityr::get(t.acc).p;
+      });
+      f::fmm_destroy_tree(t);
+    }
+    {
+      f::fmm_tree t = f::fmm_build_tree(bodies, n, cfg);
+      pot2 = ityr::root_exec([=] {
+        f::fmm_solve(t);
+        return ityr::get(t.acc).p;
+      });
+      f::fmm_destroy_tree(t);
+    }
+    EXPECT_DOUBLE_EQ(pot1, pot2);
+    ityr::coll_delete(bodies, n);
+  });
+}
+
+TEST(FmmSolve, WorksUnderEveryCachePolicy) {
+  for (auto policy : {ityr::cache_policy::none, ityr::cache_policy::write_through,
+                      ityr::cache_policy::write_back, ityr::cache_policy::write_back_lazy}) {
+    auto o = fmm_opts(2, 1);
+    o.policy = policy;
+    ityr::runtime rt(o);
+    rt.spmd([&] {
+      const std::size_t n = 1200;
+      auto bodies = ityr::coll_new<f::body>(n);
+      ityr::root_exec([=] { f::fmm_generate_bodies(bodies, n, 6, 256); });
+      auto cfg = small_cfg();
+      f::fmm_tree t = f::fmm_build_tree(bodies, n, cfg);
+      auto err = ityr::root_exec([=] {
+        f::fmm_solve(t);
+        return f::fmm_check(t, 50);
+      });
+      EXPECT_LT(err.pot, 2e-3) << "policy=" << ityr::common::to_string(policy);
+      f::fmm_destroy_tree(t);
+      ityr::coll_delete(bodies, n);
+    });
+  }
+}
+
+TEST(FmmStatic, MatchesDirectSummation) {
+  ityr::runtime rt(fmm_opts(2, 2));
+  rt.spmd([&] {
+    const std::size_t n = 2000;
+    auto bodies = ityr::coll_new<f::body>(n);
+    ityr::root_exec([=] { f::fmm_generate_bodies(bodies, n, 7, 256); });
+    auto cfg = small_cfg();
+    f::fmm_tree t = f::fmm_build_tree(bodies, n, cfg);
+
+    auto res = f::fmm_solve_static(t);
+    ityr::barrier();
+    if (ityr::my_rank() == 0) {
+      auto err = f::fmm_check(t, 64);
+      EXPECT_LT(err.pot, 2e-3);
+      EXPECT_GE(res.idleness(), 0.0);
+      EXPECT_LT(res.idleness(), 1.0);
+      EXPECT_EQ(res.busy.size(), static_cast<std::size_t>(ityr::n_ranks()));
+    }
+    ityr::barrier();
+    f::fmm_destroy_tree(t);
+    ityr::coll_delete(bodies, n);
+  });
+}

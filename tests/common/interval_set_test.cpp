@@ -1,0 +1,244 @@
+#include "itoyori/common/interval_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace ic = ityr::common;
+
+using ic::interval;
+using ic::interval_set;
+
+TEST(IntervalSet, StartsEmpty) {
+  interval_set s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(IntervalSet, AddSingle) {
+  interval_set s;
+  s.add({10, 20});
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.size(), 10u);
+  EXPECT_TRUE(s.contains({10, 20}));
+  EXPECT_TRUE(s.contains({12, 15}));
+  EXPECT_FALSE(s.contains({9, 11}));
+  EXPECT_FALSE(s.contains({19, 21}));
+}
+
+TEST(IntervalSet, AddEmptyIsNoop) {
+  interval_set s;
+  s.add({5, 5});
+  EXPECT_TRUE(s.empty());
+  s.add({7, 3});
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, CoalescesAdjacent) {
+  interval_set s;
+  s.add({0, 10});
+  s.add({10, 20});
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_TRUE(s.contains({0, 20}));
+}
+
+TEST(IntervalSet, CoalescesOverlapping) {
+  interval_set s;
+  s.add({0, 15});
+  s.add({10, 30});
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.size(), 30u);
+}
+
+TEST(IntervalSet, AddBridgesGap) {
+  interval_set s;
+  s.add({0, 10});
+  s.add({20, 30});
+  EXPECT_EQ(s.count(), 2u);
+  s.add({5, 25});
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_TRUE(s.contains({0, 30}));
+}
+
+TEST(IntervalSet, AddAbsorbsManyRuns) {
+  interval_set s;
+  for (std::uint64_t i = 0; i < 10; i++) s.add({i * 10, i * 10 + 5});
+  EXPECT_EQ(s.count(), 10u);
+  s.add({0, 100});
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.size(), 100u);
+}
+
+TEST(IntervalSet, SubtractMiddleSplits) {
+  interval_set s;
+  s.add({0, 30});
+  s.subtract({10, 20});
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_TRUE(s.contains({0, 10}));
+  EXPECT_TRUE(s.contains({20, 30}));
+  EXPECT_FALSE(s.overlaps({10, 20}));
+}
+
+TEST(IntervalSet, SubtractHeadAndTail) {
+  interval_set s;
+  s.add({10, 30});
+  s.subtract({0, 15});
+  EXPECT_TRUE(s.contains({15, 30}));
+  EXPECT_FALSE(s.overlaps({0, 15}));
+  s.subtract({25, 40});
+  EXPECT_TRUE(s.contains({15, 25}));
+  EXPECT_EQ(s.size(), 10u);
+}
+
+TEST(IntervalSet, SubtractSpanningMultipleRuns) {
+  interval_set s;
+  s.add({0, 10});
+  s.add({20, 30});
+  s.add({40, 50});
+  s.subtract({5, 45});
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_TRUE(s.contains({0, 5}));
+  EXPECT_TRUE(s.contains({45, 50}));
+}
+
+TEST(IntervalSet, SubtractExact) {
+  interval_set s;
+  s.add({10, 20});
+  s.subtract({10, 20});
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, SubtractFromEmpty) {
+  interval_set s;
+  s.subtract({0, 100});
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, OverlapsPartial) {
+  interval_set s;
+  s.add({10, 20});
+  EXPECT_TRUE(s.overlaps({15, 25}));
+  EXPECT_TRUE(s.overlaps({5, 11}));
+  EXPECT_FALSE(s.overlaps({20, 30}));  // half-open: 20 not included
+  EXPECT_FALSE(s.overlaps({0, 10}));
+}
+
+TEST(IntervalSet, MissingOfDisjointQuery) {
+  interval_set s;
+  s.add({10, 20});
+  auto m = s.missing({30, 40});
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0], (interval{30, 40}));
+}
+
+TEST(IntervalSet, MissingFullyCovered) {
+  interval_set s;
+  s.add({0, 100});
+  EXPECT_TRUE(s.missing({10, 90}).empty());
+}
+
+TEST(IntervalSet, MissingWithHoles) {
+  interval_set s;
+  s.add({10, 20});
+  s.add({30, 40});
+  auto m = s.missing({0, 50});
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_EQ(m[0], (interval{0, 10}));
+  EXPECT_EQ(m[1], (interval{20, 30}));
+  EXPECT_EQ(m[2], (interval{40, 50}));
+}
+
+TEST(IntervalSet, MissingClipsToQuery) {
+  interval_set s;
+  s.add({10, 20});
+  auto m = s.missing({15, 35});
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0], (interval{20, 35}));
+}
+
+TEST(IntervalSet, OverlappingPieces) {
+  interval_set s;
+  s.add({10, 20});
+  s.add({30, 40});
+  auto o = s.overlapping({15, 35});
+  ASSERT_EQ(o.size(), 2u);
+  EXPECT_EQ(o[0], (interval{15, 20}));
+  EXPECT_EQ(o[1], (interval{30, 35}));
+}
+
+TEST(IntervalSet, ClearResets) {
+  interval_set s;
+  s.add({0, 10});
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.overlaps({0, 10}));
+}
+
+// Property test: interval_set must agree with a brute-force bitmap model
+// under random add/subtract sequences.
+class IntervalSetProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IntervalSetProperty, MatchesBitmapModel) {
+  constexpr std::uint64_t kUniverse = 256;
+  std::mt19937_64 gen(GetParam());
+  std::uniform_int_distribution<std::uint64_t> pos(0, kUniverse);
+
+  interval_set s;
+  std::vector<bool> model(kUniverse, false);
+
+  for (int step = 0; step < 400; step++) {
+    std::uint64_t a = pos(gen), b = pos(gen);
+    if (a > b) std::swap(a, b);
+    const bool do_add = gen() % 2 == 0;
+    if (do_add) {
+      s.add({a, b});
+      for (auto i = a; i < b; i++) model[i] = true;
+    } else {
+      s.subtract({a, b});
+      for (auto i = a; i < b; i++) model[i] = false;
+    }
+
+    // Sizes agree.
+    const auto model_size =
+        static_cast<std::uint64_t>(std::count(model.begin(), model.end(), true));
+    ASSERT_EQ(s.size(), model_size) << "step " << step;
+
+    // Random containment probes agree.
+    for (int probe = 0; probe < 8; probe++) {
+      std::uint64_t x = pos(gen), y = pos(gen);
+      if (x > y) std::swap(x, y);
+      bool all = true, any = false;
+      for (auto i = x; i < y; i++) {
+        all = all && model[i];
+        any = any || model[i];
+      }
+      ASSERT_EQ(s.contains({x, y}), all || x == y);
+      ASSERT_EQ(s.overlaps({x, y}), any);
+
+      // missing() pieces exactly cover the false bits of the query.
+      std::uint64_t missing_bytes = 0;
+      for (const auto& iv : s.missing({x, y})) {
+        ASSERT_LE(x, iv.begin);
+        ASSERT_LE(iv.end, y);
+        ASSERT_LT(iv.begin, iv.end);
+        for (auto i = iv.begin; i < iv.end; i++) ASSERT_FALSE(model[i]);
+        missing_bytes += iv.size();
+      }
+      std::uint64_t expect_missing = 0;
+      for (auto i = x; i < y; i++) expect_missing += model[i] ? 0 : 1;
+      ASSERT_EQ(missing_bytes, expect_missing);
+    }
+
+    // Runs are disjoint, sorted, and coalesced.
+    auto v = s.to_vector();
+    for (std::size_t i = 1; i < v.size(); i++) {
+      ASSERT_LT(v[i - 1].end, v[i].begin);  // strictly separated (coalesced)
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetProperty,
+                         ::testing::Values(1u, 2u, 3u, 7u, 1234u, 99999u));

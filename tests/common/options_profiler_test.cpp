@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "itoyori/common/options.hpp"
+#include "itoyori/common/profiler.hpp"
+
+namespace ic = ityr::common;
+
+TEST(Options, DefaultsAreSane) {
+  ic::options o;
+  EXPECT_EQ(o.n_ranks(), o.n_nodes * o.ranks_per_node);
+  EXPECT_GT(o.block_size, 0u);
+  EXPECT_EQ(o.block_size % o.sub_block_size, 0u);
+  EXPECT_GE(o.cache_size, o.block_size);
+  EXPECT_EQ(o.policy, ic::cache_policy::write_back_lazy);
+}
+
+TEST(Options, FromEnvOverrides) {
+  ::setenv("ITYR_N_NODES", "7", 1);
+  ::setenv("ITYR_RANKS_PER_NODE", "3", 1);
+  ::setenv("ITYR_POLICY", "write_through", 1);
+  ::setenv("ITYR_CACHE_SIZE", "1048576", 1);
+  ::setenv("ITYR_DETERMINISTIC", "1", 1);
+  ::setenv("ITYR_SEED", "999", 1);
+  auto o = ic::options::from_env();
+  EXPECT_EQ(o.n_nodes, 7);
+  EXPECT_EQ(o.ranks_per_node, 3);
+  EXPECT_EQ(o.n_ranks(), 21);
+  EXPECT_EQ(o.policy, ic::cache_policy::write_through);
+  EXPECT_EQ(o.cache_size, 1048576u);
+  EXPECT_TRUE(o.deterministic);
+  EXPECT_EQ(o.seed, 999u);
+  ::unsetenv("ITYR_N_NODES");
+  ::unsetenv("ITYR_RANKS_PER_NODE");
+  ::unsetenv("ITYR_POLICY");
+  ::unsetenv("ITYR_CACHE_SIZE");
+  ::unsetenv("ITYR_DETERMINISTIC");
+  ::unsetenv("ITYR_SEED");
+}
+
+TEST(Options, BadPolicyStringThrows) {
+  EXPECT_THROW(ic::cache_policy_from_string("bogus"), ic::api_error);
+}
+
+TEST(Options, PolicyRoundTrip) {
+  for (auto p : {ic::cache_policy::none, ic::cache_policy::write_through,
+                 ic::cache_policy::write_back, ic::cache_policy::write_back_lazy}) {
+    EXPECT_EQ(ic::cache_policy_from_string(ic::to_string(p)), p);
+  }
+}
+
+namespace {
+
+/// Profiler harness with a hand-cranked clock.
+struct prof_fixture {
+  double now = 0;
+  int rank = 0;
+  ic::profiler prof;
+
+  prof_fixture() {
+    prof.configure(
+        2, [this] { return now; }, [this] { return rank; });
+    prof.set_enabled(true);
+  }
+};
+
+}  // namespace
+
+TEST(Profiler, SimpleScopeAttribution) {
+  prof_fixture f;
+  f.prof.begin(ic::prof_event::checkout);
+  f.now = 5;
+  f.prof.end(ic::prof_event::checkout);
+  EXPECT_DOUBLE_EQ(f.prof.accumulated(0, ic::prof_event::checkout), 5);
+  EXPECT_DOUBLE_EQ(f.prof.accumulated(1, ic::prof_event::checkout), 0);
+}
+
+TEST(Profiler, NestedScopesAreExclusive) {
+  prof_fixture f;
+  f.prof.begin(ic::prof_event::checkout);  // t=0
+  f.now = 1;
+  f.prof.begin(ic::prof_event::get);  // nested
+  f.now = 4;
+  f.prof.end(ic::prof_event::get);  // get self = 3
+  f.now = 6;
+  f.prof.end(ic::prof_event::checkout);  // checkout self = 6 - 3 = 3
+  EXPECT_DOUBLE_EQ(f.prof.total(ic::prof_event::get), 3);
+  EXPECT_DOUBLE_EQ(f.prof.total(ic::prof_event::checkout), 3);
+  EXPECT_DOUBLE_EQ(f.prof.total_all_events(), 6);
+}
+
+TEST(Profiler, SiblingScopesAccumulate) {
+  prof_fixture f;
+  for (int i = 0; i < 3; i++) {
+    f.prof.begin(ic::prof_event::release);
+    f.now += 2;
+    f.prof.end(ic::prof_event::release);
+    f.now += 1;  // unattributed gap
+  }
+  EXPECT_DOUBLE_EQ(f.prof.total(ic::prof_event::release), 6);
+}
+
+TEST(Profiler, PerRankSeparation) {
+  prof_fixture f;
+  f.prof.begin(ic::prof_event::steal);
+  f.now = 2;
+  f.prof.end(ic::prof_event::steal);
+  f.rank = 1;
+  f.prof.begin(ic::prof_event::steal);
+  f.now = 7;
+  f.prof.end(ic::prof_event::steal);
+  EXPECT_DOUBLE_EQ(f.prof.accumulated(0, ic::prof_event::steal), 2);
+  EXPECT_DOUBLE_EQ(f.prof.accumulated(1, ic::prof_event::steal), 5);
+  EXPECT_DOUBLE_EQ(f.prof.total(ic::prof_event::steal), 7);
+}
+
+TEST(Profiler, DisabledProfilerIsFree) {
+  prof_fixture f;
+  f.prof.set_enabled(false);
+  f.prof.begin(ic::prof_event::acquire);
+  f.now = 100;
+  f.prof.end(ic::prof_event::acquire);
+  EXPECT_DOUBLE_EQ(f.prof.total(ic::prof_event::acquire), 0);
+}
+
+TEST(Profiler, ResetClearsAccumulators) {
+  prof_fixture f;
+  f.prof.begin(ic::prof_event::checkin);
+  f.now = 3;
+  f.prof.end(ic::prof_event::checkin);
+  f.prof.reset();
+  EXPECT_DOUBLE_EQ(f.prof.total_all_events(), 0);
+}
+
+TEST(Profiler, MaybeScopeWithNull) {
+  // Must be safe and a no-op with a null profiler.
+  { ic::profiler::maybe_scope sc(nullptr, ic::prof_event::get); }
+  SUCCEED();
+}

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "itoyori/common/lru_list.hpp"
+#include "itoyori/common/rng.hpp"
+
+namespace ic = ityr::common;
+
+TEST(Rng, DeterministicForSameSeed) {
+  ic::xoshiro256ss a(123), b(123);
+  for (int i = 0; i < 100; i++) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  ic::xoshiro256ss a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; i++) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  ic::xoshiro256ss g(7);
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_LT(g.below(10), 10u);
+    EXPECT_EQ(g.below(1), 0u);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  ic::xoshiro256ss g(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; i++) seen.insert(g.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  ic::xoshiro256ss g(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; i++) {
+    double u = g.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+namespace {
+struct item : ic::lru_hook {
+  explicit item(int v) : value(v) {}
+  int value;
+};
+}  // namespace
+
+TEST(LruList, PushAndEvictOrder) {
+  ic::lru_list l;
+  item a(1), b(2), c(3);
+  l.push_back(a);
+  l.push_back(b);
+  l.push_back(c);
+  EXPECT_EQ(l.size(), 3u);
+  EXPECT_EQ(static_cast<item*>(l.lru())->value, 1);
+}
+
+TEST(LruList, TouchMovesToMru) {
+  ic::lru_list l;
+  item a(1), b(2), c(3);
+  l.push_back(a);
+  l.push_back(b);
+  l.push_back(c);
+  l.touch(a);
+  EXPECT_EQ(static_cast<item*>(l.lru())->value, 2);
+  l.touch(b);
+  EXPECT_EQ(static_cast<item*>(l.lru())->value, 3);
+}
+
+TEST(LruList, EraseUnlinks) {
+  ic::lru_list l;
+  item a(1), b(2);
+  l.push_back(a);
+  l.push_back(b);
+  l.erase(a);
+  EXPECT_FALSE(a.linked());
+  EXPECT_EQ(l.size(), 1u);
+  EXPECT_EQ(static_cast<item*>(l.lru())->value, 2);
+  l.erase(b);
+  EXPECT_TRUE(l.empty());
+  EXPECT_EQ(l.lru(), nullptr);
+}
+
+TEST(LruList, FindFromLruScansInOrder) {
+  ic::lru_list l;
+  item a(1), b(2), c(3);
+  l.push_back(a);
+  l.push_back(b);
+  l.push_back(c);
+  std::vector<int> order;
+  l.find_from_lru([&](ic::lru_hook& h) {
+    order.push_back(static_cast<item&>(h).value);
+    return false;
+  });
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+
+  auto* hit = l.find_from_lru([](ic::lru_hook& h) { return static_cast<item&>(h).value == 2; });
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(static_cast<item*>(hit)->value, 2);
+}

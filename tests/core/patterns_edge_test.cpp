@@ -1,0 +1,177 @@
+// Edge cases of the range patterns: empty ranges, grain >= n, grain = 1,
+// single elements, and misaligned spans crossing block boundaries.
+
+#include <gtest/gtest.h>
+
+#include "../support/fixture.hpp"
+#include "itoyori/core/ityr.hpp"
+
+namespace {
+
+ityr::options opts() {
+  auto o = ityr::test::tiny_opts(2, 2);
+  o.coll_heap_per_rank = 1 * ityr::common::MiB;
+  return o;
+}
+
+}  // namespace
+
+TEST(PatternsEdge, EmptyRangeIsNoop) {
+  ityr::runtime rt(opts());
+  rt.spmd([&] {
+    auto a = ityr::coll_new<int>(16);
+    ityr::root_exec([=] {
+      ityr::parallel_for_each(a, 0, 4, ityr::access_mode::write,
+                              [](int&, std::size_t) { FAIL() << "must not be called"; });
+      long s = ityr::parallel_reduce(
+          a, 0, 4, -7L, [](int v) { return static_cast<long>(v); },
+          [](long x, long y) { return x + y; });
+      EXPECT_EQ(s, -7);  // init returned untouched
+    });
+    ityr::coll_delete(a, 16);
+  });
+}
+
+TEST(PatternsEdge, SingleElement) {
+  ityr::runtime rt(opts());
+  rt.spmd([&] {
+    auto a = ityr::coll_new<int>(1);
+    ityr::root_exec([=] {
+      ityr::parallel_fill(a, 1, 16, 99);
+      EXPECT_EQ(ityr::get(a), 99);
+      long s = ityr::parallel_reduce(
+          a, 1, 16, 0L, [](int v) { return static_cast<long>(v); },
+          [](long x, long y) { return x + y; });
+      EXPECT_EQ(s, 99);
+    });
+    ityr::coll_delete(a, 1);
+  });
+}
+
+TEST(PatternsEdge, GrainLargerThanRange) {
+  ityr::runtime rt(opts());
+  rt.spmd([&] {
+    auto a = ityr::coll_new<int>(100);
+    ityr::root_exec([=] {
+      ityr::parallel_for_each(a, 100, 100000, ityr::access_mode::write,
+                              [](int& x, std::size_t i) { x = static_cast<int>(i); });
+      long s = ityr::parallel_reduce(
+          a, 100, 100000, 0L, [](int v) { return static_cast<long>(v); },
+          [](long x, long y) { return x + y; });
+      EXPECT_EQ(s, 99L * 100 / 2);
+    });
+    ityr::coll_delete(a, 100);
+  });
+}
+
+TEST(PatternsEdge, GrainOfOneMaximizesTasks) {
+  ityr::runtime rt(opts());
+  rt.spmd([&] {
+    auto a = ityr::coll_new<int>(64);
+    ityr::root_exec([=] {
+      ityr::parallel_for_each(a, 64, 1, ityr::access_mode::write,
+                              [](int& x, std::size_t i) { x = static_cast<int>(2 * i); });
+      long s = ityr::parallel_reduce(
+          a, 64, 1, 0L, [](int v) { return static_cast<long>(v); },
+          [](long x, long y) { return x + y; });
+      EXPECT_EQ(s, 2L * 63 * 64 / 2);
+    });
+    ityr::coll_delete(a, 64);
+  });
+  EXPECT_GE(rt.sched().get_stats().forks, 63u);  // full binary splits
+}
+
+TEST(PatternsEdge, MisalignedSpanAcrossBlocks) {
+  // A range starting mid-block and ending mid-block, covering several block
+  // boundaries with odd sizes.
+  ityr::runtime rt(opts());
+  rt.spmd([&] {
+    auto base = ityr::coll_new<std::uint8_t>(6 * 4096);
+    auto a = (base + 1237).cast<std::uint8_t>();
+    const std::size_t n = 3 * 4096 + 531;
+    ityr::root_exec([=] {
+      ityr::parallel_for_each(a, n, 700, ityr::access_mode::write,
+                              [](std::uint8_t& x, std::size_t i) {
+                                x = static_cast<std::uint8_t>(i * 13);
+                              });
+      long s = ityr::parallel_reduce(
+          a, n, 700, 0L, [](std::uint8_t v) { return static_cast<long>(v); },
+          [](long x, long y) { return x + y; });
+      long expect = 0;
+      for (std::size_t i = 0; i < n; i++) expect += static_cast<std::uint8_t>(i * 13);
+      EXPECT_EQ(s, expect);
+    });
+    ityr::coll_delete(base, 6 * 4096);
+  });
+}
+
+TEST(PatternsEdge, TransformBetweenDifferentElementSizes) {
+  ityr::runtime rt(opts());
+  rt.spmd([&] {
+    const std::size_t n = 513;
+    auto in = ityr::coll_new<std::uint8_t>(n);
+    auto out = ityr::coll_new<std::uint64_t>(n);
+    ityr::root_exec([=] {
+      ityr::parallel_for_each(in, n, 64, ityr::access_mode::write,
+                              [](std::uint8_t& x, std::size_t i) {
+                                x = static_cast<std::uint8_t>(i);
+                              });
+      ityr::parallel_transform(in, out, n, 64,
+                               [](std::uint8_t v) { return std::uint64_t{v} * 1000; });
+      EXPECT_EQ(ityr::get(out + 300), std::uint64_t{300 % 256} * 1000);
+    });
+    ityr::coll_delete(in, n);
+    ityr::coll_delete(out, n);
+  });
+}
+
+TEST(PatternsEdge, ReduceWithNonCommutativeCombineKeepsLeftToRightOrder) {
+  // parallel_reduce guarantees an ordered reduction tree over contiguous
+  // subranges, so associative-but-non-commutative combines are safe.
+  ityr::runtime rt(opts());
+  rt.spmd([&] {
+    const std::size_t n = 200;
+    auto a = ityr::coll_new<char>(n);
+    ityr::root_exec([=] {
+      ityr::parallel_for_each(a, n, 16, ityr::access_mode::write,
+                              [](char& c, std::size_t i) { c = 'a' + static_cast<char>(i % 26); });
+      // Build a 64-bit rolling hash (order-sensitive, associative via
+      // length-tagged composition).
+      struct tagged {
+        std::uint64_t hash;
+        std::uint64_t pow;  // 31^len
+      };
+      tagged h = ityr::parallel_reduce(
+          a, n, 16, tagged{0, 1},
+          [](char c) { return tagged{static_cast<std::uint64_t>(c), 31}; },
+          [](tagged x, tagged y) {
+            return tagged{x.hash * y.pow + y.hash, x.pow * y.pow};
+          });
+      std::uint64_t expect = 0;
+      for (std::size_t i = 0; i < n; i++) {
+        expect = expect * 31 + static_cast<std::uint64_t>('a' + static_cast<char>(i % 26));
+      }
+      EXPECT_EQ(h.hash, expect);
+    });
+    ityr::coll_delete(a, n);
+  });
+}
+
+TEST(PatternsEdge, SpanOverloads) {
+  ityr::runtime rt(opts());
+  rt.spmd([&] {
+    const std::size_t n = 500;
+    auto a = ityr::coll_new<int>(n);
+    ityr::global_span<int> s(a, n);
+    ityr::root_exec([=] {
+      ityr::parallel_fill(s, 64, 3);
+      ityr::parallel_for_each(s, 64, ityr::access_mode::read_write,
+                              [](int& x, std::size_t i) { x += static_cast<int>(i); });
+      long sum = ityr::parallel_reduce(
+          s, 64, 0L, [](int v) { return static_cast<long>(v); },
+          [](long x, long y) { return x + y; });
+      EXPECT_EQ(sum, 3L * 500 + 499L * 500 / 2);
+    });
+    ityr::coll_delete(a, n);
+  });
+}

@@ -1,0 +1,28 @@
+// The umbrella header must be self-sufficient and expose the whole API.
+
+#include "itoyori/itoyori.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/fixture.hpp"
+
+TEST(Umbrella, EverythingCompilesAndRuns) {
+  auto o = ityr::test::tiny_opts(1, 2);
+  ityr::runtime rt(o);
+  rt.spmd([] {
+    auto a = ityr::coll_new<int>(256);
+    int total = ityr::root_exec([=] {
+      ityr::parallel_fill(a, 256, 64, 2);
+      ityr::thread<int> th(
+          [=] { return static_cast<int>(ityr::parallel_scan_inclusive(
+                    a, a, 256, 64, 0, [](int x, int y) { return x + y; })); });
+      ityr::global_vector<int> v;
+      v.push_back(th.join());
+      int r = v.get(0);
+      v.destroy();
+      return r;
+    });
+    EXPECT_EQ(total, 512);
+    ityr::coll_delete(a, 256);
+  });
+}

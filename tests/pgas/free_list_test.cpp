@@ -1,0 +1,95 @@
+#include "itoyori/pgas/free_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+using ityr::pgas::free_list;
+
+TEST(FreeList, FirstFitFromZero) {
+  free_list fl(1024);
+  EXPECT_EQ(fl.alloc(100).value(), 0u);
+  EXPECT_EQ(fl.alloc(100).value(), 100u);
+  EXPECT_EQ(fl.bytes_in_use(), 200u);
+}
+
+TEST(FreeList, RespectsAlignment) {
+  free_list fl(1024);
+  EXPECT_EQ(fl.alloc(10).value(), 0u);
+  EXPECT_EQ(fl.alloc(10, 64).value(), 64u);
+  EXPECT_EQ(fl.alloc(10, 256).value(), 256u);
+}
+
+TEST(FreeList, ExhaustionReturnsNullopt) {
+  free_list fl(128);
+  EXPECT_TRUE(fl.alloc(128).has_value());
+  EXPECT_FALSE(fl.alloc(1).has_value());
+}
+
+TEST(FreeList, OversizeRequestFails) {
+  free_list fl(128);
+  EXPECT_FALSE(fl.alloc(129).has_value());
+}
+
+TEST(FreeList, ReusesFreedSpace) {
+  free_list fl(256);
+  auto a = fl.alloc(64).value();
+  auto b = fl.alloc(64).value();
+  fl.dealloc(a, 64);
+  auto c = fl.alloc(64).value();
+  EXPECT_EQ(c, a);  // first fit reuses the hole
+  EXPECT_NE(b, c);
+}
+
+TEST(FreeList, CoalescesNeighbours) {
+  free_list fl(192);
+  auto a = fl.alloc(64).value();
+  auto b = fl.alloc(64).value();
+  auto c = fl.alloc(64).value();
+  // Free in an order that requires both-side coalescing.
+  fl.dealloc(a, 64);
+  fl.dealloc(c, 64);
+  fl.dealloc(b, 64);
+  EXPECT_EQ(fl.fragments(), 1u);
+  EXPECT_EQ(fl.alloc(192).value(), 0u);
+}
+
+TEST(FreeList, AlignmentGapRemainsUsable) {
+  free_list fl(256);
+  ASSERT_EQ(fl.alloc(10).value(), 0u);
+  ASSERT_EQ(fl.alloc(10, 128).value(), 128u);
+  // The gap [10,128) must still be allocatable.
+  EXPECT_EQ(fl.alloc(100).value(), 10u);
+}
+
+TEST(FreeList, RandomizedNoOverlapAndFullRecovery) {
+  std::mt19937_64 gen(42);
+  free_list fl(1 << 16);
+  struct alloc {
+    std::uint64_t off, size;
+  };
+  std::vector<alloc> live;
+  for (int step = 0; step < 2000; step++) {
+    if (live.empty() || gen() % 3 != 0) {
+      std::uint64_t size = 1 + gen() % 512;
+      auto off = fl.alloc(size, 1ull << (gen() % 6));
+      if (off) {
+        // No overlap with any live allocation.
+        for (const auto& a : live) {
+          ASSERT_TRUE(*off + size <= a.off || a.off + a.size <= *off);
+        }
+        live.push_back({*off, size});
+      }
+    } else {
+      std::size_t i = gen() % live.size();
+      fl.dealloc(live[i].off, live[i].size);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+  for (const auto& a : live) fl.dealloc(a.off, a.size);
+  EXPECT_EQ(fl.bytes_in_use(), 0u);
+  EXPECT_EQ(fl.fragments(), 1u);
+  EXPECT_EQ(fl.alloc(1 << 16).value(), 0u);
+}

@@ -1,0 +1,152 @@
+#include "itoyori/pgas/global_heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "../support/fixture.hpp"
+
+namespace ip = ityr::pgas;
+namespace it = ityr::test;
+
+TEST(GlobalHeap, CollAllocReturnsSameAddressOnAllRanks) {
+  std::vector<ip::gaddr_t> results(4, 0);
+  it::run_pgas(it::tiny_opts(), [&](int r, ip::pgas_space& s) {
+    results[static_cast<std::size_t>(r)] =
+        s.heap().coll_alloc(100 * 1024, ityr::common::dist_policy::block_cyclic);
+  });
+  EXPECT_NE(results[0], ip::null_gaddr);
+  for (int r = 1; r < 4; r++) EXPECT_EQ(results[static_cast<std::size_t>(r)], results[0]);
+}
+
+TEST(GlobalHeap, BlockCyclicHomesRoundRobin) {
+  it::run_pgas(it::tiny_opts(), [&](int r, ip::pgas_space& s) {
+    const std::size_t bs = s.heap().block_size();
+    auto g = s.heap().coll_alloc(bs * 8, ityr::common::dist_policy::block_cyclic);
+    if (r == 0) {
+      for (std::uint64_t j = 0; j < 8; j++) {
+        auto home = s.heap().locate_block(s.heap().block_id_of(g + j * bs));
+        EXPECT_EQ(home.rank, static_cast<int>(j % 4)) << "block " << j;
+      }
+      // Blocks of the same rank land at consecutive pool offsets.
+      auto h0 = s.heap().locate_block(s.heap().block_id_of(g));
+      auto h4 = s.heap().locate_block(s.heap().block_id_of(g + 4 * bs));
+      EXPECT_EQ(h4.pool_off, h0.pool_off + bs);
+    }
+  });
+}
+
+TEST(GlobalHeap, BlockPolicyGivesContiguousHomes) {
+  it::run_pgas(it::tiny_opts(), [&](int r, ip::pgas_space& s) {
+    const std::size_t bs = s.heap().block_size();
+    auto g = s.heap().coll_alloc(bs * 8, ityr::common::dist_policy::block);
+    if (r == 0) {
+      // 8 blocks over 4 ranks -> 2 consecutive blocks per rank.
+      for (std::uint64_t j = 0; j < 8; j++) {
+        auto home = s.heap().locate_block(s.heap().block_id_of(g + j * bs));
+        EXPECT_EQ(home.rank, static_cast<int>(j / 2)) << "block " << j;
+      }
+    }
+  });
+}
+
+TEST(GlobalHeap, CollFreeAllowsReuse) {
+  it::run_pgas(it::tiny_opts(), [&](int, ip::pgas_space& s) {
+    auto g1 = s.heap().coll_alloc(64 * 1024, ityr::common::dist_policy::block_cyclic);
+    s.heap().coll_free(g1);
+    auto g2 = s.heap().coll_alloc(64 * 1024, ityr::common::dist_policy::block_cyclic);
+    EXPECT_EQ(g1, g2);
+    EXPECT_EQ(s.heap().live_coll_allocs(), 1u);
+  });
+}
+
+TEST(GlobalHeap, LocateOutsideLiveAllocationThrows) {
+  it::run_pgas(it::tiny_opts(), [&](int r, ip::pgas_space& s) {
+    auto g = s.heap().coll_alloc(4096, ityr::common::dist_policy::block_cyclic);
+    s.barrier();
+    s.heap().coll_free(g);
+    if (r == 0) {
+      EXPECT_THROW(s.heap().locate_block(s.heap().block_id_of(g)), ityr::common::api_error);
+    }
+  });
+}
+
+TEST(GlobalHeap, NoncollectiveAllocIsHomeLocal) {
+  it::run_pgas(it::tiny_opts(), [&](int r, ip::pgas_space& s) {
+    auto g = s.heap().alloc(256);
+    auto home = s.heap().locate_block(s.heap().block_id_of(g));
+    EXPECT_EQ(home.rank, r);
+  });
+}
+
+TEST(GlobalHeap, NoncollectiveDistinctAcrossRanks) {
+  std::vector<ip::gaddr_t> gs(4, 0);
+  it::run_pgas(it::tiny_opts(), [&](int r, ip::pgas_space& s) {
+    gs[static_cast<std::size_t>(r)] = s.heap().alloc(128);
+  });
+  std::set<ip::gaddr_t> uniq(gs.begin(), gs.end());
+  EXPECT_EQ(uniq.size(), 4u);
+}
+
+TEST(GlobalHeap, RemoteFreeReclaimedAtOwnerPoll) {
+  it::run_pgas(it::tiny_opts(1, 2), [&](int r, ip::pgas_space& s) {
+    static ip::gaddr_t shared_g = 0;
+    if (r == 0) {
+      shared_g = s.heap().alloc(1024);
+      s.barrier();
+      s.barrier();  // wait for rank 1's free
+      EXPECT_GT(s.heap().nc_bytes_in_use(0), 0u);
+      s.heap().poll();
+      EXPECT_EQ(s.heap().nc_bytes_in_use(0), 0u);
+    } else {
+      s.barrier();
+      s.heap().free(shared_g, 1024);  // remote free
+      s.barrier();
+    }
+  });
+}
+
+TEST(GlobalHeap, NoncollectiveExhaustionThrows) {
+  it::run_pgas(it::tiny_opts(1, 1), [&](int, ip::pgas_space& s) {
+    // Segment is 128 KiB; allocate beyond it.
+    EXPECT_THROW(
+        {
+          for (int i = 0; i < 4096; i++) s.heap().alloc(1024);
+        },
+        ityr::common::resource_error);
+  });
+}
+
+TEST(GlobalHeap, CollectiveExhaustionThrows) {
+  it::run_pgas(it::tiny_opts(1, 1), [&](int, ip::pgas_space& s) {
+    EXPECT_THROW(s.heap().coll_alloc(1 << 30, ityr::common::dist_policy::block_cyclic),
+                 ityr::common::resource_error);
+  });
+}
+
+TEST(GlobalHeap, GaddrViewRoundTrip) {
+  it::run_pgas(it::tiny_opts(), [&](int r, ip::pgas_space& s) {
+    if (r != 0) return;
+    auto g = s.heap().coll_alloc(4096, ityr::common::dist_policy::block);
+    EXPECT_EQ(s.heap().gaddr_of_view(s.heap().view_off(g)), g);
+    EXPECT_TRUE(s.heap().in_heap(g, 4096));
+    EXPECT_FALSE(s.heap().in_heap(0, 1));
+  });
+}
+
+TEST(GlobalHeap, NoncollectiveAllocationDoesNotFragment) {
+  // Regression: odd-sized allocations must consume whole alignment quanta,
+  // otherwise every allocation strands a dead sub-quantum fragment and
+  // first-fit degrades to O(allocations^2).
+  auto o = it::tiny_opts(1, 1);
+  o.noncoll_heap_per_rank = 4 * ityr::common::MiB;
+  it::run_pgas(o, [&](int, ip::pgas_space& s) {
+    std::vector<ip::gaddr_t> live;
+    for (int i = 0; i < 5000; i++) live.push_back(s.heap().alloc(40));  // not a multiple of 64
+    EXPECT_LE(s.heap().nc_fragments(0), 4u);
+    for (auto g : live) s.heap().free(g, 40);
+    EXPECT_EQ(s.heap().nc_bytes_in_use(0), 0u);
+    EXPECT_EQ(s.heap().nc_fragments(0), 1u);  // fully coalesced
+  });
+}

@@ -1,0 +1,216 @@
+#include "itoyori/rma/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace ir = ityr::rma;
+namespace is = ityr::sim;
+namespace ic = ityr::common;
+
+namespace {
+
+ic::options det_opts(int nodes, int rpn) {
+  ic::options o;
+  o.n_nodes = nodes;
+  o.ranks_per_node = rpn;
+  o.deterministic = true;
+  return o;
+}
+
+}  // namespace
+
+TEST(Rma, GetMovesRemoteData) {
+  is::engine e(det_opts(2, 1));
+  ir::context rma(e);
+  std::vector<std::byte> mem0(256), mem1(256);
+  ir::window* w = rma.create_window({{mem0.data(), 256}, {mem1.data(), 256}});
+
+  e.run([&](int r) {
+    if (r == 0) {
+      std::memset(mem0.data(), 0x5a, 256);
+      e.advance(1e-6);
+    } else {
+      // Wait long enough that rank 0's write is in the causal past.
+      e.advance(1e-3);
+      std::byte buf[64];
+      rma.get_nb(*w, 0, 16, buf, 64);
+      rma.flush();
+      EXPECT_EQ(buf[0], std::byte{0x5a});
+      EXPECT_EQ(buf[63], std::byte{0x5a});
+    }
+  });
+}
+
+TEST(Rma, PutMovesDataToTarget) {
+  is::engine e(det_opts(2, 1));
+  ir::context rma(e);
+  std::vector<std::byte> mem0(128), mem1(128);
+  ir::window* w = rma.create_window({{mem0.data(), 128}, {mem1.data(), 128}});
+
+  e.run([&](int r) {
+    if (r == 1) {
+      std::byte buf[32];
+      std::memset(buf, 0x7e, 32);
+      rma.put_nb(*w, 0, 96, buf, 32);
+      rma.flush();
+    }
+  });
+  EXPECT_EQ(mem0[96], std::byte{0x7e});
+  EXPECT_EQ(mem0[127], std::byte{0x7e});
+  EXPECT_EQ(mem0[95], std::byte{0});
+}
+
+TEST(Rma, FlushAdvancesTimeByLatencyAndBandwidth) {
+  auto o = det_opts(2, 1);
+  o.net.inter_latency = 1e-6;
+  o.net.inter_bandwidth = 1e9;  // 1 GB/s -> 1 MB takes 1 ms
+  o.net.injection_overhead = 0;
+  is::engine e(o);
+  ir::context rma(e);
+  std::vector<std::byte> mem0(1 << 20), mem1(1);
+  ir::window* w = rma.create_window({{mem0.data(), mem0.size()}, {mem1.data(), 1}});
+
+  double elapsed = 0;
+  e.run([&](int r) {
+    if (r == 1) {
+      std::vector<std::byte> buf(1 << 20);
+      const double t0 = e.now();
+      rma.get_nb(*w, 0, 0, buf.data(), buf.size());
+      rma.flush();
+      elapsed = e.now() - t0;
+    }
+  });
+  // ~1 ms of bandwidth + 1 us latency.
+  EXPECT_NEAR(elapsed, 1.049e-3, 0.1e-3);
+}
+
+TEST(Rma, NonblockingGetsPipeline) {
+  // Two messages back to back share the channel: total time should be about
+  // 2*(bytes/bw) + 1 latency, not 2*(bytes/bw + latency).
+  auto o = det_opts(2, 1);
+  o.net.inter_latency = 1e-3;  // exaggerate latency
+  o.net.inter_bandwidth = 1e9;
+  o.net.injection_overhead = 0;
+  is::engine e(o);
+  ir::context rma(e);
+  std::vector<std::byte> mem0(1 << 20), mem1(1);
+  ir::window* w = rma.create_window({{mem0.data(), mem0.size()}, {mem1.data(), 1}});
+
+  double elapsed = 0;
+  e.run([&](int r) {
+    if (r == 1) {
+      std::vector<std::byte> buf(1 << 20);
+      const double t0 = e.now();
+      rma.get_nb(*w, 0, 0, buf.data(), 512 * 1024);
+      rma.get_nb(*w, 0, 512 * 1024, buf.data() + 512 * 1024, 512 * 1024);
+      rma.flush();
+      elapsed = e.now() - t0;
+    }
+  });
+  EXPECT_NEAR(elapsed, 1e-3 /*bw*/ + 1e-3 /*one latency*/, 0.2e-3);
+}
+
+TEST(Rma, IntraNodeCheaperThanInterNode) {
+  auto o = det_opts(2, 2);  // ranks 0,1 on node 0; rank 2,3 on node 1
+  is::engine e(o);
+  ir::context rma(e);
+  std::vector<std::vector<std::byte>> mem(4, std::vector<std::byte>(1 << 16));
+  ir::window* w = rma.create_window(
+      {{mem[0].data(), mem[0].size()},
+       {mem[1].data(), mem[1].size()},
+       {mem[2].data(), mem[2].size()},
+       {mem[3].data(), mem[3].size()}});
+
+  double intra = 0, inter = 0;
+  e.run([&](int r) {
+    if (r == 0) {
+      std::vector<std::byte> buf(1 << 16);
+      double t0 = e.now();
+      rma.get_nb(*w, 1, 0, buf.data(), buf.size());  // same node
+      rma.flush();
+      intra = e.now() - t0;
+      t0 = e.now();
+      rma.get_nb(*w, 2, 0, buf.data(), buf.size());  // other node
+      rma.flush();
+      inter = e.now() - t0;
+    }
+  });
+  EXPECT_LT(intra, inter);
+}
+
+TEST(Rma, CompareAndSwapSemantics) {
+  is::engine e(det_opts(2, 1));
+  ir::context rma(e);
+  alignas(8) std::uint64_t word0 = 10, word1 = 0;
+  ir::window* w = rma.create_window({{reinterpret_cast<std::byte*>(&word0), 8},
+                                     {reinterpret_cast<std::byte*>(&word1), 8}});
+  e.run([&](int r) {
+    if (r == 1) {
+      EXPECT_EQ(rma.compare_and_swap(*w, 0, 0, 99, 50), 10u);  // mismatch: no-op
+      EXPECT_EQ(word0, 10u);
+      EXPECT_EQ(rma.compare_and_swap(*w, 0, 0, 10, 50), 10u);  // match: swap
+      EXPECT_EQ(word0, 50u);
+    }
+  });
+}
+
+TEST(Rma, FetchAndAdd) {
+  is::engine e(det_opts(1, 3));
+  ir::context rma(e);
+  alignas(8) std::uint64_t counter = 0;
+  std::vector<ir::window::region> regs(3);
+  regs[0] = {reinterpret_cast<std::byte*>(&counter), 8};
+  ir::window* w = rma.create_window(regs);
+  e.run([&](int) {
+    for (int i = 0; i < 10; i++) rma.fetch_and_add(*w, 0, 0, 1);
+  });
+  EXPECT_EQ(counter, 30u);
+}
+
+TEST(Rma, AtomicMaxConvergesUnderContention) {
+  is::engine e(det_opts(2, 2));
+  ir::context rma(e);
+  alignas(8) std::uint64_t m = 0;
+  std::vector<ir::window::region> regs(4);
+  regs[0] = {reinterpret_cast<std::byte*>(&m), 8};
+  ir::window* w = rma.create_window(regs);
+  e.run([&](int r) {
+    // All ranks race to set their own value; the final value must be the max.
+    rma.atomic_max(*w, 0, 0, static_cast<std::uint64_t>(r * 7 + 1));
+  });
+  EXPECT_EQ(m, 3u * 7 + 1);
+}
+
+TEST(Rma, AtomicMaxIsMonotone) {
+  is::engine e(det_opts(1, 1));
+  ir::context rma(e);
+  alignas(8) std::uint64_t m = 5;
+  ir::window* w = rma.create_window({{reinterpret_cast<std::byte*>(&m), 8}});
+  e.run([&](int) {
+    rma.atomic_max(*w, 0, 0, 3);  // smaller: no effect
+    EXPECT_EQ(m, 5u);
+    rma.atomic_max(*w, 0, 0, 9);
+    EXPECT_EQ(m, 9u);
+  });
+}
+
+TEST(Rma, CountersTrackTraffic) {
+  is::engine e(det_opts(2, 1));
+  ir::context rma(e);
+  std::vector<std::byte> mem0(4096), mem1(4096);
+  ir::window* w = rma.create_window({{mem0.data(), 4096}, {mem1.data(), 4096}});
+  e.run([&](int r) {
+    if (r == 1) {
+      std::byte buf[256];
+      rma.get_nb(*w, 0, 0, buf, 256);
+      rma.put_nb(*w, 0, 256, buf, 128);
+      rma.flush();
+    }
+  });
+  EXPECT_EQ(rma.n_gets(), 1u);
+  EXPECT_EQ(rma.n_puts(), 1u);
+  EXPECT_EQ(rma.net().total_bytes(), 384u);
+  EXPECT_EQ(rma.net().total_messages(), 2u);
+}

@@ -1,0 +1,140 @@
+// Randomized DAG-consistency property test (paper Sections 3.1/4.4): a
+// random fork-join computation writes and rewrites disjoint slices of a
+// global array; after every join, readers must observe exactly the writes
+// ordered before them by the fork-join DAG — under any schedule, policy, or
+// topology. A sequential replay of the same DAG provides the oracle.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../support/fixture.hpp"
+#include "itoyori/common/rng.hpp"
+#include "itoyori/core/ityr.hpp"
+
+namespace {
+
+// A node of the random computation: either a leaf (mutate a slice) or an
+// internal node that forks children sequentially-composed in pairs.
+struct plan_node {
+  bool leaf = false;
+  std::size_t lo = 0, hi = 0;  // slice [lo, hi)
+  std::uint32_t salt = 0;
+  int left = -1, right = -1;  // parallel children
+  int next = -1;              // sequential successor (runs after children join)
+};
+
+struct plan {
+  std::vector<plan_node> nodes;
+  int root = -1;
+  std::size_t array_size = 0;
+};
+
+// Build a random plan: recursively split [lo, hi); each internal node runs
+// its two halves in parallel and then a follow-up leaf touching the whole
+// range (so parents read children's writes).
+int build_plan(plan& p, ityr::common::xoshiro256ss& rng, std::size_t lo, std::size_t hi,
+               int depth) {
+  const int id = static_cast<int>(p.nodes.size());
+  p.nodes.push_back({});
+  if (depth == 0 || hi - lo < 8) {
+    p.nodes[id] = {true, lo, hi, static_cast<std::uint32_t>(rng()), -1, -1, -1};
+    return id;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  const int l = build_plan(p, rng, lo, mid, depth - 1);
+  const int r = build_plan(p, rng, mid, hi, depth - 1);
+  // Follow-up leaf reads+rewrites the whole range after the join.
+  const int f = static_cast<int>(p.nodes.size());
+  p.nodes.push_back({true, lo, hi, static_cast<std::uint32_t>(rng()), -1, -1, -1});
+  p.nodes[id] = {false, lo, hi, 0, l, r, f};
+  return id;
+}
+
+constexpr std::uint32_t mutate(std::uint32_t x, std::uint32_t salt, std::uint32_t idx) {
+  return x * 1664525u + salt + idx * 1013904223u;
+}
+
+// Oracle: sequential execution over a local array.
+void run_serial(const plan& p, int id, std::vector<std::uint32_t>& a) {
+  const plan_node& n = p.nodes[static_cast<std::size_t>(id)];
+  if (n.leaf) {
+    for (std::size_t i = n.lo; i < n.hi; i++) {
+      a[i] = mutate(a[i], n.salt, static_cast<std::uint32_t>(i));
+    }
+    return;
+  }
+  run_serial(p, n.left, a);
+  run_serial(p, n.right, a);
+  run_serial(p, n.next, a);
+}
+
+// Parallel execution over global memory through checkout/checkin.
+void run_parallel(const plan* p, int id, ityr::global_ptr<std::uint32_t> a) {
+  const plan_node& n = p->nodes[static_cast<std::size_t>(id)];
+  if (n.leaf) {
+    ityr::with_checkout(a + static_cast<std::ptrdiff_t>(n.lo), n.hi - n.lo,
+                        ityr::access_mode::read_write, [&](std::uint32_t* ptr) {
+                          for (std::size_t i = 0; i < n.hi - n.lo; i++) {
+                            ptr[i] = mutate(ptr[i], n.salt,
+                                            static_cast<std::uint32_t>(n.lo + i));
+                          }
+                        });
+    return;
+  }
+  const int l = n.left, r = n.right, f = n.next;
+  ityr::parallel_invoke([p, l, a] { run_parallel(p, l, a); },
+                        [p, r, a] { run_parallel(p, r, a); });
+  run_parallel(p, f, a);
+}
+
+class DagConsistency : public ::testing::TestWithParam<std::tuple<unsigned, ityr::cache_policy>> {
+};
+
+TEST_P(DagConsistency, ParallelMatchesSequentialOracle) {
+  const auto [seed, policy] = GetParam();
+  ityr::common::xoshiro256ss rng(seed);
+
+  plan p;
+  p.array_size = 512 + rng.below(1500);
+  p.root = build_plan(p, rng, 0, p.array_size, 5);
+
+  std::vector<std::uint32_t> oracle(p.array_size, 0);
+  run_serial(p, p.root, oracle);
+
+  auto o = ityr::test::tiny_opts(2, 2);
+  o.policy = policy;
+  o.seed = seed;  // vary victim selection too
+  ityr::runtime rt(o);
+  rt.spmd([&] {
+    auto a = ityr::coll_new<std::uint32_t>(p.array_size);
+    const plan* pp = &p;  // the plan itself is immutable shared input
+    ityr::root_exec([pp, a] {
+      ityr::parallel_fill(a, pp->array_size, 64, std::uint32_t{0});
+      run_parallel(pp, pp->root, a);
+    });
+    if (ityr::my_rank() == 0) {
+      ityr::with_checkout(a, p.array_size, ityr::access_mode::read,
+                          [&](const std::uint32_t* got) {
+                            for (std::size_t i = 0; i < p.array_size; i++) {
+                              ASSERT_EQ(got[i], oracle[i]) << "index " << i;
+                            }
+                          });
+    }
+    ityr::barrier();
+    ityr::coll_delete(a, p.array_size);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomDags, DagConsistency,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u, 11u, 23u),
+                       ::testing::Values(ityr::cache_policy::write_through,
+                                         ityr::cache_policy::write_back,
+                                         ityr::cache_policy::write_back_lazy)),
+    [](const ::testing::TestParamInfo<std::tuple<unsigned, ityr::cache_policy>>& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_" +
+             ityr::common::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "itoyori/vm/physical_pool.hpp"
+#include "itoyori/vm/view_region.hpp"
+
+namespace iv = ityr::vm;
+
+namespace {
+constexpr std::size_t kBlk = 64 * 1024;
+}
+
+TEST(PhysicalPool, AllocatesAndZeroes) {
+  iv::physical_pool pool(kBlk, 4, "test-pool");
+  EXPECT_EQ(pool.bytes(), 4 * kBlk);
+  // memfd pages start zeroed.
+  for (std::size_t i = 0; i < 4; i++) {
+    EXPECT_EQ(*pool.block_ptr(i), std::byte{0});
+  }
+  std::memset(pool.block_ptr(2), 0xab, kBlk);
+  EXPECT_EQ(*pool.at(2 * kBlk + 100), std::byte{0xab});
+}
+
+TEST(ViewRegion, MapExposesPoolPages) {
+  iv::physical_pool pool(kBlk, 4, "test-pool");
+  iv::view_region view(16 * kBlk);
+
+  std::memset(pool.block_ptr(1), 0x5c, kBlk);
+  view.map(3 * kBlk, pool, 1 * kBlk, kBlk);
+  EXPECT_TRUE(view.is_mapped(3 * kBlk, kBlk));
+  EXPECT_EQ(*view.at(3 * kBlk), std::byte{0x5c});
+
+  // Writes through the view hit the same physical pages.
+  *view.at(3 * kBlk + 7) = std::byte{0x11};
+  EXPECT_EQ(*pool.at(1 * kBlk + 7), std::byte{0x11});
+}
+
+TEST(ViewRegion, SameBlockMappableAtTwoViews) {
+  // The same physical cache block can be remapped elsewhere later; also two
+  // view offsets may alias one block transiently.
+  iv::physical_pool pool(kBlk, 1, "test-pool");
+  iv::view_region view(8 * kBlk);
+  view.map(0, pool, 0, kBlk);
+  view.map(5 * kBlk, pool, 0, kBlk);
+  *view.at(10) = std::byte{0x77};
+  EXPECT_EQ(*view.at(5 * kBlk + 10), std::byte{0x77});
+}
+
+TEST(ViewRegion, UnmapPreservesReservationAndPhysicalData) {
+  iv::physical_pool pool(kBlk, 2, "test-pool");
+  iv::view_region view(8 * kBlk);
+  view.map(2 * kBlk, pool, 0, kBlk);
+  *view.at(2 * kBlk) = std::byte{0x42};
+  view.unmap(2 * kBlk, kBlk);
+  EXPECT_FALSE(view.is_mapped(2 * kBlk, kBlk));
+  // Physical data survives unmapping of the view.
+  EXPECT_EQ(*pool.at(0), std::byte{0x42});
+  // Remap somewhere else: data still there.
+  view.map(4 * kBlk, pool, 0, kBlk);
+  EXPECT_EQ(*view.at(4 * kBlk), std::byte{0x42});
+}
+
+TEST(ViewRegion, LedgerTracksRunsAndEntries) {
+  iv::physical_pool pool(kBlk, 8, "test-pool");
+  iv::view_region view(32 * kBlk);
+  EXPECT_EQ(view.mapped_runs(), 0u);
+  EXPECT_EQ(view.map_entry_estimate(), 1u);
+
+  view.map(0, pool, 0, kBlk);
+  view.map(2 * kBlk, pool, 2 * kBlk, kBlk);  // gap at block 1 -> 2 runs
+  EXPECT_EQ(view.mapped_runs(), 2u);
+  EXPECT_EQ(view.map_entry_estimate(), 5u);  // 2N+1 worst case
+
+  view.map(1 * kBlk, pool, 1 * kBlk, kBlk);  // fills the gap -> coalesced
+  EXPECT_EQ(view.mapped_runs(), 1u);
+  EXPECT_EQ(view.map_entry_estimate(), 3u);
+  EXPECT_EQ(view.mapped_bytes(), 3 * kBlk);
+
+  view.unmap(1 * kBlk, kBlk);
+  EXPECT_EQ(view.mapped_runs(), 2u);
+  EXPECT_EQ(view.map_calls(), 4u);
+}
+
+TEST(ViewRegion, RemapReplacesPreviousMapping) {
+  iv::physical_pool pool(kBlk, 2, "test-pool");
+  iv::view_region view(4 * kBlk);
+  std::memset(pool.block_ptr(0), 0x01, kBlk);
+  std::memset(pool.block_ptr(1), 0x02, kBlk);
+  view.map(0, pool, 0, kBlk);
+  EXPECT_EQ(*view.at(0), std::byte{0x01});
+  view.map(0, pool, kBlk, kBlk);
+  EXPECT_EQ(*view.at(0), std::byte{0x02});
+  EXPECT_EQ(view.mapped_runs(), 1u);
+}
