@@ -1,0 +1,175 @@
+/// Machine-readable checkout/RMA statistics for the fig8 cilksort
+/// configuration, emitted as BENCH_checkout.json so the perf trajectory of
+/// the checkout hot path (message counts, bytes, virtual time, fast-path
+/// hit rate, coalescing effectiveness) is tracked across PRs.
+///
+/// Usage: ./build/bench/checkout_stats [output.json]
+
+#include <cstdio>
+#include <string>
+
+#include "itoyori/core/ityr.hpp"
+#include "itoyori/core/runtime.hpp"
+#include "support/bench_common.hpp"
+
+namespace ib = ityr::bench;
+namespace ic = ityr::common;
+
+namespace {
+
+struct point {
+  std::string name;
+  ib::run_metrics m;
+  ityr::pgas::cache_system::stats cst;
+};
+
+point run_point(const std::string& name, bool coalesce, std::size_t front_table,
+                std::size_t n, std::size_t cutoff) {
+  auto o = ib::cluster_opts(2, 4);
+  o.coalesce_rma = coalesce;
+  o.front_table_size = front_table;
+  // Deterministic virtual time: the same configuration must reproduce the
+  // same schedule, message count and virtual time bit-for-bit, so numbers
+  // in BENCH_checkout.json are comparable across runs and PRs.
+  o.deterministic = true;
+  point p;
+  p.name = name;
+  p.m = ib::run_cilksort_with_stats(o, n, cutoff, &p.cst);
+  return p;
+}
+
+/// Controlled multi-block checkout workload: rank 0 repeatedly checks out a
+/// remote 4-block (256 KiB) span whose home blocks are pool-contiguous on
+/// rank 1, re-fetching each round (the barrier's acquire invalidates the
+/// cache). This isolates the cross-block coalescing effect: one message per
+/// round instead of one per block.
+point run_multiblock(const std::string& name, bool coalesce) {
+  ic::options o;
+  o.n_nodes = 2;
+  o.ranks_per_node = 1;
+  o.coll_heap_per_rank = 8 * ic::MiB;
+  o.noncoll_heap_per_rank = 8 * ic::MiB;
+  o.cache_size = 4 * ic::MiB;
+  o.policy = ic::cache_policy::write_back_lazy;
+  o.default_dist = ic::dist_policy::block;
+  o.deterministic = true;
+  o.coalesce_rma = coalesce;
+  constexpr std::size_t kRounds = 16;
+  constexpr std::size_t kBlockElems = (64 * ic::KiB) / sizeof(std::uint64_t);
+  point p;
+  p.name = name;
+  ityr::runtime rt(o);
+  double elapsed = 0;
+  rt.spmd([&] {
+    auto a = ityr::coll_new<std::uint64_t>(8 * kBlockElems, ic::dist_policy::block);
+    for (std::size_t r = 0; r < kRounds; r++) {
+      if (ityr::my_rank() == 0) {
+        auto ptr = a + static_cast<std::ptrdiff_t>(4 * kBlockElems);
+        ityr::with_checkout(ptr, 4 * kBlockElems, ityr::access_mode::read,
+                            [](const std::uint64_t*) {});
+      }
+      ityr::barrier();
+    }
+    if (ityr::my_rank() == 0) elapsed = rt.eng().now();
+    ityr::coll_delete(a, 8 * kBlockElems);
+  });
+  p.m.ok = true;
+  p.m.time = elapsed;
+  p.m.messages = rt.rma().net().total_messages();
+  p.m.bytes = rt.rma().net().total_bytes();
+  p.cst = rt.pgas().aggregate_stats();
+  return p;
+}
+
+void emit(std::FILE* f, const point& p, bool last) {
+  std::fprintf(f,
+               "    {\n"
+               "      \"name\": \"%s\",\n"
+               "      \"ok\": %s,\n"
+               "      \"virtual_time_s\": %.9f,\n"
+               "      \"messages\": %llu,\n"
+               "      \"bytes\": %llu,\n"
+               "      \"fetched_bytes\": %llu,\n"
+               "      \"written_back_bytes\": %llu,\n"
+               "      \"checkouts\": %llu,\n"
+               "      \"fast_path_hits\": %llu,\n"
+               "      \"block_visits\": %llu,\n"
+               "      \"block_hits\": %llu,\n"
+               "      \"block_misses\": %llu,\n"
+               "      \"write_skips\": %llu,\n"
+               "      \"coalesced_messages\": %llu\n"
+               "    }%s\n",
+               p.name.c_str(), p.m.ok ? "true" : "false", p.m.time,
+               static_cast<unsigned long long>(p.m.messages),
+               static_cast<unsigned long long>(p.m.bytes),
+               static_cast<unsigned long long>(p.cst.fetched_bytes),
+               static_cast<unsigned long long>(p.cst.written_back_bytes),
+               static_cast<unsigned long long>(p.cst.checkouts),
+               static_cast<unsigned long long>(p.cst.fast_path_hits),
+               static_cast<unsigned long long>(p.cst.block_visits),
+               static_cast<unsigned long long>(p.cst.block_hits),
+               static_cast<unsigned long long>(p.cst.block_misses),
+               static_cast<unsigned long long>(p.cst.write_skips),
+               static_cast<unsigned long long>(p.cst.coalesced_messages), last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_checkout.json";
+  const std::size_t n = 1 << 20;
+  const std::size_t cutoff = 16384;
+
+  // fig8 cilksort configuration (2 nodes x 4 ranks, write_back_lazy):
+  // the full optimization (front table + coalescing), coalescing alone
+  // disabled, and the pre-optimization baseline (both knobs off).
+  point optimized = run_point("fig8_cilksort_optimized", true, 64, n, cutoff);
+  point uncoalesced = run_point("fig8_cilksort_uncoalesced", false, 64, n, cutoff);
+  point baseline = run_point("fig8_cilksort_baseline", false, 0, n, cutoff);
+
+  // Multi-block checkout isolation: 16 rounds of a cold 4-block remote span.
+  point mb_coal = run_multiblock("multiblock_span_coalesced", true);
+  point mb_base = run_multiblock("multiblock_span_uncoalesced", false);
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"benchmark\": \"checkout_hot_path\",\n"
+               "  \"workload\": \"cilksort n=%zu cutoff=%zu ranks=8 policy=write_back_lazy "
+               "deterministic=1\",\n"
+               "  \"runs\": [\n",
+               n, cutoff);
+  emit(f, optimized, false);
+  emit(f, uncoalesced, false);
+  emit(f, baseline, false);
+  emit(f, mb_coal, false);
+  emit(f, mb_base, true);
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+
+  const auto pct = [](std::uint64_t opt, std::uint64_t base) {
+    return base > 0 ? 100.0 * (1.0 - static_cast<double>(opt) / static_cast<double>(base)) : 0.0;
+  };
+  std::printf("wrote %s\n", out_path);
+  std::printf("  fig8 optimized:   %llu messages, %.6f virtual s (ok=%d)\n",
+              static_cast<unsigned long long>(optimized.m.messages), optimized.m.time,
+              optimized.m.ok ? 1 : 0);
+  std::printf("  fig8 uncoalesced: %llu messages, %.6f virtual s (ok=%d)\n",
+              static_cast<unsigned long long>(uncoalesced.m.messages), uncoalesced.m.time,
+              uncoalesced.m.ok ? 1 : 0);
+  std::printf("  fig8 baseline:    %llu messages, %.6f virtual s (ok=%d)\n",
+              static_cast<unsigned long long>(baseline.m.messages), baseline.m.time,
+              baseline.m.ok ? 1 : 0);
+  std::printf("  fig8 message reduction vs baseline: %.1f%%\n",
+              pct(optimized.m.messages, baseline.m.messages));
+  std::printf("  multi-block span: %llu vs %llu messages (%.1f%% reduction)\n",
+              static_cast<unsigned long long>(mb_coal.m.messages),
+              static_cast<unsigned long long>(mb_base.m.messages),
+              pct(mb_coal.m.messages, mb_base.m.messages));
+  return optimized.m.ok && uncoalesced.m.ok && baseline.m.ok && mb_coal.m.ok && mb_base.m.ok ? 0
+                                                                                             : 1;
+}

@@ -10,6 +10,7 @@
 #include "itoyori/common/rng.hpp"
 #include "itoyori/common/sha1.hpp"
 #include "itoyori/apps/fmm/kernels.hpp"
+#include "itoyori/core/ityr.hpp"
 #include "itoyori/pgas/free_list.hpp"
 
 namespace ic = ityr::common;
@@ -117,6 +118,99 @@ void BM_FmmP2M(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FmmP2M);
+
+// ---------------------------------------------------------------------------
+// checkout hot path (small simulations, measured in host time)
+// ---------------------------------------------------------------------------
+
+ic::options checkout_bench_opts() {
+  ic::options o;
+  o.n_nodes = 2;
+  o.ranks_per_node = 1;
+  o.coll_heap_per_rank = 8 * ic::MiB;
+  o.noncoll_heap_per_rank = 8 * ic::MiB;
+  o.cache_size = 4 * ic::MiB;
+  o.policy = ic::cache_policy::write_back_lazy;
+  o.default_dist = ic::dist_policy::block;
+  o.deterministic = true;  // skip host clock reads inside the sim
+  return o;
+}
+
+/// Repeated single-element loads from one remote, fully-valid block: with a
+/// front table these are served by the fast path (one table probe + memcpy);
+/// with front_table_size = 0 every load walks the generic checkout/checkin
+/// machinery. Arg = front table entries.
+void BM_CheckoutSingleBlockHit(benchmark::State& state) {
+  auto o = checkout_bench_opts();
+  o.front_table_size = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kOps = 8192;
+  constexpr std::size_t kBlockElems = (64 * ic::KiB) / sizeof(std::uint64_t);
+  for (auto _ : state) {
+    ityr::runtime rt(o);
+    rt.spmd([&] {
+      // 8 blocks, block-distributed over 2 ranks: the upper half is homed on
+      // rank 1, so rank 0 reaches it through its software cache.
+      auto a = ityr::coll_new<std::uint64_t>(8 * kBlockElems, ic::dist_policy::block);
+      if (ityr::my_rank() == 0) {
+        auto p = a + static_cast<std::ptrdiff_t>(4 * kBlockElems);
+        // Warm once: the full-block read makes the block fully valid and
+        // memoizes it.
+        ityr::with_checkout(p, kBlockElems, ityr::access_mode::read,
+                            [](const std::uint64_t*) {});
+        std::uint64_t sink = 0;
+        for (std::size_t i = 0; i < kOps; i++) {
+          sink ^= ityr::get(p + static_cast<std::ptrdiff_t>((i * 97) % kBlockElems));
+        }
+        benchmark::DoNotOptimize(sink);
+      }
+      ityr::barrier();
+      ityr::coll_delete(a, 8 * kBlockElems);
+    });
+    if (o.front_table_size > 0) {
+      // The warm-up checkout plus every single-element load must hit.
+      const auto cst = rt.pgas().aggregate_stats();
+      ITYR_CHECK(cst.fast_path_hits >= kOps);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kOps));
+}
+BENCHMARK(BM_CheckoutSingleBlockHit)->Arg(64)->Arg(0);
+
+/// Cold multi-block checkouts of a remote span whose home blocks sit
+/// back-to-back in one rank's pool: with coalescing the whole span rides one
+/// RMA message per round; without it every sub-block gap is its own message.
+/// Arg = coalesce_rma. The "messages" counter reports RMA messages per round.
+void BM_CheckoutMultiBlockCold(benchmark::State& state) {
+  auto o = checkout_bench_opts();
+  o.coalesce_rma = state.range(0) != 0;
+  constexpr std::size_t kRounds = 16;
+  constexpr std::size_t kBlockElems = (64 * ic::KiB) / sizeof(std::uint64_t);
+  constexpr std::size_t kSpanElems = 4 * kBlockElems;  // 4 blocks = 256 KiB
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    ityr::runtime rt(o);
+    rt.spmd([&] {
+      auto a = ityr::coll_new<std::uint64_t>(8 * kBlockElems, ic::dist_policy::block);
+      for (std::size_t r = 0; r < kRounds; r++) {
+        if (ityr::my_rank() == 0) {
+          auto p = a + static_cast<std::ptrdiff_t>(4 * kBlockElems);
+          ityr::with_checkout(p, kSpanElems, ityr::access_mode::read,
+                              [](const std::uint64_t*) {});
+        }
+        // The barrier's acquire invalidates the cache, so every round
+        // re-fetches the whole span.
+        ityr::barrier();
+      }
+      ityr::coll_delete(a, 8 * kBlockElems);
+    });
+    messages = rt.rma().net().total_messages();
+  }
+  state.counters["messages"] = static_cast<double>(messages);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kRounds * kSpanElems * sizeof(std::uint64_t)));
+}
+BENCHMARK(BM_CheckoutMultiBlockCold)->Arg(1)->Arg(0);
 
 }  // namespace
 

@@ -18,3 +18,9 @@ for b in table1_environment fig7_cilksort_cutoff fig8_cilksort_scaling \
   ./build/bench/$b
   echo
 done
+
+# Machine-readable checkout hot-path stats (messages/bytes/virtual time for
+# the fig8 cilksort config, coalesced vs uncoalesced) -> BENCH_checkout.json.
+echo "#### bench/checkout_stats"
+./build/bench/checkout_stats BENCH_checkout.json
+echo

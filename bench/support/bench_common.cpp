@@ -27,6 +27,7 @@ run_metrics collect(runtime& rt, double time, bool ok) {
   m.fetched_bytes = cst.fetched_bytes;
   m.written_back_bytes = cst.written_back_bytes + cst.write_through_bytes;
   m.messages = rt.rma().net().total_messages();
+  m.bytes = rt.rma().net().total_bytes();
   return m;
 }
 
@@ -52,6 +53,11 @@ common::options cluster_opts(int n_nodes, int ranks_per_node) {
 // ---------------------------------------------------------------------------
 
 run_metrics run_cilksort(const common::options& opt, std::size_t n, std::size_t cutoff) {
+  return run_cilksort_with_stats(opt, n, cutoff, nullptr);
+}
+
+run_metrics run_cilksort_with_stats(const common::options& opt, std::size_t n, std::size_t cutoff,
+                                    pgas::cache_system::stats* cache_stats_out) {
   auto o = opt;
   o.coll_heap_per_rank =
       std::max(o.coll_heap_per_rank,
@@ -79,6 +85,7 @@ run_metrics run_cilksort(const common::options& opt, std::size_t n, std::size_t 
     coll_delete(a, n);
     coll_delete(b, n);
   });
+  if (cache_stats_out != nullptr) *cache_stats_out = rt.pgas().aggregate_stats();
   return collect(rt, elapsed, ok);
 }
 
@@ -248,6 +255,7 @@ std::vector<breakdown_row> run_cilksort_breakdown(const common::options& opt, st
   std::vector<breakdown_row> rows;
   const std::pair<prof_event, const char*> cats[] = {
       {prof_event::get, "Get"},
+      {prof_event::put, "Put"},
       {prof_event::checkout, "Checkout"},
       {prof_event::checkin, "Checkin"},
       {prof_event::release, "Release"},

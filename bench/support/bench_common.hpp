@@ -20,6 +20,7 @@
 #include "itoyori/apps/fmm/fmm.hpp"
 #include "itoyori/apps/uts.hpp"
 #include "itoyori/common/options.hpp"
+#include "itoyori/pgas/cache_system.hpp"
 
 namespace ityr::bench {
 
@@ -35,13 +36,20 @@ struct run_metrics {
   std::uint64_t forks = 0;
   std::uint64_t fetched_bytes = 0;
   std::uint64_t written_back_bytes = 0;
-  std::uint64_t messages = 0;
+  std::uint64_t messages = 0;  ///< RMA messages over the whole run
+  std::uint64_t bytes = 0;     ///< RMA payload bytes over the whole run
   bool ok = true;  ///< application-level validation passed
 };
 
 // ---- experiment drivers ----
 
 run_metrics run_cilksort(const common::options& opt, std::size_t n, std::size_t cutoff);
+
+/// Like run_cilksort, but additionally returns the aggregate cache-system
+/// statistics of the whole run (fast-path hits, visit accounting, coalescing
+/// savings) through `cache_stats_out`.
+run_metrics run_cilksort_with_stats(const common::options& opt, std::size_t n, std::size_t cutoff,
+                                    pgas::cache_system::stats* cache_stats_out);
 
 /// Serial baseline with all runtime calls elided (paper Section 6.1):
 /// quicksort+merge on plain local memory, measured in real seconds.

@@ -1,7 +1,7 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
 #include <ostream>
 #include <vector>
 
@@ -32,9 +32,13 @@ inline std::ostream& operator<<(std::ostream& os, const interval& iv) {
 ///
 /// This is the workhorse behind per-block `validRegions` and dirty-region
 /// tracking (paper Fig. 4): byte-granularity region algebra with union,
-/// subtraction, and containment queries. The paper implements it as a linked
-/// list of intervals; we use a std::map keyed by interval start, which keeps
-/// the same O(k) merge behaviour with O(log n) lookup.
+/// subtraction, and containment queries. It sits on the checkout/checkin/
+/// writeback critical path, so the representation is a flat sorted
+/// std::vector of runs rather than a node-based tree: per-block sets almost
+/// always hold a handful of runs, and a contiguous array keeps lookups a
+/// cache-friendly binary search and mutations a short memmove — no
+/// allocation per run, no pointer chasing (the paper itself uses a linked
+/// list of intervals; same O(k) merge behaviour, much smaller constants).
 class interval_set {
 public:
   interval_set() = default;
@@ -45,7 +49,7 @@ public:
   /// Total number of bytes covered.
   std::uint64_t size() const {
     std::uint64_t n = 0;
-    for (const auto& [b, e] : ivs_) n += e - b;
+    for (const auto& iv : ivs_) n += iv.size();
     return n;
   }
 
@@ -54,58 +58,58 @@ public:
   /// Union with [iv.begin, iv.end), coalescing adjacent/overlapping runs.
   void add(interval iv) {
     if (iv.empty()) return;
-    // First interval whose end could touch iv: predecessor of iv.begin.
-    auto it = ivs_.upper_bound(iv.begin);
-    if (it != ivs_.begin()) {
-      auto prev = std::prev(it);
-      if (prev->second >= iv.begin) {  // touches or overlaps on the left
-        iv.begin = prev->first;
-        iv.end   = iv.end > prev->second ? iv.end : prev->second;
-        it       = ivs_.erase(prev);
-      }
+    // First run that could touch iv on the left: the first with end >= begin.
+    auto it = touch_lower_bound(iv.begin);
+    if (it == ivs_.end() || iv.end < it->begin) {
+      ivs_.insert(it, iv);  // disjoint from every run; plain insert
+      return;
     }
-    // Absorb all intervals starting within (or touching) [begin, end].
-    while (it != ivs_.end() && it->first <= iv.end) {
-      iv.end = iv.end > it->second ? iv.end : it->second;
-      it     = ivs_.erase(it);
+    // Merge iv into *it, then absorb every following run it now touches.
+    it->begin = std::min(it->begin, iv.begin);
+    it->end   = std::max(it->end, iv.end);
+    auto last = it + 1;
+    while (last != ivs_.end() && last->begin <= it->end) {
+      it->end = std::max(it->end, last->end);
+      ++last;
     }
-    ivs_.emplace(iv.begin, iv.end);
+    ivs_.erase(it + 1, last);
   }
 
   /// Remove [iv.begin, iv.end) from the set, splitting runs as needed.
   void subtract(interval iv) {
     if (iv.empty() || ivs_.empty()) return;
-    auto it = ivs_.upper_bound(iv.begin);
-    if (it != ivs_.begin()) {
-      auto prev = std::prev(it);
-      if (prev->second > iv.begin) it = prev;
+    // First run overlapping iv: the first with end > begin.
+    auto it = overlap_lower_bound(iv.begin);
+    if (it == ivs_.end() || it->begin >= iv.end) return;
+    if (it->begin < iv.begin && it->end > iv.end) {
+      // iv is strictly inside one run: split it in two.
+      const interval right{iv.end, it->end};
+      it->end = iv.begin;
+      ivs_.insert(it + 1, right);
+      return;
     }
-    while (it != ivs_.end() && it->first < iv.end) {
-      interval cur{it->first, it->second};
-      it = ivs_.erase(it);
-      if (cur.begin < iv.begin) ivs_.emplace(cur.begin, iv.begin);
-      if (cur.end > iv.end) {
-        ivs_.emplace(iv.end, cur.end);
-        break;
-      }
+    if (it->begin < iv.begin) {  // left remainder survives
+      it->end = iv.begin;
+      ++it;
     }
+    auto last = it;
+    while (last != ivs_.end() && last->end <= iv.end) ++last;  // fully covered
+    if (last != ivs_.end() && last->begin < iv.end) last->begin = iv.end;
+    ivs_.erase(it, last);
   }
 
   /// True iff [iv.begin, iv.end) is entirely covered.
   bool contains(interval iv) const {
     if (iv.empty()) return true;
-    auto it = ivs_.upper_bound(iv.begin);
-    if (it == ivs_.begin()) return false;
-    auto prev = std::prev(it);
-    return prev->first <= iv.begin && iv.end <= prev->second;
+    auto it = overlap_lower_bound(iv.begin);
+    return it != ivs_.end() && it->begin <= iv.begin && iv.end <= it->end;
   }
 
   /// True iff some byte of [iv.begin, iv.end) is covered.
   bool overlaps(interval iv) const {
-    if (iv.empty() || ivs_.empty()) return false;
-    auto it = ivs_.upper_bound(iv.begin);
-    if (it != ivs_.begin() && std::prev(it)->second > iv.begin) return true;
-    return it != ivs_.end() && it->first < iv.end;
+    if (iv.empty()) return false;
+    auto it = overlap_lower_bound(iv.begin);
+    return it != ivs_.end() && it->begin < iv.end;
   }
 
   /// The parts of `iv` NOT covered by this set, in increasing order.
@@ -114,14 +118,10 @@ public:
     std::vector<interval> out;
     if (iv.empty()) return out;
     std::uint64_t pos = iv.begin;
-    auto it = ivs_.upper_bound(iv.begin);
-    if (it != ivs_.begin()) {
-      auto prev = std::prev(it);
-      if (prev->second > pos) pos = prev->second;
-    }
-    for (; it != ivs_.end() && it->first < iv.end && pos < iv.end; ++it) {
-      if (it->first > pos) out.push_back({pos, it->first});
-      if (it->second > pos) pos = it->second;
+    for (auto it = overlap_lower_bound(iv.begin);
+         it != ivs_.end() && it->begin < iv.end && pos < iv.end; ++it) {
+      if (it->begin > pos) out.push_back({pos, it->begin});
+      if (it->end > pos) pos = it->end;
     }
     if (pos < iv.end) out.push_back({pos, iv.end});
     return out;
@@ -130,33 +130,41 @@ public:
   /// The parts of `iv` that ARE covered, in increasing order.
   std::vector<interval> overlapping(interval iv) const {
     std::vector<interval> out;
-    if (iv.empty() || ivs_.empty()) return out;
-    auto it = ivs_.upper_bound(iv.begin);
-    if (it != ivs_.begin()) {
-      auto prev = std::prev(it);
-      if (prev->second > iv.begin) it = prev;
-    }
-    for (; it != ivs_.end() && it->first < iv.end; ++it) {
-      interval x = intersect({it->first, it->second}, iv);
+    if (iv.empty()) return out;
+    for (auto it = overlap_lower_bound(iv.begin); it != ivs_.end() && it->begin < iv.end; ++it) {
+      interval x = intersect(*it, iv);
       if (!x.empty()) out.push_back(x);
     }
     return out;
   }
 
   /// All intervals, in increasing order.
-  std::vector<interval> to_vector() const {
-    std::vector<interval> out;
-    out.reserve(ivs_.size());
-    for (const auto& [b, e] : ivs_) out.push_back({b, e});
-    return out;
-  }
+  const std::vector<interval>& to_vector() const { return ivs_; }
 
   friend bool operator==(const interval_set& a, const interval_set& b) {
     return a.ivs_ == b.ivs_;
   }
 
 private:
-  std::map<std::uint64_t, std::uint64_t> ivs_;  // begin -> end
+  using iter = std::vector<interval>::iterator;
+  using citer = std::vector<interval>::const_iterator;
+
+  /// First run with end >= pos (may merely touch pos).
+  iter touch_lower_bound(std::uint64_t pos) {
+    return std::lower_bound(ivs_.begin(), ivs_.end(), pos,
+                            [](const interval& r, std::uint64_t p) { return r.end < p; });
+  }
+  /// First run with end > pos (covers or lies beyond pos).
+  citer overlap_lower_bound(std::uint64_t pos) const {
+    return std::lower_bound(ivs_.begin(), ivs_.end(), pos,
+                            [](const interval& r, std::uint64_t p) { return r.end <= p; });
+  }
+  iter overlap_lower_bound(std::uint64_t pos) {
+    return std::lower_bound(ivs_.begin(), ivs_.end(), pos,
+                            [](const interval& r, std::uint64_t p) { return r.end <= p; });
+  }
+
+  std::vector<interval> ivs_;  // sorted, disjoint, coalesced
 };
 
 inline std::ostream& operator<<(std::ostream& os, const interval_set& s) {

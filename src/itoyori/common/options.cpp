@@ -71,6 +71,8 @@ options options::from_env() {
   env_get("ITYR_NONCOLL_HEAP_PER_RANK", o.noncoll_heap_per_rank);
   env_get("ITYR_MAX_MAP_ENTRIES", o.max_map_entries);
   env_get("ITYR_POLICY", o.policy);
+  env_get("ITYR_COALESCE_RMA", o.coalesce_rma);
+  env_get("ITYR_FRONT_TABLE_SIZE", o.front_table_size);
   env_get("ITYR_ULT_STACK_SIZE", o.ult_stack_size);
   env_get("ITYR_COMPUTE_SCALE", o.compute_scale);
   env_get("ITYR_DETERMINISTIC", o.deterministic);

@@ -82,6 +82,20 @@ struct options {
   cache_policy policy       = cache_policy::write_back_lazy;
   dist_policy default_dist  = dist_policy::block_cyclic;
 
+  /// Cross-block RMA coalescing: fetch gaps and write-back runs addressed to
+  /// the same (window, rank) within one checkout or write-back round are
+  /// issued as a single message (contiguous remote runs are merged outright;
+  /// disjoint runs ride one gather message, MPI-datatype style). Off = one
+  /// message per gap, the paper's baseline behaviour.
+  bool coalesce_rma = true;
+
+  /// Entries in the per-rank direct-mapped front table memoizing recently
+  /// touched memory blocks; single-block checkouts hitting a memoized
+  /// mapped, fully-valid (or home) block skip the hash map, home lookup and
+  /// interval algebra entirely. 0 disables the fast path. Rounded up to a
+  /// power of two.
+  std::size_t front_table_size = 64;
+
   // --- scheduler ---
   std::size_t ult_stack_size = 256 * KiB;  ///< user-level thread stacks
   double steal_backoff       = 2.0e-6;     ///< seconds between failed steal rounds

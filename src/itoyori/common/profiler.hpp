@@ -13,6 +13,7 @@ namespace ityr::common {
 /// runtime-internal ones.
 enum class prof_event : std::uint8_t {
   get,            ///< single-element global loads (e.g. binary search)
+  put,            ///< single-element global stores
   checkout,
   checkin,
   release,        ///< normal releases (Release #2/#3)
@@ -31,6 +32,7 @@ inline constexpr std::size_t n_prof_events = static_cast<std::size_t>(prof_event
 inline const char* to_string(prof_event e) {
   switch (e) {
     case prof_event::get:          return "Get";
+    case prof_event::put:          return "Put";
     case prof_event::checkout:     return "Checkout";
     case prof_event::checkin:      return "Checkin";
     case prof_event::release:      return "Release";

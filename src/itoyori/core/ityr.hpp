@@ -192,20 +192,30 @@ T get(global_ptr<T> p) {
     rt().pgas().get(p.raw(), &v, sizeof(T));
     return v;
   }
+  // Single-element loads are the classic front-table case (e.g. the sparse
+  // probes of Cilksort's binary search hitting the same block repeatedly):
+  // a memoized fully-valid block answers with one memcpy, no pin/unpin.
+  if constexpr (std::is_trivially_copyable_v<std::remove_const_t<T>>) {
+    std::remove_const_t<T> v;
+    if (rt().pgas().get_fast(p.raw(), &v, sizeof(T))) return v;
+  }
   const T* ptr =
       reinterpret_cast<const T*>(rt().pgas().checkout(p.raw(), sizeof(T), access_mode::read));
-  T v = *ptr;
+  std::remove_const_t<T> v = *ptr;
   rt().pgas().checkin(p.raw(), sizeof(T), access_mode::read);
   return v;
 }
 
-/// Store one element.
+/// Store one element (profiled as "Put", distinct from "Get").
 template <typename T>
 void put(global_ptr<T> p, const T& v) {
-  common::profiler::maybe_scope sc(&rt().prof(), common::prof_event::get);
+  common::profiler::maybe_scope sc(&rt().prof(), common::prof_event::put);
   if (rt().opts().policy == cache_policy::none) {
     rt().pgas().put(&v, p.raw(), sizeof(T));
     return;
+  }
+  if constexpr (std::is_trivially_copyable_v<T>) {
+    if (rt().pgas().put_fast(&v, p.raw(), sizeof(T))) return;
   }
   T* ptr = reinterpret_cast<T*>(rt().pgas().checkout(p.raw(), sizeof(T), access_mode::write));
   *ptr = v;

@@ -1,6 +1,7 @@
 #include "itoyori/pgas/cache_system.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 namespace ityr::pgas {
 
@@ -8,6 +9,12 @@ namespace {
 // Fixed virtual cost of one mmap/munmap when running in deterministic mode
 // (in measured mode the real syscall cost is captured by the engine).
 constexpr double kDeterministicMmapCost = 2.0e-6;
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
 }  // namespace
 
 cache_system::cache_system(sim::engine& eng, rma::context& rma, global_heap& heap,
@@ -20,6 +27,7 @@ cache_system::cache_system(sim::engine& eng, rma::context& rma, global_heap& hea
       block_size_(eng.opts().block_size),
       sub_block_size_(std::min(eng.opts().sub_block_size, eng.opts().block_size)),
       policy_(eng.opts().policy),
+      coalesce_(eng.opts().coalesce_rma),
       view_(heap.total_size()),
       cache_pool_(block_size_, std::max<std::size_t>(1, eng.opts().cache_size / block_size_),
                   "ityr-cache"),
@@ -38,6 +46,15 @@ cache_system::cache_system(sim::engine& eng, rma::context& rma, global_heap& hea
 
   free_slots_.reserve(n_cache_blocks_);
   for (std::size_t s = n_cache_blocks_; s-- > 0;) free_slots_.push_back(s);
+
+  if (eng.opts().front_table_size > 0) {
+    // Clamped: a garbage ITYR_FRONT_TABLE_SIZE (e.g. "-5" read as 2^64-5)
+    // must not wedge startup in round_up_pow2 or exhaust memory.
+    const std::size_t entries =
+        std::min<std::size_t>(eng.opts().front_table_size, std::size_t(1) << 20);
+    front_.resize(round_up_pow2(entries));
+    front_mask_ = front_.size() - 1;
+  }
 }
 
 std::uint64_t* cache_system::epoch_words() const {
@@ -94,6 +111,7 @@ void cache_system::evict_home_block() {
         "all home-block mapping entries are pinned by outstanding checkouts");
   }
   auto& mb = static_cast<mem_block&>(*hook);
+  purge_front(mb.mb_id);  // the front table must never outlive a block
   if (mb.mapped) unmap_block(mb);
   home_lru_.erase(mb);
   st_.home_evictions++;
@@ -140,6 +158,7 @@ bool cache_system::try_evict_cache_block() {
   });
   if (hook == nullptr) return false;
   auto& mb = static_cast<mem_block&>(*hook);
+  purge_front(mb.mb_id);  // the front table must never outlive a block
   if (mb.mapped) unmap_block(mb);
   cache_lru_.erase(mb);
   free_slots_.push_back(mb.slot);
@@ -148,7 +167,191 @@ bool cache_system::try_evict_cache_block() {
   return true;
 }
 
+cache_system::mem_block* cache_system::front_probe(gaddr_t g, std::size_t size) {
+  if (front_.empty() || size == 0) return nullptr;
+  ITYR_CHECK(eng_.my_rank() == rank_);
+  if (!heap_.in_heap(g, size)) return nullptr;
+  const std::uint64_t off0 = heap_.view_off(g);
+  const std::uint64_t mb_id = off0 / block_size_;
+  if ((off0 + size - 1) / block_size_ != mb_id) return nullptr;  // spans blocks
+  const front_entry& fe = front_[mb_id & front_mask_];
+  if (fe.mb_id != mb_id) return nullptr;
+  ITYR_CHECK(fe.mb != nullptr);
+  ITYR_CHECK(fe.mb->mapped);
+  return fe.mb;
+}
+
+void* cache_system::checkout_fast(gaddr_t g, std::size_t size, access_mode mode) {
+  mem_block* mb = front_probe(g, size);
+  if (mb == nullptr) return nullptr;
+  // Read-mode data must be present: only home blocks (always authoritative)
+  // and fully-valid cache blocks qualify. Write-mode never fetches, so any
+  // memoized cache block qualifies.
+  if (mb->k == mem_block::kind::cache && mode != access_mode::write && !mb->fully_valid)
+    return nullptr;
+
+  const std::uint64_t off0 = heap_.view_off(g);
+  st_.checkouts++;
+  st_.fast_path_hits++;
+  st_.block_visits++;
+  if (mb->k == mem_block::kind::home) {
+    home_lru_.touch(*mb);
+    st_.block_hits++;
+  } else {
+    cache_lru_.touch(*mb);
+    if (mode == access_mode::write) {
+      if (!mb->fully_valid) {
+        const std::uint64_t block_base = mb->mb_id * block_size_;
+        mb->valid.add({off0 - block_base, off0 - block_base + size});
+        update_fully_valid(*mb);
+      }
+      st_.write_skips++;
+    } else {
+      st_.block_hits++;
+    }
+  }
+  mb->ref_count++;
+  checked_out_bytes_ += size;
+  return view_.at(off0);
+}
+
+bool cache_system::checkin_fast(gaddr_t g, std::size_t size, access_mode mode) {
+  mem_block* mb = front_probe(g, size);
+  if (mb == nullptr) return false;
+  if (mb->ref_count == 0) return false;  // mismatched: let checkin() report it
+
+  if (mb->k == mem_block::kind::cache && mode != access_mode::read) {
+    const std::uint64_t off0 = heap_.view_off(g);
+    const std::uint64_t block_base = mb->mb_id * block_size_;
+    const common::interval req{off0 - block_base, off0 - block_base + size};
+    if (policy_ == common::cache_policy::write_through) {
+      rma_.put_nb(*mb->home.win, mb->home.rank, mb->home.pool_off + req.begin,
+                  cache_slot_ptr(*mb) + req.begin, req.size());
+      st_.write_through_bytes += req.size();
+      rma_.flush();
+    } else {
+      mark_dirty(*mb, req);
+    }
+  }
+  st_.checkins++;
+  mb->ref_count--;
+  ITYR_CHECK(checked_out_bytes_ >= size);
+  checked_out_bytes_ -= size;
+  return true;
+}
+
+bool cache_system::get_fast(gaddr_t g, std::size_t size, void* out) {
+  mem_block* mb = front_probe(g, size);
+  if (mb == nullptr) return false;
+  if (mb->k == mem_block::kind::cache && !mb->fully_valid) return false;
+
+  std::memcpy(out, view_.at(heap_.view_off(g)), size);
+  (mb->k == mem_block::kind::home ? home_lru_ : cache_lru_).touch(*mb);
+  // Counted as a fused checkout+checkin pair so aggregate stats stay
+  // comparable with the generic path.
+  st_.checkouts++;
+  st_.checkins++;
+  st_.fast_path_hits++;
+  st_.block_visits++;
+  st_.block_hits++;
+  return true;
+}
+
+bool cache_system::put_fast(gaddr_t g, std::size_t size, const void* in) {
+  mem_block* mb = front_probe(g, size);
+  if (mb == nullptr) return false;
+
+  const std::uint64_t off0 = heap_.view_off(g);
+  std::memcpy(view_.at(off0), in, size);
+  st_.checkouts++;
+  st_.checkins++;
+  st_.fast_path_hits++;
+  st_.block_visits++;
+  if (mb->k == mem_block::kind::home) {
+    home_lru_.touch(*mb);
+    st_.block_hits++;
+    return true;
+  }
+  cache_lru_.touch(*mb);
+  st_.write_skips++;
+  const std::uint64_t block_base = mb->mb_id * block_size_;
+  const common::interval req{off0 - block_base, off0 - block_base + size};
+  if (!mb->fully_valid) {
+    mb->valid.add(req);
+    update_fully_valid(*mb);
+  }
+  if (policy_ == common::cache_policy::write_through) {
+    rma_.put_nb(*mb->home.win, mb->home.rank, mb->home.pool_off + req.begin,
+                cache_slot_ptr(*mb) + req.begin, req.size());
+    st_.write_through_bytes += req.size();
+    rma_.flush();
+  } else {
+    mark_dirty(*mb, req);
+  }
+  return true;
+}
+
+void cache_system::issue_segs(std::vector<xfer_seg>& segs, bool is_put) {
+  if (segs.empty()) return;
+  if (!coalesce_) {
+    // Baseline: one message per gap/run, in discovery order.
+    for (const xfer_seg& s : segs) {
+      if (is_put) {
+        rma_.put_nb(*s.win, s.rank, s.off, s.local, s.len);
+      } else {
+        rma_.get_nb(*s.win, s.rank, s.off, s.local, s.len);
+      }
+    }
+    segs.clear();
+    return;
+  }
+
+  // Deterministic order: window creation id, not pointer value.
+  std::sort(segs.begin(), segs.end(), [](const xfer_seg& a, const xfer_seg& b) {
+    if (a.win->id != b.win->id) return a.win->id < b.win->id;
+    if (a.rank != b.rank) return a.rank < b.rank;
+    return a.off < b.off;
+  });
+
+  std::size_t i = 0;
+  while (i < segs.size()) {
+    rma::window* const win = segs[i].win;
+    const int rank = segs[i].rank;
+    iov_.clear();
+    std::size_t n_in_group = 0;
+    for (; i < segs.size() && segs[i].win == win && segs[i].rank == rank; i++) {
+      // Merge runs that are contiguous both remotely (pool offsets) and
+      // locally (e.g. consecutive blocks of one rank's span fetched into the
+      // user buffer) into a single range spanning block boundaries.
+      if (!iov_.empty() && iov_.back().off + iov_.back().len == segs[i].off &&
+          iov_.back().local + iov_.back().len == segs[i].local) {
+        iov_.back().len += segs[i].len;
+      } else {
+        iov_.push_back({segs[i].off, segs[i].local, segs[i].len});
+      }
+      n_in_group++;
+    }
+    // The whole (window, rank) group rides one message: contiguous runs
+    // merged outright, the rest as a gather/scatter list.
+    if (iov_.size() == 1) {
+      if (is_put) {
+        rma_.put_nb(*win, rank, iov_[0].off, iov_[0].local, iov_[0].len);
+      } else {
+        rma_.get_nb(*win, rank, iov_[0].off, iov_[0].local, iov_[0].len);
+      }
+    } else if (is_put) {
+      rma_.put_nb_multi(*win, rank, iov_.data(), iov_.size());
+    } else {
+      rma_.get_nb_multi(*win, rank, iov_.data(), iov_.size());
+    }
+    st_.coalesced_messages += n_in_group - 1;
+  }
+  segs.clear();
+}
+
 void* cache_system::checkout(gaddr_t g, std::size_t size, access_mode mode) {
+  if (void* p = checkout_fast(g, size, mode)) return p;
+
   ITYR_CHECK(eng_.my_rank() == rank_);
   ITYR_CHECK(size > 0);
   if (!heap_.in_heap(g, size)) throw common::api_error("checkout outside the global heap");
@@ -157,21 +360,20 @@ void* cache_system::checkout(gaddr_t g, std::size_t size, access_mode mode) {
   const std::uint64_t off0 = heap_.view_off(g);
   const std::uint64_t off1 = off0 + size;
   blocks_to_map_.clear();
-
+  segs_.clear();
   // Blocks already pinned by this checkout, for rollback if a later block
   // raises too-much-checkout: the failed checkout must leave no dangling
   // refcounts and no "valid" claims over never-fetched write-mode bytes.
-  struct touched {
-    mem_block* mb;
-    common::interval write_added;  // empty unless write-mode valid.add
-  };
-  std::vector<touched> pinned;
+  pinned_.clear();
 
   auto rollback = [&] {
-    for (auto& t : pinned) {
+    for (auto& t : pinned_) {
       ITYR_CHECK(t.mb->ref_count > 0);
       t.mb->ref_count--;
-      if (!t.write_added.empty()) t.mb->valid.subtract(t.write_added);
+      if (!t.write_added.empty()) {
+        t.mb->valid.subtract(t.write_added);
+        t.mb->fully_valid = false;
+      }
     }
   };
 
@@ -179,12 +381,14 @@ void* cache_system::checkout(gaddr_t g, std::size_t size, access_mode mode) {
     for (std::uint64_t mb_id = off0 / block_size_; mb_id <= (off1 - 1) / block_size_; mb_id++) {
       const std::uint64_t block_base = mb_id * block_size_;
       const auto home = heap_.locate_block(mb_id);
+      st_.block_visits++;
 
       if (home.rank == rank_ || eng_.same_node(home.rank, rank_)) {
         mem_block& mb = get_home_block(mb_id, home);
+        st_.block_hits++;  // home data is authoritative; nothing to fetch
         if (!mb.mapped) blocks_to_map_.push_back(&mb);
         mb.ref_count++;
-        pinned.push_back({&mb, {}});
+        pinned_.push_back({&mb, {}});
         continue;
       }
 
@@ -197,46 +401,60 @@ void* cache_system::checkout(gaddr_t g, std::size_t size, access_mode mode) {
         // Write-only: the bytes will be fully overwritten; no fetch (Fig. 4
         // line 16). They become "valid" in the sense that the cache copy is
         // the authoritative one from now on.
-        mb.valid.add(req);
-        write_added = req;
-      } else if (!mb.valid.contains(req)) {
+        st_.write_skips++;
+        if (!mb.valid.contains(req)) {
+          mb.valid.add(req);
+          update_fully_valid(mb);
+          write_added = req;
+        }
+      } else if (mb.valid.contains(req)) {
+        st_.block_hits++;
+      } else {
         st_.block_misses++;
         // Fetch at sub-block granularity for spatial locality, skipping
         // already-valid (possibly dirty!) byte ranges (Fig. 4 lines 18-21).
+        // Gaps are collected and issued together after the block walk so
+        // that same-home gaps can ride one message.
         const common::interval padded{req.begin / sub_block_size_ * sub_block_size_,
                                       std::min<std::uint64_t>(
                                           (req.end + sub_block_size_ - 1) / sub_block_size_ *
                                               sub_block_size_,
                                           block_size_)};
         for (const auto& miss : mb.valid.missing(padded)) {
-          rma_.get_nb(*home.win, home.rank, home.pool_off + miss.begin,
-                      cache_slot_ptr(mb) + miss.begin, miss.size());
+          segs_.push_back({home.win, home.rank, home.pool_off + miss.begin,
+                           cache_slot_ptr(mb) + miss.begin, miss.size()});
           st_.fetched_bytes += miss.size();
           mb.valid.add(miss);
         }
-      } else {
-        st_.block_hits++;
+        update_fully_valid(mb);
       }
       if (!mb.mapped) blocks_to_map_.push_back(&mb);
       mb.ref_count++;
-      pinned.push_back({&mb, write_added});
+      pinned_.push_back({&mb, write_added});
     }
   } catch (const common::too_much_checkout_error&) {
+    // Gaps collected so far were already claimed valid; their data must
+    // still land before anyone trusts those claims.
+    issue_segs(segs_, /*is_put=*/false);
     rollback();
-    rma_.flush();  // fetches already issued must still complete
+    rma_.flush();
     throw;
   }
 
+  issue_segs(segs_, /*is_put=*/false);
   // Update memory mappings only after all communication has been issued, to
   // overlap the mmap syscalls with the transfers (Fig. 4 lines 25-29).
   for (mem_block* mb : blocks_to_map_) map_block(*mb);
   rma_.flush();
+  for (auto& t : pinned_) memoize(*t.mb);
 
   checked_out_bytes_ += size;
   return view_.at(off0);
 }
 
 void cache_system::checkin(gaddr_t g, std::size_t size, access_mode mode) {
+  if (checkin_fast(g, size, mode)) return;
+
   ITYR_CHECK(eng_.my_rank() == rank_);
   ITYR_CHECK(size > 0);
   if (!heap_.in_heap(g, size)) throw common::api_error("checkin outside the global heap");
@@ -293,16 +511,18 @@ void cache_system::mark_dirty(mem_block& mb, common::interval iv) {
 
 void cache_system::writeback_all() {
   if (dirty_blocks_.empty()) return;
+  wb_segs_.clear();
   for (mem_block* mb : dirty_blocks_) {
     for (const auto& iv : mb->dirty.to_vector()) {
-      rma_.put_nb(*mb->home.win, mb->home.rank, mb->home.pool_off + iv.begin,
-                  cache_slot_ptr(*mb) + iv.begin, iv.size());
+      wb_segs_.push_back({mb->home.win, mb->home.rank, mb->home.pool_off + iv.begin,
+                          cache_slot_ptr(*mb) + iv.begin, iv.size()});
       st_.written_back_bytes += iv.size();
     }
     mb->dirty.clear();
     mb->in_dirty_list = false;
   }
   dirty_blocks_.clear();
+  issue_segs(wb_segs_, /*is_put=*/true);
   rma_.flush();
   // Completing a write-back round advances this process's epoch, releasing
   // any acquirer waiting on a handler from before this round (Fig. 6).
@@ -318,7 +538,11 @@ void cache_system::invalidate_all() {
     ITYR_CHECK(mb->ref_count == 0);
     ITYR_CHECK(mb->dirty.empty());
     mb->valid.clear();
+    mb->fully_valid = false;
   }
+  // Memoized cache blocks just lost all their data; drop every memo (home
+  // entries too — an acquire is rare enough that refilling is cheap).
+  purge_front_all();
   st_.acquires++;
 }
 

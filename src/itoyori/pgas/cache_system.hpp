@@ -28,6 +28,20 @@ namespace ityr::pgas {
 /// pool (zero copy, no cache), and are themselves dynamically managed
 /// because of the mapping-entry budget (Section 4.3.2).
 ///
+/// Two hot-path optimizations sit in front of the generic machinery:
+///
+/// * A small direct-mapped *front table* memoizes recently touched blocks.
+///   A single-block checkout whose block is memoized, mapped and fully
+///   valid (or a home block) is served without touching the hash map, the
+///   heap's home lookup, or any interval algebra; dedicated single-element
+///   get/put entry points additionally skip the pin/unpin pair. Eviction,
+///   unmap and invalidate_all purge memoized entries, so a front-table hit
+///   can never reference a dead or stale block.
+/// * Remote fetches and write-backs are *coalesced*: all gaps addressed to
+///   the same (window, rank) within one checkout or write-back round leave
+///   as one RMA message, with pool-contiguous runs (e.g. consecutive blocks
+///   of one rank's span) merged outright across block boundaries.
+///
 /// Coherence follows SC-for-DRF with self-invalidation: release() writes
 /// all dirty bytes back to their homes; acquire() invalidates every cache
 /// block. release_lazy()/acquire(handler)/poll() implement the epoch-based
@@ -37,8 +51,12 @@ public:
   struct stats {
     std::uint64_t checkouts = 0;
     std::uint64_t checkins = 0;
-    std::uint64_t block_hits = 0;        ///< cache block lookups fully valid
-    std::uint64_t block_misses = 0;      ///< lookups that fetched remote data
+    std::uint64_t block_visits = 0;      ///< (checkout, block) pairs processed
+    std::uint64_t block_hits = 0;        ///< visits needing no fetch (incl. home)
+    std::uint64_t block_misses = 0;      ///< visits that fetched remote data
+    std::uint64_t write_skips = 0;       ///< write-mode visits (fetch elided)
+    std::uint64_t fast_path_hits = 0;    ///< checkouts served by the front table
+    std::uint64_t coalesced_messages = 0;  ///< RMA messages saved by coalescing
     std::uint64_t fetched_bytes = 0;
     std::uint64_t written_back_bytes = 0;
     std::uint64_t write_through_bytes = 0;
@@ -58,6 +76,19 @@ public:
   void* checkout(gaddr_t g, std::size_t size, access_mode mode);
   void checkin(gaddr_t g, std::size_t size, access_mode mode);
 
+  // ---- front-table fast paths ----
+  /// Single-block fast path: non-null iff the block is memoized, mapped and
+  /// home or fully valid. Pins the block like checkout(). checkout() tries
+  /// this first, so callers only need it to skip the generic prologue.
+  void* checkout_fast(gaddr_t g, std::size_t size, access_mode mode);
+  /// Matching fast checkin; false means the caller must use checkin().
+  bool checkin_fast(gaddr_t g, std::size_t size, access_mode mode);
+  /// One-shot single-element load/store: checkout+copy+checkin fused, no
+  /// pin/unpin (nothing can intervene — the copy cannot yield). False means
+  /// the caller must fall back to the generic span path.
+  bool get_fast(gaddr_t g, std::size_t size, void* out);
+  bool put_fast(gaddr_t g, std::size_t size, const void* in);
+
   // ---- fences (Section 4.4, Fig. 6) ----
   void release();
   release_handler release_lazy();
@@ -71,6 +102,7 @@ public:
   std::size_t n_cache_blocks() const { return n_cache_blocks_; }
   std::size_t home_mapped_limit() const { return home_mapped_limit_; }
   std::size_t checked_out_bytes() const { return checked_out_bytes_; }
+  std::size_t front_table_entries() const { return front_.size(); }
   const stats& get_stats() const { return st_; }
   const vm::view_region& view() const { return view_; }
 
@@ -89,7 +121,24 @@ private:
     std::size_t slot = 0;                 ///< index into the cache pool
     common::interval_set valid;           ///< block-relative [0, block_size)
     common::interval_set dirty;
+    bool fully_valid = false;             ///< valid == [0, block_size)
     bool in_dirty_list = false;
+  };
+
+  /// Direct-mapped memo of recently touched blocks (mapped ones only).
+  struct front_entry {
+    std::uint64_t mb_id = kNoBlock;
+    mem_block* mb = nullptr;
+  };
+  static constexpr std::uint64_t kNoBlock = ~std::uint64_t{0};
+
+  /// One remote range of a pending coalescable transfer.
+  struct xfer_seg {
+    rma::window* win = nullptr;
+    int rank = -1;
+    std::uint64_t off = 0;    ///< window offset
+    std::byte* local = nullptr;
+    std::size_t len = 0;
   };
 
   std::uint64_t* epoch_words() const;  // [0]=currentEpoch, [1]=requestEpoch
@@ -108,6 +157,32 @@ private:
   }
   void charge_mmap();
 
+  void update_fully_valid(mem_block& mb) {
+    mb.fully_valid = mb.valid.contains({0, block_size_});
+  }
+  void memoize(mem_block& mb) {
+    if (!front_.empty() && mb.mapped) {
+      front_[mb.mb_id & front_mask_] = {mb.mb_id, &mb};
+    }
+  }
+  void purge_front(std::uint64_t mb_id) {
+    if (front_.empty()) return;
+    front_entry& fe = front_[mb_id & front_mask_];
+    if (fe.mb_id == mb_id) fe = {};
+  }
+  void purge_front_all() {
+    for (front_entry& fe : front_) fe = {};
+  }
+  /// Front-table probe shared by the fast paths: the memoized block iff the
+  /// request is in-heap, within one block, and memoized.
+  mem_block* front_probe(gaddr_t g, std::size_t size);
+
+  /// Issue `segs` as nonblocking gets or puts, coalescing per (window, rank)
+  /// when enabled; clears `segs`. Checkout and write-back rounds keep
+  /// separate vectors because a write-back can fire mid-checkout (eviction
+  /// pressure inside get_cache_block).
+  void issue_segs(std::vector<xfer_seg>& segs, bool is_put);
+
   sim::engine& eng_;
   rma::context& rma_;
   global_heap& heap_;
@@ -116,6 +191,7 @@ private:
   const std::size_t block_size_;
   const std::size_t sub_block_size_;
   const common::cache_policy policy_;
+  const bool coalesce_;
 
   vm::view_region view_;
   vm::physical_pool cache_pool_;
@@ -130,8 +206,19 @@ private:
   std::vector<mem_block*> dirty_blocks_;
   std::size_t checked_out_bytes_ = 0;
 
-  // Reused per checkout to batch mmap updates after communication starts.
+  std::vector<front_entry> front_;  ///< size is a power of two (or empty)
+  std::uint64_t front_mask_ = 0;
+
+  // Reused per checkout/write-back round (no allocation on the hot path).
   std::vector<mem_block*> blocks_to_map_;
+  std::vector<xfer_seg> segs_;     ///< checkout fetch gaps
+  std::vector<xfer_seg> wb_segs_;  ///< write-back runs
+  std::vector<rma::io_segment> iov_;
+  struct touched {
+    mem_block* mb;
+    common::interval write_added;  // empty unless write-mode valid.add
+  };
+  std::vector<touched> pinned_;
 
   stats st_;
 };

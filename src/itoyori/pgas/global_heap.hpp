@@ -65,6 +65,15 @@ public:
   /// Collective-region blocks must belong to a live allocation.
   home_loc locate_block(std::uint64_t mb_id) const;
 
+  /// True iff block `b` directly follows block `a` in the same rank's home
+  /// pool, i.e. their physical bytes form one contiguous window range (so
+  /// RMA transfers touching both can ride a single message). Holds for
+  /// consecutive blocks of a block-distributed allocation within one rank's
+  /// span, and for a rank's successive blocks of a block-cyclic allocation.
+  bool homes_contiguous(const home_loc& a, const home_loc& b) const {
+    return a.rank == b.rank && a.win == b.win && b.pool_off == a.pool_off + block_size_;
+  }
+
   // ---- collective allocation (call from every rank, in order) ----
   gaddr_t coll_alloc(std::size_t size, common::dist_policy policy);
   void coll_free(gaddr_t g);

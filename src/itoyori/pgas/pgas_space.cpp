@@ -21,40 +21,64 @@ pgas_space::pgas_space(sim::engine& eng, rma::context& rma)
 }
 
 void pgas_space::get(gaddr_t from, void* to, std::size_t size) {
-  ITYR_CHECK(size > 0);
-  if (!heap_.in_heap(from, size)) throw common::api_error("GET outside the global heap");
-  const std::size_t bs = heap_.block_size();
-  const std::uint64_t off0 = heap_.view_off(from);
-  auto* dst = static_cast<std::byte*>(to);
-  std::uint64_t pos = off0;
-  const std::uint64_t end = off0 + size;
-  while (pos < end) {
-    const std::uint64_t mb_id = pos / bs;
-    const std::uint64_t in_block = pos % bs;
-    const std::uint64_t len = std::min<std::uint64_t>(bs - in_block, end - pos);
-    const auto home = heap_.locate_block(mb_id);
-    rma_.get_nb(*home.win, home.rank, home.pool_off + in_block, dst + (pos - off0), len);
-    pos += len;
-  }
-  rma_.flush();
+  xfer(from, static_cast<std::byte*>(to), size, /*is_put=*/false);
 }
 
 void pgas_space::put(const void* from, gaddr_t to, std::size_t size) {
+  xfer(to, const_cast<std::byte*>(static_cast<const std::byte*>(from)), size, /*is_put=*/true);
+}
+
+void pgas_space::xfer(gaddr_t g, std::byte* local, std::size_t size, bool is_put) {
   ITYR_CHECK(size > 0);
-  if (!heap_.in_heap(to, size)) throw common::api_error("PUT outside the global heap");
+  if (!heap_.in_heap(g, size))
+    throw common::api_error(is_put ? "PUT outside the global heap" : "GET outside the global heap");
   const std::size_t bs = heap_.block_size();
-  const std::uint64_t off0 = heap_.view_off(to);
-  const auto* src = static_cast<const std::byte*>(from);
+  const bool coalesce = eng_.opts().coalesce_rma;
+  const std::uint64_t off0 = heap_.view_off(g);
   std::uint64_t pos = off0;
   const std::uint64_t end = off0 + size;
+
+  // Per-block spans whose homes sit back-to-back in one rank's pool (block
+  // distribution, or a rank's successive cyclic blocks) ride one message:
+  // both the remote range and the user buffer are contiguous across the
+  // block boundary, so plain run-merging suffices — no gather list needed.
+  global_heap::home_loc run_home{};   // home of the run's first block
+  global_heap::home_loc prev_home{};  // home of the last block appended
+  std::uint64_t run_begin = 0;        // view offset where the current run starts
+  std::uint64_t run_len = 0;
+
+  auto flush_run = [&] {
+    if (run_len == 0) return;
+    if (is_put) {
+      rma_.put_nb(*run_home.win, run_home.rank, run_home.pool_off + run_begin % bs,
+                  local + (run_begin - off0), run_len);
+    } else {
+      rma_.get_nb(*run_home.win, run_home.rank, run_home.pool_off + run_begin % bs,
+                  local + (run_begin - off0), run_len);
+    }
+    run_len = 0;
+  };
+
   while (pos < end) {
     const std::uint64_t mb_id = pos / bs;
     const std::uint64_t in_block = pos % bs;
     const std::uint64_t len = std::min<std::uint64_t>(bs - in_block, end - pos);
     const auto home = heap_.locate_block(mb_id);
-    rma_.put_nb(*home.win, home.rank, home.pool_off + in_block, src + (pos - off0), len);
+    // A new block can only extend the run if the run ended exactly at the
+    // previous block boundary (in_block == 0 guarantees it) and its home
+    // bytes directly follow the previous block's in the same pool.
+    if (run_len > 0 && coalesce && in_block == 0 && heap_.homes_contiguous(prev_home, home)) {
+      run_len += len;
+    } else {
+      flush_run();
+      run_home = home;
+      run_begin = pos;
+      run_len = len;
+    }
+    prev_home = home;
     pos += len;
   }
+  flush_run();
   rma_.flush();
 }
 
@@ -97,8 +121,12 @@ cache_system::stats pgas_space::aggregate_stats() const {
     const auto& s = c->get_stats();
     agg.checkouts += s.checkouts;
     agg.checkins += s.checkins;
+    agg.block_visits += s.block_visits;
     agg.block_hits += s.block_hits;
     agg.block_misses += s.block_misses;
+    agg.write_skips += s.write_skips;
+    agg.fast_path_hits += s.fast_path_hits;
+    agg.coalesced_messages += s.coalesced_messages;
     agg.fetched_bytes += s.fetched_bytes;
     agg.written_back_bytes += s.written_back_bytes;
     agg.write_through_bytes += s.write_through_bytes;

@@ -48,6 +48,15 @@ public:
   void get(gaddr_t from, void* to, std::size_t size);
   void put(const void* from, gaddr_t to, std::size_t size);
 
+  // ---- single-block fast-path entry points (front-table served) ----
+  /// False means the caller must fall back to checkout/checkin or GET/PUT.
+  bool get_fast(gaddr_t from, void* to, std::size_t size) {
+    return cache().get_fast(from, size, to);
+  }
+  bool put_fast(const void* from, gaddr_t to, std::size_t size) {
+    return cache().put_fast(to, size, from);
+  }
+
   /// SPMD-mode barrier across all ranks, with release/acquire semantics
   /// (all writes before the barrier are visible after it).
   void barrier();
@@ -56,6 +65,10 @@ public:
   cache_system::stats aggregate_stats() const;
 
 private:
+  /// Shared GET/PUT walk: per-block transfers with pool-contiguous runs
+  /// merged into single messages when coalescing is enabled.
+  void xfer(gaddr_t g, std::byte* local, std::size_t size, bool is_put);
+
   sim::engine& eng_;
   rma::context& rma_;
   global_heap heap_;

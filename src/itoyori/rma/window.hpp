@@ -18,12 +18,25 @@ struct window {
   };
   std::vector<region> regions;  // indexed by rank
 
+  /// Creation-order id, assigned by the context. Windows are created in a
+  /// deterministic order, so (id, rank, offset) is a run-reproducible sort
+  /// key for message coalescing — unlike the window's pointer value.
+  std::uint32_t id = 0;
+
   std::byte* addr(int rank, std::uint64_t off, std::size_t len) const {
     const auto& r = regions[static_cast<std::size_t>(rank)];
     ITYR_CHECK(r.base != nullptr);
     ITYR_CHECK(off + len <= r.size);
     return r.base + off;
   }
+};
+
+/// One piece of a multi-segment (gather/scatter) RMA transfer: a remote
+/// window range and the matching local buffer.
+struct io_segment {
+  std::uint64_t off = 0;     ///< offset in the target rank's window region
+  std::byte* local = nullptr;
+  std::size_t len = 0;
 };
 
 /// One-sided communication context: get/put (nonblocking until flush) and
@@ -43,6 +56,7 @@ public:
   window* create_window(std::vector<window::region> regions) {
     windows_.push_back(std::make_unique<window>());
     windows_.back()->regions = std::move(regions);
+    windows_.back()->id = static_cast<std::uint32_t>(windows_.size() - 1);
     return windows_.back().get();
   }
 
@@ -59,6 +73,36 @@ public:
   void put_nb(window& w, int target, std::uint64_t off, const void* src, std::size_t len) {
     std::memcpy(w.addr(target, off, len), src, len);
     net_.issue(target, len);
+    puts_++;
+  }
+
+  /// Nonblocking multi-segment get: one message fetching several remote
+  /// ranges of the same target window into their local buffers (an MPI_Get
+  /// with an indexed datatype / NIC gather list). Issue-side CPU overhead is
+  /// paid once; bytes are charged in full. Segments must be sorted by
+  /// remote offset and non-overlapping.
+  void get_nb_multi(window& w, int target, const io_segment* segs, std::size_t n) {
+    ITYR_CHECK(n > 0);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < n; i++) {
+      ITYR_CHECK(i == 0 || segs[i - 1].off + segs[i - 1].len <= segs[i].off);
+      std::memcpy(segs[i].local, w.addr(target, segs[i].off, segs[i].len), segs[i].len);
+      total += segs[i].len;
+    }
+    net_.issue(target, total);
+    gets_++;
+  }
+
+  /// Nonblocking multi-segment put (scatter side of get_nb_multi).
+  void put_nb_multi(window& w, int target, const io_segment* segs, std::size_t n) {
+    ITYR_CHECK(n > 0);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < n; i++) {
+      ITYR_CHECK(i == 0 || segs[i - 1].off + segs[i - 1].len <= segs[i].off);
+      std::memcpy(w.addr(target, segs[i].off, segs[i].len), segs[i].local, segs[i].len);
+      total += segs[i].len;
+    }
+    net_.issue(target, total);
     puts_++;
   }
 

@@ -1,0 +1,159 @@
+/// Randomized differential test: the flat interval_set against a trivial
+/// reference model (a std::set of covered byte offsets). Every operation the
+/// checkout path relies on — add, subtract, contains, overlaps, missing,
+/// overlapping, size/count — is cross-checked over ~10^5 random operations.
+
+#include "itoyori/common/interval_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "itoyori/common/rng.hpp"
+
+namespace ic = ityr::common;
+
+using ic::interval;
+using ic::interval_set;
+
+namespace {
+
+/// Bytes-in-a-set reference model over a small domain.
+class byte_model {
+public:
+  void add(interval iv) {
+    for (std::uint64_t b = iv.begin; b < iv.end; b++) bytes_.insert(b);
+  }
+  void subtract(interval iv) {
+    for (std::uint64_t b = iv.begin; b < iv.end; b++) bytes_.erase(b);
+  }
+  bool contains(interval iv) const {
+    if (iv.empty()) return true;
+    for (std::uint64_t b = iv.begin; b < iv.end; b++) {
+      if (bytes_.count(b) == 0) return false;
+    }
+    return true;
+  }
+  bool overlaps(interval iv) const {
+    for (std::uint64_t b = iv.begin; b < iv.end; b++) {
+      if (bytes_.count(b) > 0) return true;
+    }
+    return false;
+  }
+  std::uint64_t size() const { return bytes_.size(); }
+
+  /// Maximal runs of present (or, over `query`, absent) bytes.
+  std::vector<interval> runs() const {
+    std::vector<interval> out;
+    for (std::uint64_t b : bytes_) {
+      if (!out.empty() && out.back().end == b) {
+        out.back().end = b + 1;
+      } else {
+        out.push_back({b, b + 1});
+      }
+    }
+    return out;
+  }
+  std::vector<interval> missing(interval query) const {
+    std::vector<interval> out;
+    for (std::uint64_t b = query.begin; b < query.end; b++) {
+      if (bytes_.count(b) > 0) continue;
+      if (!out.empty() && out.back().end == b) {
+        out.back().end = b + 1;
+      } else {
+        out.push_back({b, b + 1});
+      }
+    }
+    return out;
+  }
+  std::vector<interval> overlapping(interval query) const {
+    std::vector<interval> out;
+    for (const auto& run : runs()) {
+      auto iv = intersect(run, query);
+      if (!iv.empty()) out.push_back(iv);
+    }
+    return out;
+  }
+
+private:
+  std::set<std::uint64_t> bytes_;
+};
+
+}  // namespace
+
+TEST(IntervalSetRandom, MatchesByteModel) {
+  constexpr std::uint64_t kDomain = 512;
+  constexpr int kOps = 100000;
+  ic::xoshiro256ss rng(20230817);
+
+  const auto random_interval = [&]() -> interval {
+    const std::uint64_t a = rng.below(kDomain + 1);
+    const std::uint64_t len = rng.below(kDomain / 8);  // mostly short runs
+    return {a, std::min(a + len, kDomain)};
+  };
+
+  interval_set s;
+  byte_model ref;
+
+  for (int op = 0; op < kOps; op++) {
+    const auto iv = random_interval();
+    if (rng.below(2) == 0) {
+      s.add(iv);
+      ref.add(iv);
+    } else {
+      s.subtract(iv);
+      ref.subtract(iv);
+    }
+
+    // Cheap probes every operation.
+    const auto q = random_interval();
+    ASSERT_EQ(s.contains(q), ref.contains(q)) << "op " << op << " query " << q;
+    ASSERT_EQ(s.overlaps(q), ref.overlaps(q)) << "op " << op << " query " << q;
+    ASSERT_EQ(s.missing(q), ref.missing(q)) << "op " << op << " query " << q;
+    ASSERT_EQ(s.overlapping(q), ref.overlapping(q)) << "op " << op << " query " << q;
+
+    // Full-structure check periodically (and always near the start, where
+    // the interesting split/merge edge cases concentrate).
+    if (op < 256 || op % 509 == 0) {
+      ASSERT_EQ(s.size(), ref.size()) << "op " << op;
+      ASSERT_EQ(s.to_vector(), ref.runs()) << "op " << op;
+      ASSERT_EQ(s.count(), ref.runs().size()) << "op " << op;
+    }
+  }
+}
+
+TEST(IntervalSetRandom, FullDomainSweeps) {
+  // Degenerate shapes the uniform sampler rarely produces: whole-domain
+  // adds/subtracts alternating with single-byte noise.
+  constexpr std::uint64_t kDomain = 128;
+  ic::xoshiro256ss rng(7);
+  interval_set s;
+  byte_model ref;
+  for (int op = 0; op < 2000; op++) {
+    switch (rng.below(4)) {
+      case 0:
+        s.add({0, kDomain});
+        ref.add({0, kDomain});
+        break;
+      case 1:
+        s.subtract({0, kDomain});
+        ref.subtract({0, kDomain});
+        break;
+      case 2: {
+        const std::uint64_t b = rng.below(kDomain);
+        s.add({b, b + 1});
+        ref.add({b, b + 1});
+        break;
+      }
+      default: {
+        const std::uint64_t b = rng.below(kDomain);
+        s.subtract({b, b + 1});
+        ref.subtract({b, b + 1});
+        break;
+      }
+    }
+    ASSERT_EQ(s.to_vector(), ref.runs()) << "op " << op;
+  }
+}

@@ -1,0 +1,74 @@
+/// With RMA coalescing on (the default), deterministic runs must stay
+/// bit-reproducible: coalescing changes message counts and costs, but for a
+/// fixed configuration two runs must agree on every virtual clock, steal
+/// count, and traffic counter — and switching coalescing off must change
+/// costs only, never application results.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../support/fixture.hpp"
+#include "itoyori/apps/cilksort.hpp"
+#include "itoyori/core/ityr.hpp"
+#include "itoyori/core/runtime.hpp"
+
+namespace ic = ityr::common;
+
+namespace {
+
+struct run_fingerprint {
+  std::vector<double> clocks;
+  std::uint64_t steals = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t coalesced = 0;
+  bool sorted = false;
+
+  friend bool operator==(const run_fingerprint&, const run_fingerprint&) = default;
+};
+
+run_fingerprint run_once(bool coalesce) {
+  auto o = ityr::test::tiny_opts(2, 2);
+  o.coll_heap_per_rank = 2 * ic::MiB;
+  o.coalesce_rma = coalesce;
+  ityr::runtime rt(o);
+  bool sorted = false;
+  rt.spmd([&] {
+    const std::size_t n = 30000;
+    auto a = ityr::coll_new<std::uint32_t>(n);
+    auto b = ityr::coll_new<std::uint32_t>(n);
+    bool ok = ityr::root_exec([=] {
+      ityr::apps::cilksort_generate(a, n, 13, 512);
+      ityr::apps::cilksort(ityr::global_span<std::uint32_t>(a, n),
+                           ityr::global_span<std::uint32_t>(b, n), 512);
+      return ityr::apps::cilksort_validate(a, n, 13, 512);
+    });
+    if (ityr::my_rank() == 0) sorted = ok;
+    ityr::coll_delete(a, n);
+    ityr::coll_delete(b, n);
+  });
+  run_fingerprint fp;
+  for (int r = 0; r < rt.eng().n_ranks(); r++) fp.clocks.push_back(rt.eng().clock_of(r));
+  fp.steals = rt.sched().get_stats().steals;
+  fp.messages = rt.rma().net().total_messages();
+  fp.coalesced = rt.pgas().aggregate_stats().coalesced_messages;
+  fp.sorted = sorted;
+  return fp;
+}
+
+}  // namespace
+
+TEST(CoalesceDeterminism, CoalescedRunsAreBitIdentical) {
+  const auto a = run_once(true);
+  const auto b = run_once(true);
+  EXPECT_TRUE(a.sorted);
+  EXPECT_EQ(a, b);  // virtual clocks included, bit-for-bit
+}
+
+TEST(CoalesceDeterminism, CoalescingChangesCostsNotResults) {
+  const auto on = run_once(true);
+  const auto off = run_once(false);
+  EXPECT_TRUE(on.sorted);
+  EXPECT_TRUE(off.sorted);
+  EXPECT_EQ(off.coalesced, 0u);
+}
