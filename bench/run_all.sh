@@ -24,3 +24,10 @@ done
 echo "#### bench/checkout_stats"
 ./build/bench/checkout_stats BENCH_checkout.json
 echo
+
+# Observability-layer overhead (wall-clock with the tracer off vs on for the
+# fig8 cilksort config, virtual-time invariance, trace volume, registry delta
+# demonstration) -> BENCH_observability.json.
+echo "#### bench/observability"
+./build/bench/observability BENCH_observability.json
+echo

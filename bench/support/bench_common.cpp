@@ -7,6 +7,7 @@
 
 #include "itoyori/apps/cilksort.hpp"
 #include "itoyori/core/ityr.hpp"
+#include "itoyori/core/metrics.hpp"
 
 namespace ityr::bench {
 
@@ -187,7 +188,6 @@ fmm_metrics run_fmm(const common::options& opt, std::size_t n_bodies,
       barrier();
       if (my_rank() == 0) {
         elapsed = res.makespan;
-        idleness = res.idleness();
         if (check) err = f::fmm_check(t, 64);
       }
       barrier();
@@ -206,6 +206,15 @@ fmm_metrics run_fmm(const common::options& opt, std::size_t n_bodies,
   fm.solve = collect(rt, elapsed, !check || err.pot < 0.05);
   fm.err = err;
   fm.idleness = idleness;
+  if (static_baseline) {
+    // The static solve records its phases into the scheduler's timeline
+    // (fmm_solve_static); read idleness from that single source of truth
+    // instead of recomputing it by hand.
+    const auto& tl = rt.sched().timeline();
+    fm.idleness = tl.idleness();
+    fm.timeline_busy_s = tl.total_busy();
+    fm.timeline_idle_s = tl.total_idle();
+  }
   fm.n_cells = n_cells;
   return fm;
 }
@@ -226,7 +235,7 @@ double run_fmm_serial(std::size_t n_bodies, const apps::fmm::fmm_config& cfg) {
 // ---------------------------------------------------------------------------
 
 std::vector<breakdown_row> run_cilksort_breakdown(const common::options& opt, std::size_t n,
-                                                  std::size_t cutoff, double* total_busy) {
+                                                  std::size_t cutoff, double* total_capacity) {
   auto o = opt;
   o.coll_heap_per_rank =
       std::max(o.coll_heap_per_rank,
@@ -234,45 +243,48 @@ std::vector<breakdown_row> run_cilksort_breakdown(const common::options& opt, st
                    4 * common::MiB);
   runtime rt(o);
   rt.prof().set_enabled(true);
-  double busy = 0;
   rt.spmd([&] {
     auto a = coll_new<std::uint32_t>(n);
     auto b = coll_new<std::uint32_t>(n);
     root_exec([=] { apps::cilksort_generate(a, n, 42, 16384); });
     barrier();
-    rt.prof().reset();
-    const double t0 = rt.eng().now();
+    rt.prof().reset();  // attribute only the sort region (generate excluded)
     root_exec([=] {
       apps::cilksort(global_span<std::uint32_t>(a, n), global_span<std::uint32_t>(b, n), cutoff);
     });
     barrier();
-    if (my_rank() == 0) busy = (rt.eng().now() - t0) * rt.eng().n_ranks();
     coll_delete(a, n);
     coll_delete(b, n);
   });
 
-  using common::prof_event;
+  // One registry snapshot supplies both the category times (profiler
+  // self-time series) and the capacity term (phase timeline: every rank's
+  // busy + steal + idle seconds over the sort region).
+  const metrics_snapshot snap = rt.metrics();
+  const double capacity = snap.total("timeline.busy_s") + snap.total("timeline.steal_s") +
+                          snap.total("timeline.idle_s");
+
   std::vector<breakdown_row> rows;
-  const std::pair<prof_event, const char*> cats[] = {
-      {prof_event::get, "Get"},
-      {prof_event::put, "Put"},
-      {prof_event::checkout, "Checkout"},
-      {prof_event::checkin, "Checkin"},
-      {prof_event::release, "Release"},
-      {prof_event::release_lazy, "Lazy Release"},
-      {prof_event::acquire, "Acquire"},
-      {prof_event::serial_b, "Serial Merge"},
-      {prof_event::serial_a, "Serial Quicksort"},
+  const std::pair<const char*, const char*> cats[] = {
+      {"prof.Get.self_s", "Get"},
+      {"prof.Put.self_s", "Put"},
+      {"prof.Checkout.self_s", "Checkout"},
+      {"prof.Checkin.self_s", "Checkin"},
+      {"prof.Release.self_s", "Release"},
+      {"prof.Lazy Release.self_s", "Lazy Release"},
+      {"prof.Acquire.self_s", "Acquire"},
+      {"prof.Serial B.self_s", "Serial Merge"},
+      {"prof.Serial A.self_s", "Serial Quicksort"},
   };
   double categorized = 0;
-  for (const auto& [ev, name] : cats) {
-    const double s = rt.prof().total(ev);
+  for (const auto& [series, name] : cats) {
+    const double s = snap.total(series);
     rows.push_back({name, s});
     categorized += s;
   }
   // Everything else (scheduling, steals, idle waiting) is "Others" (Fig. 9).
-  rows.insert(rows.begin(), {"Others", std::max(0.0, busy - categorized)});
-  if (total_busy != nullptr) *total_busy = busy;
+  rows.insert(rows.begin(), {"Others", std::max(0.0, capacity - categorized)});
+  if (total_capacity != nullptr) *total_capacity = capacity;
   return rows;
 }
 

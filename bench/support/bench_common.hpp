@@ -67,20 +67,27 @@ double run_uts_serial(const apps::uts_params& p);  ///< real seconds, count only
 struct fmm_metrics {
   run_metrics solve;  ///< upward + traversal + downward (tree build excluded)
   apps::fmm::fmm_error err;
-  double idleness = -1;  ///< static baseline only
+  // Static baseline only, read from the scheduler's phase timeline (the
+  // Table 2 source of truth): idleness plus the per-phase totals behind it.
+  double idleness = -1;
+  double timeline_busy_s = 0;
+  double timeline_idle_s = 0;
   std::size_t n_cells = 0;
 };
 fmm_metrics run_fmm(const common::options& opt, std::size_t n_bodies,
                     const apps::fmm::fmm_config& cfg, bool static_baseline, bool check = true);
 double run_fmm_serial(std::size_t n_bodies, const apps::fmm::fmm_config& cfg);
 
-/// Per-category profiler breakdown of a cilksort run (Fig. 9).
+/// Per-category breakdown of a cilksort run (Fig. 9), read from the unified
+/// metrics registry: categories are the profiler's `prof.*.self_s` series
+/// and the capacity term ("Others" remainder) is the phase timeline's
+/// busy+steal+idle total.
 struct breakdown_row {
   std::string category;
   double seconds = 0;  ///< accumulated over all ranks
 };
 std::vector<breakdown_row> run_cilksort_breakdown(const common::options& opt, std::size_t n,
-                                                  std::size_t cutoff, double* total_busy);
+                                                  std::size_t cutoff, double* total_capacity);
 
 // ---- result table printing ----
 

@@ -614,14 +614,21 @@ static_run_result fmm_solve_static(const fmm_tree& t) {
   static_run_result res;
   res.busy.assign(static_cast<std::size_t>(n_ranks), 0.0);
 
+  // Busy/idle accounting goes through the scheduler's phase timeline — the
+  // same source of truth the fork-join path uses for Table 2 idleness — so
+  // static and dynamic runs are directly comparable.
+  auto& tl = rt().sched().timeline();
+  using phase = common::phase_timeline::phase;
+
   const double t0 = eng.now();
+  tl.begin_region(me, eng.now_precise());
   {
     std::uint64_t acc_weight = 0;
     const std::uint64_t share = (total_weight + static_cast<std::uint64_t>(n_ranks) - 1) /
                                 static_cast<std::uint64_t>(n_ranks);
     // now_precise: home-local traversal may never yield, so the committed
     // clock alone would under-report busy time.
-    const double busy_t0 = eng.now_precise();
+    tl.enter(me, phase::busy, eng.now_precise());
     for (std::size_t i = 0; i < frontier.size(); i++) {
       const int owner = static_cast<int>(std::min<std::uint64_t>(
           acc_weight / std::max<std::uint64_t>(share, 1),
@@ -631,20 +638,20 @@ static_run_result fmm_solve_static(const fmm_tree& t) {
       traverse_serial(t, frontier[i], 0);
       downward_serial(t, frontier[i]);
     }
-    res.busy[static_cast<std::size_t>(me)] = eng.now_precise() - busy_t0;
+    tl.enter(me, phase::idle, eng.now_precise());
   }
   rt().pgas().release();
   barrier();
   const double t1 = eng.now();
   res.makespan = t1 - t0;
+  tl.end_region(me, eng.now_precise());
 
-  // Gather busy times (shared vector; the DES serializes access).
-  static std::vector<double> busy_shared;
-  if (me == 0) busy_shared.assign(static_cast<std::size_t>(n_ranks), 0.0);
+  // The timeline is shared state (the DES serializes access): after the
+  // barrier every rank reads every rank's busy time directly.
   barrier();
-  busy_shared[static_cast<std::size_t>(me)] = res.busy[static_cast<std::size_t>(me)];
-  barrier();
-  res.busy = busy_shared;
+  for (int r = 0; r < n_ranks; r++) {
+    res.busy[static_cast<std::size_t>(r)] = tl.busy_of(r);
+  }
   return res;
 }
 

@@ -53,6 +53,8 @@ void env_get(const char* name, T& out) {
     out = static_cast<T>(std::strtod(v, nullptr));
   } else if constexpr (std::is_same_v<T, cache_policy>) {
     out = cache_policy_from_string(v);
+  } else if constexpr (std::is_same_v<T, std::string>) {
+    out = v;
   } else {
     out = static_cast<T>(std::strtoull(v, nullptr, 0));
   }
@@ -76,6 +78,10 @@ options options::from_env() {
   env_get("ITYR_ULT_STACK_SIZE", o.ult_stack_size);
   env_get("ITYR_COMPUTE_SCALE", o.compute_scale);
   env_get("ITYR_DETERMINISTIC", o.deterministic);
+  env_get("ITYR_TRACE", o.trace_path);
+  env_get("ITYR_TRACE_CAP", o.trace_cap);
+  env_get("ITYR_STATS_JSON", o.stats_json_path);
+  env_get("ITYR_METRICS_SAMPLE_INTERVAL", o.metrics_sample_interval);
   env_get("ITYR_SEED", o.seed);
   env_get("ITYR_NET_INTER_LATENCY", o.net.inter_latency);
   env_get("ITYR_NET_INTER_BANDWIDTH", o.net.inter_bandwidth);

@@ -115,6 +115,21 @@ struct options {
 
   network_model net;
 
+  // --- observability (docs/observability.md) ---
+  /// Dump a Chrome/Perfetto trace_events JSON timeline here when the
+  /// runtime is destroyed; empty disables tracing (ITYR_TRACE).
+  std::string trace_path;
+  /// Per-rank ring-buffer capacity in events (ITYR_TRACE_CAP); oldest
+  /// events are evicted first once full.
+  std::size_t trace_cap = std::size_t{1} << 20;
+  /// Dump the unified metrics-registry snapshot here when the runtime is
+  /// destroyed; empty disables it (ITYR_STATS_JSON).
+  std::string stats_json_path;
+  /// Virtual-seconds period for sampling counter time-series into the
+  /// trace (ITYR_METRICS_SAMPLE_INTERVAL); <= 0 disables sampling. Only
+  /// active while tracing is on.
+  double metrics_sample_interval = 1.0e-4;
+
   std::uint64_t seed = 42;
 
   int n_ranks() const { return n_nodes * ranks_per_node; }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "itoyori/common/error.hpp"
+#include "itoyori/common/trace.hpp"
 
 namespace ityr::common {
 
@@ -52,13 +53,28 @@ inline const char* to_string(prof_event e) {
 ///
 /// Each rank has its own scope stack; intervals are attributed exclusively
 /// to the innermost scope (a child scope's duration is subtracted from its
-/// parent). Time and rank come from injected sources so this layer stays
-/// independent of the simulator.
+/// parent). Alongside accumulated self-time, each (rank, event) records its
+/// invocation count and maximum inclusive duration. Time and rank come from
+/// injected sources so this layer stays independent of the simulator.
+///
+/// When a tracer is attached, every profiled scope is mirrored as a B/E
+/// span on the owning rank's trace track, so enabling ITYR_TRACE gives a
+/// full timeline of checkout/release/acquire/steal/SPMD/serial-kernel
+/// activity without separate instrumentation.
 class profiler {
 public:
+  /// Reconfiguring a profiler that still holds state (open scopes or
+  /// accumulated data) would silently discard it; that is an API error.
   void configure(int n_ranks, std::function<double()> time_source,
                  std::function<int()> rank_source) {
+    if (live()) {
+      throw api_error(
+          "profiler::configure() called on a live profiler "
+          "(open scopes or unreset accumulated data)");
+    }
     acc_.assign(static_cast<std::size_t>(n_ranks), {});
+    counts_.assign(static_cast<std::size_t>(n_ranks), {});
+    max_.assign(static_cast<std::size_t>(n_ranks), {});
     stacks_.assign(static_cast<std::size_t>(n_ranks), {});
     time_ = std::move(time_source);
     rank_ = std::move(rank_source);
@@ -67,23 +83,36 @@ public:
   void set_enabled(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
 
+  /// Mirror scopes into `t`'s per-rank trace tracks (nullptr detaches).
+  void set_tracer(tracer* t) { trace_ = t; }
+
+  /// Whether begin()/end() currently record anything: profiling enabled or
+  /// an attached tracer collecting span events.
+  bool active() const { return enabled_ || (trace_ != nullptr && trace_->enabled()); }
+
   void begin(prof_event e) {
-    if (!enabled_) return;
+    if (!active()) return;
     auto& st = stacks_[static_cast<std::size_t>(rank_())];
-    st.push_back({e, time_(), 0.0});
+    const double now = time_();
+    st.push_back({e, now, 0.0});
+    if (trace_ != nullptr) trace_->span_begin(rank_(), now, to_string(e));
   }
 
   void end(prof_event e) {
-    if (!enabled_) return;
+    if (!active()) return;
     const auto r = static_cast<std::size_t>(rank_());
     auto& st = stacks_[r];
     ITYR_CHECK(!st.empty() && st.back().e == e);
     const double now = time_();
     const double total = now - st.back().t0;
     const double self = total - st.back().child_time;
-    acc_[r][static_cast<std::size_t>(e)] += self > 0 ? self : 0;
+    const auto ei = static_cast<std::size_t>(e);
+    acc_[r][ei] += self > 0 ? self : 0;
+    counts_[r][ei]++;
+    if (total > max_[r][ei]) max_[r][ei] = total;
     st.pop_back();
     if (!st.empty()) st.back().child_time += total;
+    if (trace_ != nullptr) trace_->span_end(static_cast<int>(r), now, to_string(e));
   }
 
   /// RAII scope.
@@ -103,7 +132,7 @@ public:
   /// is optional).
   class maybe_scope {
   public:
-    maybe_scope(profiler* p, prof_event e) : p_(p != nullptr && p->enabled() ? p : nullptr), e_(e) {
+    maybe_scope(profiler* p, prof_event e) : p_(p != nullptr && p->active() ? p : nullptr), e_(e) {
       if (p_ != nullptr) p_->begin(e_);
     }
     ~maybe_scope() {
@@ -117,22 +146,57 @@ public:
     prof_event e_;
   };
 
+  /// Per-rank accumulated self-time. Deliberately not checked against open
+  /// scopes: the metrics sampler reads mid-run while other ranks legally
+  /// hold open SPMD scopes across barrier suspension.
   double accumulated(int rank, prof_event e) const {
     return acc_[static_cast<std::size_t>(rank)][static_cast<std::size_t>(e)];
   }
+  std::uint64_t count_of(int rank, prof_event e) const {
+    return counts_[static_cast<std::size_t>(rank)][static_cast<std::size_t>(e)];
+  }
+  /// Maximum inclusive (wall) duration of a single scope.
+  double max_duration_of(int rank, prof_event e) const {
+    return max_[static_cast<std::size_t>(rank)][static_cast<std::size_t>(e)];
+  }
+
+  /// Aggregate reads assert that no scope is still open anywhere — a
+  /// missing end() would otherwise surface as silently-low totals.
   double total(prof_event e) const {
+    check_stacks_empty();
     double t = 0;
     for (const auto& a : acc_) t += a[static_cast<std::size_t>(e)];
     return t;
   }
+  std::uint64_t total_count(prof_event e) const {
+    check_stacks_empty();
+    std::uint64_t c = 0;
+    for (const auto& a : counts_) c += a[static_cast<std::size_t>(e)];
+    return c;
+  }
+  double max_duration(prof_event e) const {
+    check_stacks_empty();
+    double m = 0;
+    for (const auto& a : max_) {
+      if (a[static_cast<std::size_t>(e)] > m) m = a[static_cast<std::size_t>(e)];
+    }
+    return m;
+  }
   double total_all_events() const {
+    check_stacks_empty();
     double t = 0;
-    for (std::size_t i = 0; i < n_prof_events; i++) t += total(static_cast<prof_event>(i));
+    for (const auto& a : acc_) {
+      for (std::size_t i = 0; i < n_prof_events; i++) t += a[i];
+    }
     return t;
   }
 
+  /// Zero the accumulators (open scopes, if any, survive and attribute
+  /// their self-time from their original begin on their eventual end()).
   void reset() {
     for (auto& a : acc_) a.fill(0.0);
+    for (auto& c : counts_) c.fill(0);
+    for (auto& m : max_) m.fill(0.0);
   }
 
 private:
@@ -142,10 +206,34 @@ private:
     double child_time;
   };
 
+  bool live() const {
+    for (const auto& st : stacks_) {
+      if (!st.empty()) return true;
+    }
+    for (const auto& a : acc_) {
+      for (const double v : a) {
+        if (v != 0) return true;
+      }
+    }
+    for (const auto& c : counts_) {
+      for (const std::uint64_t v : c) {
+        if (v != 0) return true;
+      }
+    }
+    return false;
+  }
+
+  void check_stacks_empty() const {
+    for (const auto& st : stacks_) ITYR_CHECK(st.empty());
+  }
+
   bool enabled_ = false;
+  tracer* trace_ = nullptr;
   std::function<double()> time_;
   std::function<int()> rank_;
   std::vector<std::array<double, n_prof_events>> acc_;
+  std::vector<std::array<std::uint64_t, n_prof_events>> counts_;
+  std::vector<std::array<double, n_prof_events>> max_;
   std::vector<std::vector<frame>> stacks_;
 };
 

@@ -1,0 +1,184 @@
+#include "itoyori/core/metrics.hpp"
+
+#include <cstdio>
+#include <functional>
+
+#include "itoyori/core/runtime.hpp"
+
+namespace ityr {
+
+const metric_series* metrics_snapshot::find(const std::string& name) const {
+  for (const metric_series& s : series_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+metrics_snapshot metrics_snapshot::delta(const metrics_snapshot& base) const {
+  metrics_snapshot out;
+  for (const metric_series& s : series_) {
+    metric_series d = s;
+    const metric_series* b = base.find(s.name);
+    if (b != nullptr) {
+      const std::size_t n = std::min(d.per_rank.size(), b->per_rank.size());
+      for (std::size_t i = 0; i < n; i++) d.per_rank[i] -= b->per_rank[i];
+    }
+    out.series_.push_back(std::move(d));
+  }
+  return out;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+void append_value(std::string& out, double v, bool integral) {
+  char buf[64];
+  if (integral) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9f", v);
+  }
+  out += buf;
+}
+
+}  // namespace
+
+std::string metrics_snapshot::to_json() const {
+  std::string out;
+  out.reserve(256 + series_.size() * 128);
+  const std::size_t n_ranks = series_.empty() ? 0 : series_.front().per_rank.size();
+  out += "{\n\"schema\": \"itoyori.metrics.v1\",\n\"n_ranks\": ";
+  out += std::to_string(n_ranks);
+  out += ",\n\"metrics\": [\n";
+  for (std::size_t i = 0; i < series_.size(); i++) {
+    const metric_series& s = series_[i];
+    out += "  {\"name\": \"";
+    append_escaped(out, s.name);
+    out += "\", \"total\": ";
+    append_value(out, s.total(), s.integral);
+    out += ", \"per_rank\": [";
+    for (std::size_t r = 0; r < s.per_rank.size(); r++) {
+      if (r > 0) out += ", ";
+      append_value(out, s.per_rank[r], s.integral);
+    }
+    out += "]}";
+    out += i + 1 < series_.size() ? ",\n" : "\n";
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+bool metrics_snapshot::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "ityr: cannot open stats output '%s'\n", path.c_str());
+    return false;
+  }
+  const std::string json = to_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "ityr: short write on stats output '%s'\n", path.c_str());
+  return ok;
+}
+
+metrics_snapshot collect_metrics(runtime& rt) {
+  const int n = rt.eng().n_ranks();
+  metrics_snapshot snap;
+
+  const auto add = [&](const char* name, bool integral,
+                       const std::function<double(int)>& value_of) {
+    std::vector<double> v(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; r++) v[static_cast<std::size_t>(r)] = value_of(r);
+    snap.add(name, integral, std::move(v));
+  };
+  const auto u64 = [](std::uint64_t v) { return static_cast<double>(v); };
+
+  // --- software cache (pgas::cache_system::stats) ---
+  const auto cst = [&](int r) -> const pgas::cache_system::stats& {
+    return rt.pgas().cache_of(r).get_stats();
+  };
+  add("cache.checkouts", true, [&](int r) { return u64(cst(r).checkouts); });
+  add("cache.checkins", true, [&](int r) { return u64(cst(r).checkins); });
+  add("cache.block_visits", true, [&](int r) { return u64(cst(r).block_visits); });
+  add("cache.block_hits", true, [&](int r) { return u64(cst(r).block_hits); });
+  add("cache.block_misses", true, [&](int r) { return u64(cst(r).block_misses); });
+  add("cache.write_skips", true, [&](int r) { return u64(cst(r).write_skips); });
+  add("cache.fast_path_hits", true, [&](int r) { return u64(cst(r).fast_path_hits); });
+  add("cache.coalesced_messages", true, [&](int r) { return u64(cst(r).coalesced_messages); });
+  add("cache.fetched_bytes", true, [&](int r) { return u64(cst(r).fetched_bytes); });
+  add("cache.written_back_bytes", true, [&](int r) { return u64(cst(r).written_back_bytes); });
+  add("cache.write_through_bytes", true, [&](int r) { return u64(cst(r).write_through_bytes); });
+  add("cache.cache_evictions", true, [&](int r) { return u64(cst(r).cache_evictions); });
+  add("cache.home_evictions", true, [&](int r) { return u64(cst(r).home_evictions); });
+  add("cache.releases", true, [&](int r) { return u64(cst(r).releases); });
+  add("cache.acquires", true, [&](int r) { return u64(cst(r).acquires); });
+  add("cache.lazy_release_waits", true, [&](int r) { return u64(cst(r).lazy_release_waits); });
+
+  // --- work-stealing scheduler (sched::scheduler::stats) ---
+  const auto sst = [&](int r) -> const sched::scheduler::stats& {
+    return rt.sched().stats_of(r);
+  };
+  add("sched.forks", true, [&](int r) { return u64(sst(r).forks); });
+  add("sched.serialized_joins", true, [&](int r) { return u64(sst(r).serialized_joins); });
+  add("sched.steal_attempts", true, [&](int r) { return u64(sst(r).steal_attempts); });
+  add("sched.steals", true, [&](int r) { return u64(sst(r).steals); });
+  add("sched.intra_node_steals", true, [&](int r) { return u64(sst(r).intra_node_steals); });
+  add("sched.local_pops", true, [&](int r) { return u64(sst(r).local_pops); });
+  add("sched.join_suspends", true, [&](int r) { return u64(sst(r).join_suspends); });
+  add("sched.migrations", true, [&](int r) { return u64(sst(r).migrations); });
+  add("sched.migrated_stack_bytes", true,
+      [&](int r) { return u64(sst(r).migrated_stack_bytes); });
+
+  // --- network, split by locality (intra-node shared memory vs interconnect) ---
+  const auto& net = rt.rma().net();
+  add("net.messages.intra", true, [&](int r) { return u64(net.intra_messages_of(r)); });
+  add("net.messages.inter", true, [&](int r) { return u64(net.inter_messages_of(r)); });
+  add("net.bytes.intra", true, [&](int r) { return u64(net.intra_bytes_of(r)); });
+  add("net.bytes.inter", true, [&](int r) { return u64(net.inter_bytes_of(r)); });
+
+  // --- virtual-memory view (mapping-entry ledger, paper Section 4.3.2) ---
+  const auto view = [&](int r) -> const vm::view_region& { return rt.pgas().cache_of(r).view(); };
+  add("vm.map_calls", true, [&](int r) { return u64(view(r).map_calls()); });
+  add("vm.mapped_runs", true, [&](int r) { return u64(view(r).mapped_runs()); });
+  add("vm.mapped_bytes", true, [&](int r) { return u64(view(r).mapped_bytes()); });
+  add("vm.map_entry_estimate", true, [&](int r) { return u64(view(r).map_entry_estimate()); });
+
+  // --- DES engine ---
+  add("engine.resumes", true, [&](int r) { return u64(rt.eng().resumes_of(r)); });
+  add("engine.clock_s", false, [&](int r) { return rt.eng().clock_of(r); });
+
+  // --- busy/idle/steal phase timeline (Table 2 / Fig. 9 source of truth) ---
+  const auto& tl = rt.sched().timeline();
+  add("timeline.busy_s", false, [&](int r) { return tl.busy_of(r); });
+  add("timeline.steal_s", false, [&](int r) { return tl.steal_of(r); });
+  add("timeline.idle_s", false, [&](int r) { return tl.idle_of(r); });
+
+  // --- nested-scope profiler (Fig. 9 categories) ---
+  for (std::size_t e = 0; e < common::n_prof_events; e++) {
+    const auto ev = static_cast<common::prof_event>(e);
+    const std::string base = std::string("prof.") + common::to_string(ev);
+    add((base + ".self_s").c_str(), false,
+        [&](int r) { return rt.prof().accumulated(r, ev); });
+    add((base + ".count").c_str(), true, [&](int r) { return u64(rt.prof().count_of(r, ev)); });
+    add((base + ".max_s").c_str(), false,
+        [&](int r) { return rt.prof().max_duration_of(r, ev); });
+  }
+
+  return snap;
+}
+
+}  // namespace ityr

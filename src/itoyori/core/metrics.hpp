@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ityr {
+
+class runtime;
+
+/// One named counter with per-rank values plus the aggregate view.
+/// `integral` marks exact counters (message counts, checkouts, ...) so the
+/// JSON exporter prints them without a fractional part; doubles up to 2^53
+/// hold them exactly.
+struct metric_series {
+  std::string name;
+  bool integral = false;
+  std::vector<double> per_rank;
+
+  double of(int rank) const { return per_rank[static_cast<std::size_t>(rank)]; }
+  double total() const {
+    double s = 0;
+    for (const double v : per_rank) s += v;
+    return s;
+  }
+};
+
+/// Unified snapshot of every runtime counter — cache, scheduler, network,
+/// VM, engine, timeline, and profiler — under one naming scheme
+/// (docs/observability.md). Snapshots are plain data: diff two of them with
+/// delta() to meter a region, export with to_json() (ITYR_STATS_JSON).
+class metrics_snapshot {
+public:
+  void add(std::string name, bool integral, std::vector<double> per_rank) {
+    series_.push_back({std::move(name), integral, std::move(per_rank)});
+  }
+
+  const std::vector<metric_series>& all() const { return series_; }
+  std::size_t size() const { return series_.size(); }
+
+  /// nullptr when no series has that name.
+  const metric_series* find(const std::string& name) const;
+
+  /// Aggregate over ranks; 0 for unknown names.
+  double total(const std::string& name) const {
+    const metric_series* s = find(name);
+    return s != nullptr ? s->total() : 0.0;
+  }
+  /// Single-rank value; 0 for unknown names.
+  double of(const std::string& name, int rank) const {
+    const metric_series* s = find(name);
+    return s != nullptr ? s->of(rank) : 0.0;
+  }
+
+  /// Elementwise `this - base`, matched by series name: the counter growth
+  /// across a region. Series missing from `base` pass through unchanged;
+  /// series only in `base` are dropped.
+  metrics_snapshot delta(const metrics_snapshot& base) const;
+
+  /// Deterministic JSON: {"schema": "itoyori.metrics.v1", "n_ranks": N,
+  /// "metrics": [{"name", "total", "per_rank"}...]} in insertion order.
+  std::string to_json() const;
+  /// Write to_json() to `path`; false (with a stderr note) on I/O failure.
+  bool write_json(const std::string& path) const;
+
+private:
+  std::vector<metric_series> series_;
+};
+
+/// Snapshot every counter of the running cluster. Callable between regions
+/// or mid-run (counters are monotonically increasing; pair with delta()).
+metrics_snapshot collect_metrics(runtime& rt);
+
+}  // namespace ityr

@@ -5,6 +5,7 @@
 
 #include "itoyori/common/options.hpp"
 #include "itoyori/common/profiler.hpp"
+#include "itoyori/common/trace.hpp"
 #include "itoyori/pgas/pgas_space.hpp"
 #include "itoyori/rma/window.hpp"
 #include "itoyori/sched/scheduler.hpp"
@@ -12,8 +13,10 @@
 
 namespace ityr {
 
+class metrics_snapshot;
+
 /// The whole simulated Itoyori cluster: DES engine + RMA + PGAS + scheduler
-/// + profiler, wired together.
+/// + profiler + tracer, wired together.
 ///
 /// Usage mirrors an mpiexec-launched Itoyori program (paper Section 3.1):
 ///
@@ -26,6 +29,11 @@ namespace ityr {
 ///
 /// Exactly one runtime exists at a time; the free functions in ityr.hpp
 /// dispatch to it.
+///
+/// Observability (docs/observability.md): options::trace_path (ITYR_TRACE)
+/// turns on the virtual-time tracer and dumps a Chrome/Perfetto JSON
+/// timeline at destruction; options::stats_json_path (ITYR_STATS_JSON)
+/// likewise dumps the unified metrics snapshot.
 class runtime {
 public:
   explicit runtime(const common::options& opt);
@@ -42,7 +50,12 @@ public:
   pgas::pgas_space& pgas() { return pgas_; }
   sched::scheduler& sched() { return sched_; }
   common::profiler& prof() { return prof_; }
+  common::tracer& trace() { return trace_; }
   const common::options& opts() const { return eng_.opts(); }
+
+  /// Unified counter snapshot (cache + scheduler + network + VM + engine +
+  /// timeline + profiler); see core/metrics.hpp.
+  metrics_snapshot metrics();
 
   /// Scratch slot for root_exec return values (copied out by every rank).
   static constexpr std::size_t root_result_capacity = 256;
@@ -52,11 +65,14 @@ public:
   static bool active();
 
 private:
+  void sample_counters(int rank, double now);
+
   sim::engine eng_;
   rma::context rma_;
   pgas::pgas_space pgas_;
   sched::scheduler sched_;
   common::profiler prof_;
+  common::tracer trace_;
   alignas(std::max_align_t) unsigned char root_result_[root_result_capacity]{};
 };
 

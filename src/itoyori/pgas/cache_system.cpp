@@ -115,6 +115,7 @@ void cache_system::evict_home_block() {
   if (mb.mapped) unmap_block(mb);
   home_lru_.erase(mb);
   st_.home_evictions++;
+  if (trace_ != nullptr) trace_->instant(rank_, eng_.now_precise(), "home evict");
   home_blocks_.erase(mb.mb_id);
 }
 
@@ -163,6 +164,7 @@ bool cache_system::try_evict_cache_block() {
   cache_lru_.erase(mb);
   free_slots_.push_back(mb.slot);
   st_.cache_evictions++;
+  if (trace_ != nullptr) trace_->instant(rank_, eng_.now_precise(), "cache evict");
   cache_blocks_.erase(mb.mb_id);
   return true;
 }
@@ -511,6 +513,7 @@ void cache_system::mark_dirty(mem_block& mb, common::interval iv) {
 
 void cache_system::writeback_all() {
   if (dirty_blocks_.empty()) return;
+  if (trace_ != nullptr) trace_->span_begin(rank_, eng_.now_precise(), "Write Back");
   wb_segs_.clear();
   for (mem_block* mb : dirty_blocks_) {
     for (const auto& iv : mb->dirty.to_vector()) {
@@ -528,6 +531,7 @@ void cache_system::writeback_all() {
   // any acquirer waiting on a handler from before this round (Fig. 6).
   epoch_words()[0]++;
   st_.releases++;
+  if (trace_ != nullptr) trace_->span_end(rank_, eng_.now_precise(), "Write Back");
 }
 
 void cache_system::invalidate_all() {

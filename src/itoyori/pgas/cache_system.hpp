@@ -9,6 +9,7 @@
 #include "itoyori/common/interval_set.hpp"
 #include "itoyori/common/lru_list.hpp"
 #include "itoyori/common/options.hpp"
+#include "itoyori/common/trace.hpp"
 #include "itoyori/pgas/global_heap.hpp"
 #include "itoyori/pgas/types.hpp"
 #include "itoyori/rma/window.hpp"
@@ -105,6 +106,9 @@ public:
   std::size_t front_table_entries() const { return front_.size(); }
   const stats& get_stats() const { return st_; }
   const vm::view_region& view() const { return view_; }
+
+  /// Emit eviction instants and write-back spans into `t` (nullptr detaches).
+  void set_tracer(common::tracer* t) { trace_ = t; }
 
   /// Raw view pointer for a gaddr (valid only while checked out).
   std::byte* view_ptr(gaddr_t g) { return view_.at(heap_.view_off(g)); }
@@ -220,6 +224,7 @@ private:
   };
   std::vector<touched> pinned_;
 
+  common::tracer* trace_ = nullptr;
   stats st_;
 };
 

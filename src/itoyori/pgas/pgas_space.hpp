@@ -64,6 +64,11 @@ public:
   /// Aggregate cache statistics over all ranks.
   cache_system::stats aggregate_stats() const;
 
+  /// Attach the tracer to every rank's cache system (nullptr detaches).
+  void set_tracer(common::tracer* t) {
+    for (auto& c : caches_) c->set_tracer(t);
+  }
+
 private:
   /// Shared GET/PUT walk: per-block transfers with pool-contiguous runs
   /// merged into single messages when coalescing is enabled.

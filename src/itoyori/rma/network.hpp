@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "itoyori/common/options.hpp"
+#include "itoyori/common/trace.hpp"
 #include "itoyori/sim/engine.hpp"
 
 namespace ityr::rma {
@@ -18,11 +19,19 @@ namespace ityr::rma {
 /// channel. Nonblocking operations record their completion time; flush()
 /// advances the issuer to the latest pending completion — mirroring
 /// MPI_Win_flush_all over RDMA, where the target CPU is never involved.
+///
+/// Traffic accounting is split by locality (intra-node shared-memory vs
+/// inter-node interconnect), the distinction the paper's Tofu-D model is
+/// about; the unsplit totals remain available as sums.
 class network {
 public:
   explicit network(sim::engine& eng) : eng_(eng), nm_(eng.opts().net) {
     state_.resize(static_cast<std::size_t>(eng.n_ranks()));
   }
+
+  /// Mirror each inter-rank message as a trace flow arrow from issuer to
+  /// target (nullptr detaches).
+  void set_tracer(common::tracer* t) { trace_ = t; }
 
   double latency_to(int target) const {
     return eng_.same_node(eng_.my_rank(), target) ? nm_.intra_latency : nm_.inter_latency;
@@ -34,7 +43,8 @@ public:
   /// Charge issue-side costs of a nonblocking transfer; remembers the
   /// completion time for the next flush(). Returns the completion time.
   double issue(int target, std::size_t bytes) {
-    per_rank& s = state_[static_cast<std::size_t>(eng_.my_rank())];
+    const int me = eng_.my_rank();
+    per_rank& s = state_[static_cast<std::size_t>(me)];
     eng_.charge(nm_.injection_overhead);
     const double now = eng_.now();
     const double channel_free = s.channel_busy_until > now ? s.channel_busy_until : now;
@@ -42,8 +52,16 @@ public:
                         latency_to(target);
     s.channel_busy_until = channel_free + static_cast<double>(bytes) / bandwidth_to(target);
     if (done > s.pending_until) s.pending_until = done;
-    s.messages++;
-    s.bytes += bytes;
+    if (eng_.same_node(me, target)) {
+      s.intra_messages++;
+      s.intra_bytes += bytes;
+    } else {
+      s.inter_messages++;
+      s.inter_bytes += bytes;
+    }
+    if (trace_ != nullptr && target != me) {
+      trace_->flow(me, now, target, done, "rma");
+    }
     return done;
   }
 
@@ -67,31 +85,61 @@ public:
   /// the round-trip window — giving realistic contention races on CAS.
   void atomic_round_trip() { eng_.advance(nm_.atomic_latency); }
 
-  std::uint64_t total_messages() const {
+  // ---- locality-split accounting ----
+  std::uint64_t intra_messages_of(int rank) const {
+    return state_[static_cast<std::size_t>(rank)].intra_messages;
+  }
+  std::uint64_t inter_messages_of(int rank) const {
+    return state_[static_cast<std::size_t>(rank)].inter_messages;
+  }
+  std::uint64_t intra_bytes_of(int rank) const {
+    return state_[static_cast<std::size_t>(rank)].intra_bytes;
+  }
+  std::uint64_t inter_bytes_of(int rank) const {
+    return state_[static_cast<std::size_t>(rank)].inter_bytes;
+  }
+  std::uint64_t total_intra_messages() const {
     std::uint64_t n = 0;
-    for (const auto& s : state_) n += s.messages;
+    for (const auto& s : state_) n += s.intra_messages;
     return n;
   }
-  std::uint64_t total_bytes() const {
+  std::uint64_t total_inter_messages() const {
     std::uint64_t n = 0;
-    for (const auto& s : state_) n += s.bytes;
+    for (const auto& s : state_) n += s.inter_messages;
     return n;
   }
+  std::uint64_t total_intra_bytes() const {
+    std::uint64_t n = 0;
+    for (const auto& s : state_) n += s.intra_bytes;
+    return n;
+  }
+  std::uint64_t total_inter_bytes() const {
+    std::uint64_t n = 0;
+    for (const auto& s : state_) n += s.inter_bytes;
+    return n;
+  }
+
+  // ---- locality-blind sums (legacy interface) ----
+  std::uint64_t total_messages() const { return total_intra_messages() + total_inter_messages(); }
+  std::uint64_t total_bytes() const { return total_intra_bytes() + total_inter_bytes(); }
   std::uint64_t messages_of(int rank) const {
-    return state_[static_cast<std::size_t>(rank)].messages;
+    return intra_messages_of(rank) + inter_messages_of(rank);
   }
-  std::uint64_t bytes_of(int rank) const { return state_[static_cast<std::size_t>(rank)].bytes; }
+  std::uint64_t bytes_of(int rank) const { return intra_bytes_of(rank) + inter_bytes_of(rank); }
 
 private:
   struct per_rank {
     double channel_busy_until = 0.0;
     double pending_until = 0.0;
-    std::uint64_t messages = 0;
-    std::uint64_t bytes = 0;
+    std::uint64_t intra_messages = 0;
+    std::uint64_t inter_messages = 0;
+    std::uint64_t intra_bytes = 0;
+    std::uint64_t inter_bytes = 0;
   };
 
   sim::engine& eng_;
   common::network_model nm_;
+  common::tracer* trace_ = nullptr;
   std::vector<per_rank> state_;
 };
 

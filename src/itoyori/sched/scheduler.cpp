@@ -4,6 +4,7 @@ namespace ityr::sched {
 
 scheduler::scheduler(sim::engine& eng, pgas::pgas_space& pgas) : eng_(eng), pgas_(pgas) {
   ranks_.resize(static_cast<std::size_t>(eng_.n_ranks()));
+  timeline_.configure(eng_.n_ranks());
 }
 
 scheduler::stats scheduler::get_stats() const {
@@ -44,16 +45,11 @@ void scheduler::charge_ts_touch(const thread_state* ts) {
 }
 
 void scheduler::busy_begin() {
-  rank_state& rs = self();
-  if (rs.busy_since < 0) rs.busy_since = eng_.now();
+  timeline_.enter(eng_.my_rank(), common::phase_timeline::phase::busy, eng_.now_precise());
 }
 
 void scheduler::busy_end() {
-  rank_state& rs = self();
-  if (rs.busy_since >= 0) {
-    rs.busy_time += eng_.now() - rs.busy_since;
-    rs.busy_since = -1.0;
-  }
+  timeline_.enter(eng_.my_rank(), common::phase_timeline::phase::idle, eng_.now_precise());
 }
 
 void scheduler::reap() {
@@ -71,6 +67,9 @@ scheduler::resume_kind scheduler::consume_note() {
 }
 
 void scheduler::poll() {
+  // The scheduler's poll points double as the periodic-sampling heartbeat
+  // for counter time-series in the trace.
+  if (trace_ != nullptr) trace_->poll_sample(eng_.my_rank(), eng_.now_precise());
   // Time spent here is (almost entirely) thief-requested delayed write-backs
   // (Release #1 executed lazily, Section 5.2).
   common::profiler::maybe_scope sc(prof_, common::prof_event::release_lazy);
@@ -305,6 +304,7 @@ bool scheduler::try_steal() {
   vs.deque.pop_front();
   rs.st.steals++;
   if (same_node) rs.st.intra_node_steals++;
+  const double t_claim = eng_.now_precise();  // victim-side claim (CAS landed)
 
   // Fetch the continuation descriptor and migrate the thread's stack.
   rs.st.migrations++;
@@ -317,6 +317,9 @@ bool scheduler::try_steal() {
     common::profiler::maybe_scope sc(prof_, common::prof_event::acquire);
     pgas_.acquire(e.rh);
   }
+  // Thief<-victim pairing as a trace flow arrow: starts where the entry was
+  // claimed on the victim's track, lands when the migrated task is runnable.
+  if (trace_ != nullptr) trace_->flow(victim, t_claim, me, eng_.now_precise(), "steal");
   return_to_task_ = e.fib;
   return true;
 }
@@ -345,6 +348,7 @@ void scheduler::worker_loop() {
       continue;
     }
 
+    timeline_.enter(eng_.my_rank(), common::phase_timeline::phase::steal, eng_.now_precise());
     if (try_steal()) {
       sim::fiber* f = return_to_task_;
       return_to_task_ = nullptr;
@@ -354,6 +358,8 @@ void scheduler::worker_loop() {
       busy_end();
       failed_rounds = 0;
     } else {
+      // Backoff waiting is idle time, not steal time.
+      timeline_.enter(eng_.my_rank(), common::phase_timeline::phase::idle, eng_.now_precise());
       const int shift = failed_rounds < 5 ? failed_rounds : 5;
       eng_.advance(eng_.opts().steal_backoff * static_cast<double>(1 << shift));
       failed_rounds++;
@@ -375,8 +381,7 @@ void scheduler::root_exec(std::function<void()> root_fn) {
 
   rank_state& rs = self();
   rs.sched_fiber = eng_.current_fiber();
-  rs.busy_time = 0.0;
-  rs.busy_since = -1.0;
+  timeline_.begin_region(eng_.my_rank(), eng_.now_precise());
 
   if (eng_.my_rank() == 0) {
     done_ = false;
@@ -412,6 +417,7 @@ void scheduler::root_exec(std::function<void()> root_fn) {
   }
 
   worker_loop();
+  timeline_.end_region(eng_.my_rank(), eng_.now_precise());
 
   // Region teardown: flush every rank's cache and resynchronize.
   pgas_.release();

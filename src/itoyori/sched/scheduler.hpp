@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "itoyori/common/profiler.hpp"
+#include "itoyori/common/trace.hpp"
 #include "itoyori/pgas/pgas_space.hpp"
 #include "itoyori/sim/engine.hpp"
 
@@ -84,6 +85,14 @@ public:
   /// Attach an (optional) profiler for fence/steal attribution (Fig. 9).
   void set_profiler(common::profiler* p) { prof_ = p; }
 
+  /// Attach an (optional) tracer: successful steals become thief<-victim
+  /// flow arrows, the busy/idle/steal timeline emits "Busy" spans, and the
+  /// scheduler's poll points drive periodic counter sampling.
+  void set_tracer(common::tracer* t) {
+    trace_ = t;
+    timeline_.set_tracer(t);
+  }
+
   /// SPMD entry point: every rank calls this collectively; `root_fn` runs
   /// once as the root thread (started on rank 0, free to migrate), all other
   /// ranks act as workers until it completes.
@@ -109,9 +118,21 @@ public:
   stats get_stats() const;
   const stats& stats_of(int rank) const { return ranks_[static_cast<std::size_t>(rank)].st; }
 
-  /// Busy time (task execution, excluding the idle steal loop) per rank;
-  /// used for the idleness metric (paper Table 2).
-  double busy_time_of(int rank) const { return ranks_[static_cast<std::size_t>(rank)].busy_time; }
+  /// Busy time (task execution, excluding the steal loop) per rank; one view
+  /// of the phase timeline, kept for the idleness metric (paper Table 2).
+  double busy_time_of(int rank) const { return timeline_.busy_of(rank); }
+
+  /// Per-rank busy/idle/steal intervals over virtual time — the single
+  /// source of truth for Table 2 idleness and the Fig. 9 capacity term.
+  /// Static (SPMD-style) baselines may drive it directly between fork-join
+  /// regions via begin_region()/enter()/end_region().
+  common::phase_timeline& timeline() { return timeline_; }
+  const common::phase_timeline& timeline() const { return timeline_; }
+
+  /// Current depth of a rank's continuation deque (sampled into the trace).
+  std::size_t deque_depth_of(int rank) const {
+    return ranks_[static_cast<std::size_t>(rank)].deque.size();
+  }
 
 private:
   struct cont_entry {
@@ -133,8 +154,6 @@ private:
     resume_kind note = resume_kind::none;
     std::vector<sim::fiber*> dead;      ///< fibers to recycle
     stats st;
-    double busy_time = 0.0;
-    double busy_since = -1.0;
   };
 
   rank_state& self() { return ranks_[static_cast<std::size_t>(eng_.my_rank())]; }
@@ -154,6 +173,8 @@ private:
   sim::engine& eng_;
   pgas::pgas_space& pgas_;
   common::profiler* prof_ = nullptr;
+  common::tracer* trace_ = nullptr;
+  common::phase_timeline timeline_;
   std::vector<rank_state> ranks_;
   std::vector<thread_state*> ts_pool_;
   std::vector<std::unique_ptr<thread_state>> ts_storage_;

@@ -113,6 +113,7 @@ void engine::run(std::function<void(int)> rank_main) {
     if (r < 0) break;
     current_rank_ = r;
     total_resumes_++;
+    ranks_[r].resumes++;
     resume_t0_ = std::chrono::steady_clock::now();
     fiber_switch(&main_ctx_, ranks_[r].running->context());
     // Commit measured compute for the slice that just ran.

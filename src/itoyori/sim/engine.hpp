@@ -95,6 +95,7 @@ public:
 
   // ---- statistics ----
   std::uint64_t total_resumes() const { return total_resumes_; }
+  std::uint64_t resumes_of(int rank) const { return ranks_[rank].resumes; }
 
   /// True once any rank's main has terminated with an exception; pollers
   /// (e.g. barriers) use this to abort instead of waiting forever.
@@ -110,6 +111,7 @@ private:
     bool finished = false;
     common::xoshiro256ss rng;
     std::exception_ptr error;
+    std::uint64_t resumes = 0;  ///< DES resumes of this rank (idle/resume transitions)
   };
 
   void yield_to_scheduler();  // save current fiber, return to the run loop

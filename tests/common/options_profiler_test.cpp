@@ -4,6 +4,7 @@
 
 #include "itoyori/common/options.hpp"
 #include "itoyori/common/profiler.hpp"
+#include "itoyori/common/trace.hpp"
 
 namespace ic = ityr::common;
 
@@ -37,6 +38,60 @@ TEST(Options, FromEnvOverrides) {
   ::unsetenv("ITYR_CACHE_SIZE");
   ::unsetenv("ITYR_DETERMINISTIC");
   ::unsetenv("ITYR_SEED");
+}
+
+TEST(Options, ObservabilityEnvRoundTrip) {
+  ::setenv("ITYR_TRACE", "/tmp/out.json", 1);
+  ::setenv("ITYR_TRACE_CAP", "4096", 1);
+  ::setenv("ITYR_STATS_JSON", "/tmp/stats.json", 1);
+  ::setenv("ITYR_METRICS_SAMPLE_INTERVAL", "0.0025", 1);
+  auto o = ic::options::from_env();
+  EXPECT_EQ(o.trace_path, "/tmp/out.json");
+  EXPECT_EQ(o.trace_cap, 4096u);
+  EXPECT_EQ(o.stats_json_path, "/tmp/stats.json");
+  EXPECT_DOUBLE_EQ(o.metrics_sample_interval, 0.0025);
+  ::unsetenv("ITYR_TRACE");
+  ::unsetenv("ITYR_TRACE_CAP");
+  ::unsetenv("ITYR_STATS_JSON");
+  ::unsetenv("ITYR_METRICS_SAMPLE_INTERVAL");
+}
+
+TEST(Options, ObservabilityEnvDefaults) {
+  ::unsetenv("ITYR_TRACE");
+  ::unsetenv("ITYR_TRACE_CAP");
+  ::unsetenv("ITYR_STATS_JSON");
+  ::unsetenv("ITYR_METRICS_SAMPLE_INTERVAL");
+  auto o = ic::options::from_env();
+  EXPECT_TRUE(o.trace_path.empty());  // tracing off by default
+  EXPECT_TRUE(o.stats_json_path.empty());
+  EXPECT_GT(o.trace_cap, 0u);
+  EXPECT_GT(o.metrics_sample_interval, 0.0);
+}
+
+TEST(Options, MalformedObservabilityEnvIsBenign) {
+  // Malformed numbers parse to 0: the tracer clamps a 0 cap to min_cap and
+  // a 0 sample interval disables sampling — no crash, no surprises.
+  ::setenv("ITYR_TRACE_CAP", "not-a-number", 1);
+  ::setenv("ITYR_METRICS_SAMPLE_INTERVAL", "bogus", 1);
+  auto o = ic::options::from_env();
+  EXPECT_EQ(o.trace_cap, 0u);
+  EXPECT_DOUBLE_EQ(o.metrics_sample_interval, 0.0);
+
+  ic::tracer t;
+  t.configure(1, 1, o.trace_cap);
+  t.set_enabled(true);
+  t.set_sample_interval(o.metrics_sample_interval);
+  int fired = 0;
+  t.set_sampler([&](int, double) { fired++; });
+  for (int i = 0; i < 100; i++) {
+    t.instant(0, i * 1.0, "x");
+    t.poll_sample(0, i * 1.0);
+  }
+  EXPECT_EQ(t.n_events(0), ic::tracer::min_cap);  // clamped, ring intact
+  EXPECT_EQ(fired, 0);                            // sampling disabled
+
+  ::unsetenv("ITYR_TRACE_CAP");
+  ::unsetenv("ITYR_METRICS_SAMPLE_INTERVAL");
 }
 
 TEST(Options, BadPolicyStringThrows) {
@@ -137,4 +192,77 @@ TEST(Profiler, MaybeScopeWithNull) {
   // Must be safe and a no-op with a null profiler.
   { ic::profiler::maybe_scope sc(nullptr, ic::prof_event::get); }
   SUCCEED();
+}
+
+TEST(Profiler, CountsAndMaxDuration) {
+  prof_fixture f;
+  f.prof.begin(ic::prof_event::get);
+  f.now = 2;
+  f.prof.end(ic::prof_event::get);  // duration 2
+  f.prof.begin(ic::prof_event::get);
+  f.now = 7;
+  f.prof.end(ic::prof_event::get);  // duration 5
+  EXPECT_EQ(f.prof.count_of(0, ic::prof_event::get), 2u);
+  EXPECT_EQ(f.prof.total_count(ic::prof_event::get), 2u);
+  EXPECT_DOUBLE_EQ(f.prof.max_duration_of(0, ic::prof_event::get), 5);
+  EXPECT_DOUBLE_EQ(f.prof.max_duration(ic::prof_event::get), 5);
+}
+
+TEST(Profiler, MaxDurationIsInclusive) {
+  prof_fixture f;
+  f.prof.begin(ic::prof_event::checkout);  // t=0
+  f.now = 1;
+  f.prof.begin(ic::prof_event::get);
+  f.now = 4;
+  f.prof.end(ic::prof_event::get);
+  f.now = 5;
+  f.prof.end(ic::prof_event::checkout);
+  // Self time of checkout is 2, but max duration reports the inclusive 5.
+  EXPECT_DOUBLE_EQ(f.prof.total(ic::prof_event::checkout), 2);
+  EXPECT_DOUBLE_EQ(f.prof.max_duration(ic::prof_event::checkout), 5);
+}
+
+TEST(Profiler, ConfigureOnLiveProfilerThrows) {
+  prof_fixture f;
+  f.prof.begin(ic::prof_event::checkout);  // open scope -> live
+  EXPECT_THROW(f.prof.configure(
+                   2, [] { return 0.0; }, [] { return 0; }),
+               ic::api_error);
+  f.now = 1;
+  f.prof.end(ic::prof_event::checkout);  // closed scope, but data accumulated
+  EXPECT_THROW(f.prof.configure(
+                   2, [] { return 0.0; }, [] { return 0; }),
+               ic::api_error);
+  f.prof.reset();  // scopes closed and data cleared -> reconfigure is fine
+  f.prof.configure(
+      2, [] { return 0.0; }, [] { return 0; });
+  SUCCEED();
+}
+
+TEST(ProfilerDeathTest, AggregateReadWithOpenScopeDies) {
+  prof_fixture f;
+  f.prof.begin(ic::prof_event::checkout);
+  // Aggregate accessors assert that every per-rank scope stack is empty; a
+  // read mid-scope would silently under-report.
+  EXPECT_DEATH((void)f.prof.total(ic::prof_event::checkout), "check failed");
+  EXPECT_DEATH((void)f.prof.total_all_events(), "check failed");
+}
+
+TEST(Profiler, TracerMakesDisabledProfilerActive) {
+  // An attached, enabled tracer turns scope begin/end into trace spans even
+  // with stats accumulation disabled.
+  prof_fixture f;
+  f.prof.set_enabled(false);
+  ic::tracer t;
+  t.configure(2, 2, 1 << 10);
+  t.set_enabled(true);
+  f.prof.set_tracer(&t);
+  EXPECT_TRUE(f.prof.active());
+
+  f.prof.begin(ic::prof_event::checkout);
+  f.now = 5;
+  f.prof.end(ic::prof_event::checkout);
+  const auto r = ic::validate_trace_json(t.to_json());
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.n_spans, 1u);
 }

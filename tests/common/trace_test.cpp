@@ -1,0 +1,291 @@
+#include "itoyori/common/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ityr::common {
+namespace {
+
+tracer make_tracer(int n_ranks = 2, int rpn = 2, std::size_t cap = 1 << 10) {
+  tracer t;
+  t.configure(n_ranks, rpn, cap);
+  t.set_enabled(true);
+  return t;
+}
+
+TEST(TraceTest, DisabledRecordsNothing) {
+  tracer t;
+  t.configure(2, 2, 1 << 10);
+  ASSERT_FALSE(t.enabled());
+  t.span_begin(0, 0.0, "A");
+  t.span_end(0, 1.0, "A");
+  t.instant(1, 0.5, "X");
+  EXPECT_EQ(t.flow(0, 0.1, 1, 0.2, "F"), 0u);
+  t.counter(0, 0.3, "c", 1.0);
+  EXPECT_EQ(t.total_events(), 0u);
+}
+
+TEST(TraceTest, SpanNestingRoundTrip) {
+  tracer t = make_tracer();
+  t.span_begin(0, 0.0, "Outer");
+  t.span_begin(0, 0.25, "Inner");
+  t.instant(0, 0.5, "tick");
+  t.span_end(0, 0.75, "Inner");
+  t.span_end(0, 1.0, "Outer");
+  t.span_begin(1, 0.0, "Other");
+  t.span_end(1, 2.0, "Other");
+
+  const auto r = validate_trace_json(t.to_json());
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.n_spans, 3u);
+  EXPECT_EQ(r.n_flows, 0u);
+}
+
+TEST(TraceTest, OpenSpansClosedAtDump) {
+  tracer t = make_tracer();
+  t.span_begin(0, 0.0, "Outer");
+  t.span_begin(0, 0.5, "Inner");
+  t.instant(0, 1.0, "last");
+  // Neither span ended: the dump must auto-close both at the rank's last
+  // timestamp so the checker still sees balanced pairs.
+  const auto r = validate_trace_json(t.to_json());
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.n_spans, 2u);
+}
+
+TEST(TraceTest, CapEvictionCountsAndRepairs) {
+  tracer t;
+  t.configure(1, 1, tracer::min_cap);
+  t.set_enabled(true);
+  // 3x the cap of nested spans: the oldest begins are evicted, leaving
+  // orphan end events the dump has to skip.
+  const int total = static_cast<int>(tracer::min_cap) * 3;
+  for (int i = 0; i < total; i++) {
+    t.span_begin(0, i * 1.0, "S");
+    t.span_end(0, i * 1.0 + 0.5, "S");
+  }
+  EXPECT_EQ(t.n_events(0), tracer::min_cap);
+  EXPECT_EQ(t.dropped(0), static_cast<std::uint64_t>(2 * total - tracer::min_cap));
+  EXPECT_EQ(t.total_dropped(), t.dropped(0));
+
+  const auto r = validate_trace_json(t.to_json());
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_GT(r.n_spans, 0u);
+}
+
+TEST(TraceTest, CapIsClamped) {
+  tracer t;
+  t.configure(1, 1, 0);  // malformed ITYR_TRACE_CAP parses as 0
+  t.set_enabled(true);
+  for (int i = 0; i < 100; i++) t.instant(0, i * 1.0, "x");
+  EXPECT_EQ(t.n_events(0), tracer::min_cap);
+  EXPECT_EQ(t.dropped(0), 100u - tracer::min_cap);
+}
+
+TEST(TraceTest, FlowPairingSurvivesDump) {
+  tracer t = make_tracer();
+  const auto id1 = t.flow(0, 0.1, 1, 0.2, "steal");
+  const auto id2 = t.flow(1, 0.3, 0, 0.4, "rma");
+  EXPECT_NE(id1, 0u);
+  EXPECT_NE(id2, id1);
+
+  const auto r = validate_trace_json(t.to_json());
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.n_flows, 2u);
+}
+
+TEST(TraceTest, HalfEvictedFlowIsDropped) {
+  // Rank 0 has min_cap capacity; record a flow, then push enough events on
+  // rank 0 to evict its flow_start half. The dump must then drop the
+  // surviving flow_finish on rank 1 too, or the checker would reject the
+  // trace as having an unpaired flow.
+  tracer t;
+  t.configure(2, 2, tracer::min_cap);
+  t.set_enabled(true);
+  t.flow(0, 0.0, 1, 0.1, "steal");
+  for (int i = 0; i < static_cast<int>(tracer::min_cap) + 4; i++) {
+    t.instant(0, 1.0 + i, "x");
+  }
+  EXPECT_GT(t.dropped(0), 0u);
+
+  const auto r = validate_trace_json(t.to_json());
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.n_flows, 0u);
+}
+
+TEST(TraceTest, CounterSamplesAndPolling) {
+  tracer t = make_tracer();
+  int fired = 0;
+  t.set_sample_interval(1.0);
+  t.set_sampler([&](int rank, double now) {
+    fired++;
+    t.counter(rank, now, "c", static_cast<double>(fired));
+  });
+  t.poll_sample(0, 0.0);   // fires (first sample)
+  t.poll_sample(0, 0.5);   // within interval: no fire
+  t.poll_sample(0, 1.25);  // fires
+  EXPECT_EQ(fired, 2);
+
+  const auto r = validate_trace_json(t.to_json());
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.n_counters, 2u);
+}
+
+TEST(TraceTest, SamplingDisabledByNonPositiveInterval) {
+  tracer t = make_tracer();
+  int fired = 0;
+  t.set_sample_interval(0.0);  // malformed env value parses as 0 -> disabled
+  t.set_sampler([&](int, double) { fired++; });
+  t.poll_sample(0, 0.0);
+  t.poll_sample(0, 10.0);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(TraceTest, ClearResets) {
+  tracer t = make_tracer();
+  t.span_begin(0, 0.0, "A");
+  t.span_end(0, 1.0, "A");
+  EXPECT_GT(t.total_events(), 0u);
+  t.clear();
+  EXPECT_EQ(t.total_events(), 0u);
+  EXPECT_EQ(t.total_dropped(), 0u);
+}
+
+// ---- validate_trace_json on handcrafted inputs ----
+
+std::string wrap(const std::string& events) { return "{\"traceEvents\": [" + events + "]}"; }
+
+TEST(TraceCheckTest, AcceptsMinimalValidTrace) {
+  const auto r = validate_trace_json(
+      wrap("{\"ph\": \"B\", \"pid\": 0, \"tid\": 0, \"ts\": 0.0, \"name\": \"A\"},"
+           "{\"ph\": \"E\", \"pid\": 0, \"tid\": 0, \"ts\": 1.0, \"name\": \"A\"}"));
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.n_spans, 1u);
+}
+
+TEST(TraceCheckTest, RejectsMalformedJson) {
+  EXPECT_FALSE(validate_trace_json("{\"traceEvents\": [").ok);
+  EXPECT_FALSE(validate_trace_json("not json").ok);
+  EXPECT_FALSE(validate_trace_json("{}").ok);  // no traceEvents
+  EXPECT_FALSE(validate_trace_json(wrap("") + "garbage").ok);
+}
+
+TEST(TraceCheckTest, RejectsNameMismatchedEnd) {
+  const auto r = validate_trace_json(
+      wrap("{\"ph\": \"B\", \"pid\": 0, \"tid\": 0, \"ts\": 0.0, \"name\": \"A\"},"
+           "{\"ph\": \"E\", \"pid\": 0, \"tid\": 0, \"ts\": 1.0, \"name\": \"B\"}"));
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(TraceCheckTest, RejectsUnclosedSpan) {
+  const auto r = validate_trace_json(
+      wrap("{\"ph\": \"B\", \"pid\": 0, \"tid\": 0, \"ts\": 0.0, \"name\": \"A\"}"));
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(TraceCheckTest, RejectsEndWithoutBegin) {
+  const auto r = validate_trace_json(
+      wrap("{\"ph\": \"E\", \"pid\": 0, \"tid\": 0, \"ts\": 0.0, \"name\": \"A\"}"));
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(TraceCheckTest, RejectsUnpairedFlow) {
+  const auto r = validate_trace_json(
+      wrap("{\"ph\": \"s\", \"pid\": 0, \"tid\": 0, \"ts\": 0.0, \"name\": \"F\", \"id\": 1}"));
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(TraceCheckTest, TracksAreIndependent) {
+  // Overlapping spans on different (pid,tid) tracks are fine.
+  const auto r = validate_trace_json(
+      wrap("{\"ph\": \"B\", \"pid\": 0, \"tid\": 0, \"ts\": 0.0, \"name\": \"A\"},"
+           "{\"ph\": \"B\", \"pid\": 0, \"tid\": 1, \"ts\": 0.5, \"name\": \"B\"},"
+           "{\"ph\": \"E\", \"pid\": 0, \"tid\": 0, \"ts\": 1.0, \"name\": \"A\"},"
+           "{\"ph\": \"E\", \"pid\": 0, \"tid\": 1, \"ts\": 1.5, \"name\": \"B\"}"));
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.n_spans, 2u);
+}
+
+// ---- phase_timeline ----
+
+TEST(PhaseTimelineTest, AccountsPhases) {
+  phase_timeline tl;
+  tl.configure(2);
+
+  tl.begin_region(0, 0.0);
+  tl.enter(0, phase_timeline::phase::busy, 1.0);   // idle [0,1)
+  tl.enter(0, phase_timeline::phase::steal, 3.0);  // busy [1,3)
+  tl.enter(0, phase_timeline::phase::busy, 3.5);   // steal [3,3.5)
+  tl.end_region(0, 4.0);                           // busy [3.5,4)
+
+  tl.begin_region(1, 0.0);
+  tl.enter(1, phase_timeline::phase::busy, 0.0);
+  tl.end_region(1, 4.0);
+
+  EXPECT_DOUBLE_EQ(tl.idle_of(0), 1.0);
+  EXPECT_DOUBLE_EQ(tl.busy_of(0), 2.5);
+  EXPECT_DOUBLE_EQ(tl.steal_of(0), 0.5);
+  EXPECT_DOUBLE_EQ(tl.busy_of(1), 4.0);
+  EXPECT_DOUBLE_EQ(tl.total_busy(), 6.5);
+  EXPECT_DOUBLE_EQ(tl.total_steal(), 0.5);
+  EXPECT_DOUBLE_EQ(tl.total_idle(), 1.0);
+  EXPECT_DOUBLE_EQ(tl.makespan(), 4.0);
+  // 1 - 6.5 / (2 * 4)
+  EXPECT_NEAR(tl.idleness(), 1.0 - 6.5 / 8.0, 1e-12);
+}
+
+TEST(PhaseTimelineTest, EnterIsIdempotentAndRegionGated) {
+  phase_timeline tl;
+  tl.configure(1);
+  // Before begin_region: transitions are ignored.
+  tl.enter(0, phase_timeline::phase::busy, 1.0);
+  EXPECT_DOUBLE_EQ(tl.busy_of(0), 0.0);
+
+  tl.begin_region(0, 0.0);
+  tl.enter(0, phase_timeline::phase::busy, 1.0);
+  tl.enter(0, phase_timeline::phase::busy, 2.0);  // no-op, stays since t=1
+  tl.end_region(0, 3.0);
+  EXPECT_DOUBLE_EQ(tl.busy_of(0), 2.0);
+
+  // end_region is final until the next begin_region.
+  tl.enter(0, phase_timeline::phase::busy, 3.0);
+  tl.end_region(0, 5.0);
+  EXPECT_DOUBLE_EQ(tl.busy_of(0), 2.0);
+}
+
+TEST(PhaseTimelineTest, BeginRegionResets) {
+  phase_timeline tl;
+  tl.configure(1);
+  tl.begin_region(0, 0.0);
+  tl.enter(0, phase_timeline::phase::busy, 0.0);
+  tl.end_region(0, 2.0);
+  EXPECT_DOUBLE_EQ(tl.busy_of(0), 2.0);
+
+  tl.begin_region(0, 10.0);
+  tl.enter(0, phase_timeline::phase::busy, 10.5);
+  tl.end_region(0, 11.0);
+  EXPECT_DOUBLE_EQ(tl.busy_of(0), 0.5);
+  EXPECT_DOUBLE_EQ(tl.idle_of(0), 0.5);
+  EXPECT_DOUBLE_EQ(tl.makespan(), 1.0);
+}
+
+TEST(PhaseTimelineTest, EmitsBusySpansIntoTracer) {
+  tracer t = make_tracer(1, 1);
+  phase_timeline tl;
+  tl.configure(1);
+  tl.set_tracer(&t);
+
+  tl.begin_region(0, 0.0);
+  tl.enter(0, phase_timeline::phase::busy, 1.0);
+  tl.enter(0, phase_timeline::phase::idle, 2.0);
+  tl.enter(0, phase_timeline::phase::busy, 3.0);
+  tl.end_region(0, 4.0);
+
+  const auto r = validate_trace_json(t.to_json());
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.n_spans, 2u);  // two "Busy" slices
+}
+
+}  // namespace
+}  // namespace ityr::common

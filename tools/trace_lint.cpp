@@ -1,0 +1,105 @@
+/// trace_lint: validates Chrome/Perfetto trace_events JSON against the
+/// invariants the itoyori tracer promises (parseable JSON, balanced and
+/// name-matched B/E spans per (pid,tid), non-decreasing timestamps, every
+/// flow id has both its start and finish half).
+///
+/// With a file argument it lints that file:
+///
+///   ./build/tools/trace_lint out.json
+///
+/// Without arguments it is a self-check (registered as the `trace_lint`
+/// ctest): it runs a small deterministic cilksort with tracing and counter
+/// sampling enabled, dumps the trace, and lints the result, additionally
+/// requiring that spans, flows, and counter samples are all present.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "itoyori/apps/cilksort.hpp"
+#include "itoyori/common/trace.hpp"
+#include "itoyori/core/ityr.hpp"
+#include "itoyori/core/runtime.hpp"
+
+namespace {
+
+int lint(const std::string& json, const char* what, bool require_content) {
+  const ityr::common::trace_check_result r = ityr::common::validate_trace_json(json);
+  if (!r.ok) {
+    std::fprintf(stderr, "trace_lint: %s: INVALID: %s\n", what, r.error.c_str());
+    return 1;
+  }
+  std::printf("trace_lint: %s: OK (%zu events: %zu spans, %zu flows, %zu counter samples)\n",
+              what, r.n_events, r.n_spans, r.n_flows, r.n_counters);
+  if (require_content) {
+    if (r.n_spans == 0) {
+      std::fprintf(stderr, "trace_lint: %s: expected at least one span\n", what);
+      return 1;
+    }
+    if (r.n_flows == 0) {
+      std::fprintf(stderr, "trace_lint: %s: expected at least one steal/RMA flow\n", what);
+      return 1;
+    }
+    if (r.n_counters == 0) {
+      std::fprintf(stderr, "trace_lint: %s: expected at least one counter sample\n", what);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int self_check() {
+  ityr::common::options o;
+  o.n_nodes = 2;
+  o.ranks_per_node = 2;
+  o.deterministic = true;
+  o.block_size = 4 * ityr::common::KiB;
+  o.sub_block_size = 1 * ityr::common::KiB;
+  o.cache_size = 64 * ityr::common::KiB;
+  o.coll_heap_per_rank = 1 * ityr::common::MiB;
+  o.noncoll_heap_per_rank = 256 * ityr::common::KiB;
+  o.metrics_sample_interval = 1.0e-5;
+
+  constexpr std::size_t n = 1 << 16;
+  std::string json;
+  {
+    ityr::runtime rt(o);
+    rt.trace().set_enabled(true);
+    rt.spmd([&] {
+      auto a = ityr::coll_new<std::uint32_t>(n);
+      auto b = ityr::coll_new<std::uint32_t>(n);
+      ityr::root_exec([=] { ityr::apps::cilksort_generate(a, n, 7, 4096); });
+      ityr::barrier();
+      ityr::root_exec([=] {
+        ityr::apps::cilksort(ityr::global_span<std::uint32_t>(a, n),
+                             ityr::global_span<std::uint32_t>(b, n), 2048);
+      });
+      ityr::barrier();
+      ityr::coll_delete(a, n);
+      ityr::coll_delete(b, n);
+    });
+    json = rt.trace().to_json();
+  }
+  return lint(json, "self-check (traced cilksort)", /*require_content=*/true);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return self_check();
+
+  int rc = 0;
+  for (int i = 1; i < argc; i++) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "trace_lint: cannot open %s\n", argv[i]);
+      rc = 1;
+      continue;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    rc |= lint(ss.str(), argv[i], /*require_content=*/false);
+  }
+  return rc;
+}
