@@ -1,0 +1,211 @@
+/// Prefetcher ablation: sequential, strided, and random scans over a
+/// remote-homed array, with ITYR_PREFETCH off and on, emitted as
+/// BENCH_prefetch.json so the fetch-stall trajectory of the nonblocking
+/// fetch pipeline is tracked across PRs.
+///
+/// The headline numbers (see docs/internals.md):
+///  * cold sequential scan: prefetch should cut the fetch-stall virtual
+///    time by >= 30% with a >= 80% useful-byte ratio,
+///  * random scan: prefetch must not regress the stall time by more
+///    than ~2% (streams never confirm, so almost nothing is issued).
+///
+/// Usage: ./build/bench/ablation_prefetch [output.json]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "itoyori/core/ityr.hpp"
+#include "itoyori/core/runtime.hpp"
+
+namespace ic = ityr::common;
+
+namespace {
+
+enum class pattern { sequential, strided, shuffled };
+
+const char* to_string(pattern p) {
+  switch (p) {
+    case pattern::sequential: return "sequential";
+    case pattern::strided: return "strided";
+    default: return "random";
+  }
+}
+
+struct point {
+  std::string name;
+  bool prefetch = false;
+  double time = 0;        ///< virtual seconds of the whole run
+  double stall = 0;       ///< fetch-stall virtual seconds (cache stats)
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  ityr::pgas::cache_system::stats cst;
+};
+
+/// Visit order over `n` chunks. Deterministic by construction (fixed-seed
+/// xorshift Fisher-Yates for the shuffled pattern).
+std::vector<std::size_t> make_order(pattern pat, std::size_t n) {
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  if (pat == pattern::strided) {
+    // Single pass with a 2-sub-block stride: every other chunk is touched,
+    // so a confirmed stream prefetches ~50% useful bytes — the wasted-byte
+    // accounting datapoint.
+    for (std::size_t i = 0; i < n; i += 2) order.push_back(i);
+  } else {
+    for (std::size_t i = 0; i < n; i++) order.push_back(i);
+    if (pat == pattern::shuffled) {
+      std::uint64_t s = 0x9e3779b97f4a7c15ull;
+      for (std::size_t i = n - 1; i > 0; i--) {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        std::swap(order[i], order[s % (i + 1)]);
+      }
+    }
+  }
+  return order;
+}
+
+point run_scan(pattern pat, bool prefetch) {
+  ic::options o;
+  o.n_nodes = 2;
+  o.ranks_per_node = 1;
+  o.coll_heap_per_rank = 8 * ic::MiB;
+  o.noncoll_heap_per_rank = 4 * ic::MiB;
+  o.cache_size = 4 * ic::MiB;
+  o.policy = ic::cache_policy::write_back_lazy;
+  o.default_dist = ic::dist_policy::block;
+  o.deterministic = true;
+  o.prefetch = prefetch;
+
+  // Rank 0 scans the second half of a block-distributed array — every byte
+  // homed on rank 1, so each cold sub-block is one remote fetch. One chunk
+  // (= one sub-block) per checkout keeps the demand granularity at the
+  // fetch granularity, the worst case for stop-and-wait fetching.
+  const std::size_t chunk_elems = o.sub_block_size / sizeof(std::uint64_t);
+  constexpr std::size_t kScanBytes = 2 * ic::MiB;
+  const std::size_t n_chunks = kScanBytes / o.sub_block_size;
+  const std::size_t total_elems = 2 * kScanBytes / sizeof(std::uint64_t);
+  const std::vector<std::size_t> order = make_order(pat, n_chunks);
+
+  point p;
+  p.name = std::string(to_string(pat)) + (prefetch ? "_prefetch" : "_baseline");
+  p.prefetch = prefetch;
+  ityr::runtime rt(o);
+  double elapsed = 0;
+  std::uint64_t sink = 0;  // keeps the read loop observable
+  rt.spmd([&] {
+    auto a = ityr::coll_new<std::uint64_t>(total_elems, ic::dist_policy::block);
+    if (ityr::my_rank() == 0) {
+      const auto base = static_cast<std::ptrdiff_t>(total_elems / 2);
+      for (const std::size_t idx : order) {
+        auto ptr = a + base + static_cast<std::ptrdiff_t>(idx * chunk_elems);
+        ityr::with_checkout(ptr, chunk_elems, ityr::access_mode::read,
+                            [&](const std::uint64_t* c) {
+                              std::uint64_t acc = 0;
+                              for (std::size_t i = 0; i < chunk_elems; i++) acc += c[i];
+                              sink += acc;
+                            });
+      }
+      elapsed = rt.eng().now();
+    }
+    ityr::barrier();
+    ityr::coll_delete(a, total_elems);
+  });
+  p.time = elapsed;
+  p.messages = rt.rma().net().total_messages();
+  p.bytes = rt.rma().net().total_bytes();
+  p.cst = rt.pgas().aggregate_stats();
+  p.stall = p.cst.fetch_stall_s;
+  (void)sink;
+  return p;
+}
+
+void emit(std::FILE* f, const point& p, bool last) {
+  const double issued = static_cast<double>(p.cst.prefetch_issued_bytes);
+  const double useful_ratio =
+      issued > 0 ? static_cast<double>(p.cst.prefetch_useful_bytes) / issued : 0.0;
+  const double wasted_ratio =
+      issued > 0 ? static_cast<double>(p.cst.prefetch_wasted_bytes) / issued : 0.0;
+  std::fprintf(f,
+               "    {\n"
+               "      \"name\": \"%s\",\n"
+               "      \"prefetch\": %s,\n"
+               "      \"virtual_time_s\": %.9f,\n"
+               "      \"fetch_stall_s\": %.9f,\n"
+               "      \"messages\": %llu,\n"
+               "      \"bytes\": %llu,\n"
+               "      \"fetched_bytes\": %llu,\n"
+               "      \"prefetch_issued\": %llu,\n"
+               "      \"prefetch_issued_bytes\": %llu,\n"
+               "      \"prefetch_useful_bytes\": %llu,\n"
+               "      \"prefetch_wasted_bytes\": %llu,\n"
+               "      \"prefetch_late\": %llu,\n"
+               "      \"useful_ratio\": %.4f,\n"
+               "      \"wasted_ratio\": %.4f\n"
+               "    }%s\n",
+               p.name.c_str(), p.prefetch ? "true" : "false", p.time, p.stall,
+               static_cast<unsigned long long>(p.messages),
+               static_cast<unsigned long long>(p.bytes),
+               static_cast<unsigned long long>(p.cst.fetched_bytes),
+               static_cast<unsigned long long>(p.cst.prefetch_issued),
+               static_cast<unsigned long long>(p.cst.prefetch_issued_bytes),
+               static_cast<unsigned long long>(p.cst.prefetch_useful_bytes),
+               static_cast<unsigned long long>(p.cst.prefetch_wasted_bytes),
+               static_cast<unsigned long long>(p.cst.prefetch_late), useful_ratio, wasted_ratio,
+               last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_prefetch.json";
+
+  std::vector<point> points;
+  for (const pattern pat : {pattern::sequential, pattern::strided, pattern::shuffled}) {
+    points.push_back(run_scan(pat, /*prefetch=*/false));
+    points.push_back(run_scan(pat, /*prefetch=*/true));
+  }
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"benchmark\": \"prefetch_ablation\",\n"
+               "  \"workload\": \"2MiB remote scan, 1 sub-block (4KiB) per checkout, "
+               "2 nodes x 1 rank, block dist, deterministic=1\",\n"
+               "  \"runs\": [\n");
+  for (std::size_t i = 0; i < points.size(); i++) emit(f, points[i], i + 1 == points.size());
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+
+  int rc = 0;
+  for (std::size_t i = 0; i + 1 < points.size(); i += 2) {
+    const point& off = points[i];
+    const point& on = points[i + 1];
+    const double reduction =
+        off.stall > 0 ? 100.0 * (1.0 - on.stall / off.stall) : 0.0;
+    const double issued = static_cast<double>(on.cst.prefetch_issued_bytes);
+    const double useful =
+        issued > 0 ? 100.0 * static_cast<double>(on.cst.prefetch_useful_bytes) / issued : 0.0;
+    std::printf("  %-10s stall %.6fs -> %.6fs (%+.1f%% reduction), useful %.1f%% of %llu KiB\n",
+                to_string(static_cast<pattern>(i / 2)), off.stall, on.stall, reduction, useful,
+                static_cast<unsigned long long>(on.cst.prefetch_issued_bytes / ic::KiB));
+    if (i / 2 == 0 && (reduction < 30.0 || useful < 80.0)) {
+      std::fprintf(stderr, "FAIL: sequential scan needs >=30%% stall reduction at >=80%% useful "
+                           "(got %.1f%% / %.1f%%)\n", reduction, useful);
+      rc = 1;
+    }
+    if (i / 2 == 2 && reduction < -2.0) {
+      std::fprintf(stderr, "FAIL: random scan regressed stall by %.1f%% (>2%% budget)\n",
+                   -reduction);
+      rc = 1;
+    }
+  }
+  return rc;
+}

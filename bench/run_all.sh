@@ -31,3 +31,10 @@ echo
 echo "#### bench/observability"
 ./build/bench/observability BENCH_observability.json
 echo
+
+# Prefetcher ablation (sequential/strided/random remote scans with
+# ITYR_PREFETCH off vs on: fetch-stall virtual time, useful/wasted byte
+# ratios) -> BENCH_prefetch.json.
+echo "#### bench/ablation_prefetch"
+./build/bench/ablation_prefetch BENCH_prefetch.json
+echo

@@ -7,13 +7,22 @@
 
 namespace ityr::common {
 
+/// Common base of all runtime-condition errors the runtime can raise
+/// (capacity exhaustion, failed collectives, ...). Lets callers catch "any
+/// itoyori runtime error" without enumerating the concrete types; API-misuse
+/// errors (api_error) stay logic_errors and deliberately do not derive from
+/// this.
+class error : public std::runtime_error {
+public:
+  explicit error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
 /// Raised when a checkout request cannot be satisfied because every cache
 /// block is pinned (checked out) or dirty-and-unwritable. Mirrors the
 /// "too-much-checkout exception" of the paper (Section 4.3.1).
-class too_much_checkout_error : public std::runtime_error {
+class too_much_checkout_error : public error {
 public:
-  explicit too_much_checkout_error(const std::string& what_arg)
-      : std::runtime_error(what_arg) {}
+  explicit too_much_checkout_error(const std::string& what_arg) : error(what_arg) {}
 };
 
 /// Raised on misuse of the checkout/checkin API (mismatched pairs, bad mode,
@@ -25,10 +34,9 @@ public:
 
 /// Raised when the simulated virtual-memory layer runs out of a hard
 /// resource (mapping entries, physical blocks, view space).
-class resource_error : public std::runtime_error {
+class resource_error : public error {
 public:
-  explicit resource_error(const std::string& what_arg)
-      : std::runtime_error(what_arg) {}
+  explicit resource_error(const std::string& what_arg) : error(what_arg) {}
 };
 
 [[noreturn]] inline void die_impl(const char* file, int line, const char* msg) {

@@ -60,6 +60,21 @@ public:
     push_back(h);
   }
 
+  /// Insert at the list's mid-point (size/2 hops from the LRU end) instead
+  /// of at MRU. Speculatively filled blocks (prefetch) use this so that a
+  /// useless prefetch is evicted before any demand-fetched block, while a
+  /// useful one still has half the LRU distance to be consumed in.
+  void insert_middle(lru_hook& h) {
+    ITYR_CHECK(!h.linked());
+    lru_hook* pos = sentinel_.next;  // == &sentinel_ when empty
+    for (std::size_t i = size_ / 2; i > 0; i--) pos = pos->next;
+    h.prev          = pos->prev;
+    h.next          = pos;
+    pos->prev->next = &h;
+    pos->prev       = &h;
+    size_++;
+  }
+
   /// Least-recently-used element, or nullptr if empty.
   lru_hook* lru() const { return empty() ? nullptr : sentinel_.next; }
 

@@ -75,6 +75,9 @@ options options::from_env() {
   env_get("ITYR_POLICY", o.policy);
   env_get("ITYR_COALESCE_RMA", o.coalesce_rma);
   env_get("ITYR_FRONT_TABLE_SIZE", o.front_table_size);
+  env_get("ITYR_PREFETCH", o.prefetch);
+  env_get("ITYR_PREFETCH_DEPTH", o.prefetch_depth);
+  env_get("ITYR_PREFETCH_MAX_INFLIGHT", o.prefetch_max_inflight);
   env_get("ITYR_ULT_STACK_SIZE", o.ult_stack_size);
   env_get("ITYR_COMPUTE_SCALE", o.compute_scale);
   env_get("ITYR_DETERMINISTIC", o.deterministic);

@@ -96,6 +96,21 @@ struct options {
   /// power of two.
   std::size_t front_table_size = 64;
 
+  /// Adaptive sub-block prefetching (ITYR_PREFETCH): read-mode checkout
+  /// misses feed a per-rank stream detector; a confirmed sequential stream
+  /// (forward or backward) issues nonblocking gets for the next sub-blocks
+  /// ahead of the consumer, tracked as in-flight intervals so a later
+  /// checkout only waits out the remaining modelled latency. Off by default:
+  /// with prefetching disabled every counter, bench and trace is
+  /// bit-identical to the pre-prefetch runtime.
+  bool prefetch = false;
+  /// How far ahead of a confirmed stream to prefetch, in sub-blocks
+  /// (ITYR_PREFETCH_DEPTH). 0 disables prefetching.
+  std::size_t prefetch_depth = 8;
+  /// Cap on modelled in-flight prefetched bytes per rank
+  /// (ITYR_PREFETCH_MAX_INFLIGHT). 0 disables prefetching.
+  std::size_t prefetch_max_inflight = 1 * MiB;
+
   // --- scheduler ---
   std::size_t ult_stack_size = 256 * KiB;  ///< user-level thread stacks
   double steal_backoff       = 2.0e-6;     ///< seconds between failed steal rounds

@@ -426,6 +426,8 @@ trace_check_result validate_trace_json(const std::string& json_text) {
     return res;
   }
   res.n_events = events->arr.size();
+  res.dropped_events =
+      static_cast<std::uint64_t>(jnum(root.find("dropped_events"), 0));
 
   using track_key = std::pair<long long, long long>;
   std::map<track_key, std::vector<std::string>> stacks;
@@ -492,9 +494,16 @@ trace_check_result validate_trace_json(const std::string& json_text) {
       }
       auto& halves = flows[id];
       (ph == "s" ? halves.first : halves.second) = true;
+      if (ph == "s" && name == "prefetch") res.n_prefetch_flows++;
     } else if (ph == "C") {
       res.n_counters++;
-    } else if (ph != "i") {
+    } else if (ph == "i") {
+      if (name == "prefetch consume") {
+        res.n_prefetch_consumes++;
+      } else if (name == "prefetch evict") {
+        res.n_prefetch_evicts++;
+      }
+    } else {
       res.error = "unknown ph '" + ph + "' at traceEvents[" + std::to_string(i) + "]";
       return res;
     }

@@ -163,6 +163,13 @@ struct trace_check_result {
   std::size_t n_spans = 0;     ///< completed B/E pairs
   std::size_t n_flows = 0;     ///< paired flows
   std::size_t n_counters = 0;  ///< counter samples
+  // Prefetch lifecycle (tools/trace_lint checks that, in a complete trace,
+  // every "prefetch" issue flow is terminated by exactly one consume-or-evict
+  // instant: n_prefetch_flows == n_prefetch_consumes + n_prefetch_evicts).
+  std::size_t n_prefetch_flows = 0;     ///< "prefetch" flow-start events
+  std::size_t n_prefetch_consumes = 0;  ///< "prefetch consume" instants
+  std::size_t n_prefetch_evicts = 0;    ///< "prefetch evict" instants
+  std::uint64_t dropped_events = 0;     ///< root "dropped_events" (ring eviction)
 };
 
 /// Minimal in-tree checker for Chrome trace JSON (no external dependencies);

@@ -127,6 +127,15 @@ metrics_snapshot collect_metrics(runtime& rt) {
   add("cache.releases", true, [&](int r) { return u64(cst(r).releases); });
   add("cache.acquires", true, [&](int r) { return u64(cst(r).acquires); });
   add("cache.lazy_release_waits", true, [&](int r) { return u64(cst(r).lazy_release_waits); });
+  add("cache.prefetch_issued", true, [&](int r) { return u64(cst(r).prefetch_issued); });
+  add("cache.prefetch_issued_bytes", true,
+      [&](int r) { return u64(cst(r).prefetch_issued_bytes); });
+  add("cache.prefetch_useful_bytes", true,
+      [&](int r) { return u64(cst(r).prefetch_useful_bytes); });
+  add("cache.prefetch_wasted_bytes", true,
+      [&](int r) { return u64(cst(r).prefetch_wasted_bytes); });
+  add("cache.prefetch_late", true, [&](int r) { return u64(cst(r).prefetch_late); });
+  add("cache.fetch_stall_s", false, [&](int r) { return cst(r).fetch_stall_s; });
 
   // --- work-stealing scheduler (sched::scheduler::stats) ---
   const auto sst = [&](int r) -> const sched::scheduler::stats& {

@@ -28,6 +28,10 @@ cache_system::cache_system(sim::engine& eng, rma::context& rma, global_heap& hea
       sub_block_size_(std::min(eng.opts().sub_block_size, eng.opts().block_size)),
       policy_(eng.opts().policy),
       coalesce_(eng.opts().coalesce_rma),
+      prefetch_on_(eng.opts().prefetch && eng.opts().prefetch_depth > 0 &&
+                   eng.opts().prefetch_max_inflight > 0),
+      prefetch_depth_(eng.opts().prefetch_depth),
+      prefetch_max_inflight_(eng.opts().prefetch_max_inflight),
       view_(heap.total_size()),
       cache_pool_(block_size_, std::max<std::size_t>(1, eng.opts().cache_size / block_size_),
                   "ityr-cache"),
@@ -129,12 +133,13 @@ cache_system::mem_block& cache_system::get_cache_block(std::uint64_t mb_id,
   if (free_slots_.empty()) {
     if (!try_evict_cache_block()) {
       // Everything is pinned or dirty: write back all dirty data and retry
-      // (paper Section 4.4); if still nothing is evictable, the checkout
-      // request exceeds the cache capacity.
+      // (paper Section 4.4). After the write-back every block is clean, so
+      // a block that still cannot be evicted is pinned by an outstanding
+      // checkout — the checkout request exceeds the cache capacity.
       writeback_all();
       if (!try_evict_cache_block()) {
         throw common::too_much_checkout_error(
-            "checkout request exceeds the cache capacity (too-much-checkout)");
+            "cache capacity exhausted by pinned blocks (too-much-checkout)");
       }
     }
   }
@@ -159,6 +164,7 @@ bool cache_system::try_evict_cache_block() {
   });
   if (hook == nullptr) return false;
   auto& mb = static_cast<mem_block&>(*hook);
+  drop_prefetched(mb);    // unread prefetches die with the block
   purge_front(mb.mb_id);  // the front table must never outlive a block
   if (mb.mapped) unmap_block(mb);
   cache_lru_.erase(mb);
@@ -191,6 +197,10 @@ void* cache_system::checkout_fast(gaddr_t g, std::size_t size, access_mode mode)
   // memoized cache block qualifies.
   if (mb->k == mem_block::kind::cache && mode != access_mode::write && !mb->fully_valid)
     return nullptr;
+  // A block with unretired prefetch segments takes the slow path: reads may
+  // have to wait out in-flight data, writes would race the incoming RDMA,
+  // and the slow path keeps feeding the stream detector.
+  if (mb->k == mem_block::kind::cache && !mb->pf_segs.empty()) return nullptr;
 
   const std::uint64_t off0 = heap_.view_off(g);
   st_.checkouts++;
@@ -245,7 +255,7 @@ bool cache_system::checkin_fast(gaddr_t g, std::size_t size, access_mode mode) {
 bool cache_system::get_fast(gaddr_t g, std::size_t size, void* out) {
   mem_block* mb = front_probe(g, size);
   if (mb == nullptr) return false;
-  if (mb->k == mem_block::kind::cache && !mb->fully_valid) return false;
+  if (mb->k == mem_block::kind::cache && (!mb->fully_valid || !mb->pf_segs.empty())) return false;
 
   std::memcpy(out, view_.at(heap_.view_off(g)), size);
   (mb->k == mem_block::kind::home ? home_lru_ : cache_lru_).touch(*mb);
@@ -262,6 +272,7 @@ bool cache_system::get_fast(gaddr_t g, std::size_t size, void* out) {
 bool cache_system::put_fast(gaddr_t g, std::size_t size, const void* in) {
   mem_block* mb = front_probe(g, size);
   if (mb == nullptr) return false;
+  if (mb->k == mem_block::kind::cache && !mb->pf_segs.empty()) return false;
 
   const std::uint64_t off0 = heap_.view_off(g);
   std::memcpy(view_.at(off0), in, size);
@@ -293,19 +304,18 @@ bool cache_system::put_fast(gaddr_t g, std::size_t size, const void* in) {
   return true;
 }
 
-void cache_system::issue_segs(std::vector<xfer_seg>& segs, bool is_put) {
-  if (segs.empty()) return;
+double cache_system::issue_segs(std::vector<xfer_seg>& segs, bool is_put) {
+  if (segs.empty()) return 0.0;
+  double round_done = 0.0;
   if (!coalesce_) {
     // Baseline: one message per gap/run, in discovery order.
     for (const xfer_seg& s : segs) {
-      if (is_put) {
-        rma_.put_nb(*s.win, s.rank, s.off, s.local, s.len);
-      } else {
-        rma_.get_nb(*s.win, s.rank, s.off, s.local, s.len);
-      }
+      const double done = is_put ? rma_.put_nb(*s.win, s.rank, s.off, s.local, s.len)
+                                 : rma_.get_nb(*s.win, s.rank, s.off, s.local, s.len);
+      round_done = std::max(round_done, done);
     }
     segs.clear();
-    return;
+    return round_done;
   }
 
   // Deterministic order: window creation id, not pointer value.
@@ -335,20 +345,20 @@ void cache_system::issue_segs(std::vector<xfer_seg>& segs, bool is_put) {
     }
     // The whole (window, rank) group rides one message: contiguous runs
     // merged outright, the rest as a gather/scatter list.
+    double done;
     if (iov_.size() == 1) {
-      if (is_put) {
-        rma_.put_nb(*win, rank, iov_[0].off, iov_[0].local, iov_[0].len);
-      } else {
-        rma_.get_nb(*win, rank, iov_[0].off, iov_[0].local, iov_[0].len);
-      }
+      done = is_put ? rma_.put_nb(*win, rank, iov_[0].off, iov_[0].local, iov_[0].len)
+                    : rma_.get_nb(*win, rank, iov_[0].off, iov_[0].local, iov_[0].len);
     } else if (is_put) {
-      rma_.put_nb_multi(*win, rank, iov_.data(), iov_.size());
+      done = rma_.put_nb_multi(*win, rank, iov_.data(), iov_.size());
     } else {
-      rma_.get_nb_multi(*win, rank, iov_.data(), iov_.size());
+      done = rma_.get_nb_multi(*win, rank, iov_.data(), iov_.size());
     }
+    round_done = std::max(round_done, done);
     st_.coalesced_messages += n_in_group - 1;
   }
   segs.clear();
+  return round_done;
 }
 
 void* cache_system::checkout(gaddr_t g, std::size_t size, access_mode mode) {
@@ -363,6 +373,7 @@ void* cache_system::checkout(gaddr_t g, std::size_t size, access_mode mode) {
   const std::uint64_t off1 = off0 + size;
   blocks_to_map_.clear();
   segs_.clear();
+  pf_wait_ = 0.0;
   // Blocks already pinned by this checkout, for rollback if a later block
   // raises too-much-checkout: the failed checkout must leave no dangling
   // refcounts and no "valid" claims over never-fetched write-mode bytes.
@@ -391,6 +402,16 @@ void* cache_system::checkout(gaddr_t g, std::size_t size, access_mode mode) {
         if (!mb.mapped) blocks_to_map_.push_back(&mb);
         mb.ref_count++;
         pinned_.push_back({&mb, {}});
+        if (prefetch_on_ && mode != access_mode::write) {
+          // Home blocks have nothing to prefetch, but a sequential stream
+          // runs straight through them (block-cyclic interleaves home and
+          // remote blocks), so they still advance the detector.
+          const std::uint64_t r0 = std::max(off0, block_base);
+          const std::uint64_t r1 = std::min(off1, block_base + block_size_);
+          feed_stream(static_cast<std::int64_t>(r0 / sub_block_size_),
+                      static_cast<std::int64_t>((r1 - 1) / sub_block_size_),
+                      /*was_miss=*/false);
+        }
         continue;
       }
 
@@ -399,6 +420,7 @@ void* cache_system::checkout(gaddr_t g, std::size_t size, access_mode mode) {
       const common::interval req{std::max(off0, block_base) - block_base,
                                  std::min(off1, block_base + block_size_) - block_base};
       common::interval write_added{};
+      bool was_miss = false;
       if (mode == access_mode::write) {
         // Write-only: the bytes will be fully overwritten; no fetch (Fig. 4
         // line 16). They become "valid" in the sense that the cache copy is
@@ -413,6 +435,7 @@ void* cache_system::checkout(gaddr_t g, std::size_t size, access_mode mode) {
         st_.block_hits++;
       } else {
         st_.block_misses++;
+        was_miss = true;
         // Fetch at sub-block granularity for spatial locality, skipping
         // already-valid (possibly dirty!) byte ranges (Fig. 4 lines 18-21).
         // Gaps are collected and issued together after the block walk so
@@ -433,6 +456,26 @@ void* cache_system::checkout(gaddr_t g, std::size_t size, access_mode mode) {
       if (!mb.mapped) blocks_to_map_.push_back(&mb);
       mb.ref_count++;
       pinned_.push_back({&mb, write_added});
+      if (prefetch_on_) {
+        if (mode == access_mode::write) {
+          // A write into a range with in-flight prefetches must wait them
+          // out (a real RDMA get would overwrite the buffer); prefetched
+          // bytes overwritten before being read count as wasted.
+          consume_prefetch(mb, req, /*is_write=*/true);
+        } else {
+          // Consume at demand-fetch granularity: every prefetched byte in
+          // the padded range is a byte a demand miss would have fetched.
+          const common::interval padded{
+              req.begin / sub_block_size_ * sub_block_size_,
+              std::min<std::uint64_t>(
+                  (req.end + sub_block_size_ - 1) / sub_block_size_ * sub_block_size_,
+                  block_size_)};
+          consume_prefetch(mb, padded, /*is_write=*/false);
+          feed_stream(static_cast<std::int64_t>((block_base + padded.begin) / sub_block_size_),
+                      static_cast<std::int64_t>((block_base + padded.end - 1) / sub_block_size_),
+                      was_miss);
+        }
+      }
     }
   } catch (const common::too_much_checkout_error&) {
     // Gaps collected so far were already claimed valid; their data must
@@ -443,11 +486,21 @@ void* cache_system::checkout(gaddr_t g, std::size_t size, access_mode mode) {
     throw;
   }
 
-  issue_segs(segs_, /*is_put=*/false);
+  const double round_done = issue_segs(segs_, /*is_put=*/false);
   // Update memory mappings only after all communication has been issued, to
   // overlap the mmap syscalls with the transfers (Fig. 4 lines 25-29).
   for (mem_block* mb : blocks_to_map_) map_block(*mb);
-  rma_.flush();
+  const double stall_from = eng_.now();
+  if (prefetch_on_) {
+    // Wait only for this round's demand fetches plus any in-flight prefetch
+    // the round consumed; untouched prefetches stay pending instead of
+    // serializing the checkout behind them.
+    rma_.net().wait_until(std::max(round_done, pf_wait_));
+    if (pf_wait_ > round_done && pf_wait_ > stall_from) st_.prefetch_late++;
+  } else {
+    rma_.flush();
+  }
+  st_.fetch_stall_s += eng_.now() - stall_from;
   for (auto& t : pinned_) memoize(*t.mb);
 
   checked_out_bytes_ += size;
@@ -541,13 +594,214 @@ void cache_system::invalidate_all() {
     // (Section 3.3).
     ITYR_CHECK(mb->ref_count == 0);
     ITYR_CHECK(mb->dirty.empty());
+    drop_prefetched(*mb);
     mb->valid.clear();
     mb->fully_valid = false;
   }
   // Memoized cache blocks just lost all their data; drop every memo (home
   // entries too — an acquire is rare enough that refilling is cheap).
   purge_front_all();
+  // Streams were tracking a working set that a sync point just cut off;
+  // start detection afresh rather than prefetching across the fence.
+  for (stream& s : streams_) s = {};
   st_.acquires++;
+}
+
+// ---------------------------------------------------------------------------
+// Prefetcher (ITYR_PREFETCH): stream detection + nonblocking fetch pipeline
+// ---------------------------------------------------------------------------
+
+void cache_system::consume_prefetch(mem_block& mb, common::interval span, bool is_write) {
+  if (mb.prefetched.overlaps(span)) {
+    std::uint64_t bytes = 0;
+    for (const auto& iv : mb.prefetched.overlapping(span)) bytes += iv.size();
+    if (is_write) {
+      st_.prefetch_wasted_bytes += bytes;
+    } else {
+      st_.prefetch_useful_bytes += bytes;
+    }
+    mb.prefetched.subtract(span);
+  }
+  if (mb.pf_segs.empty()) return;
+  const double now = eng_.now_precise();
+  for (auto it = mb.pf_segs.begin(); it != mb.pf_segs.end();) {
+    if (intersect(it->iv, span).empty()) {
+      ++it;
+      continue;
+    }
+    // The consumer (or overwriter) must wait out this segment's modelled
+    // completion; the checkout tail waits once for the round's maximum.
+    pf_wait_ = std::max(pf_wait_, it->ready_at);
+    if (is_write && !(span.begin <= it->iv.begin && it->iv.end <= span.end)) {
+      // Partial overwrite: the rest of the segment may still be read later;
+      // keep it (its terminator comes from that read, or from eviction).
+      ++it;
+      continue;
+    }
+    if (trace_ != nullptr) {
+      trace_->instant(rank_, now, is_write ? "prefetch evict" : "prefetch consume");
+    }
+    it = mb.pf_segs.erase(it);
+  }
+}
+
+void cache_system::drop_prefetched(mem_block& mb) {
+  if (!mb.prefetched.empty()) {
+    st_.prefetch_wasted_bytes += mb.prefetched.size();
+    mb.prefetched.clear();
+  }
+  if (!mb.pf_segs.empty()) {
+    if (trace_ != nullptr) {
+      const double now = eng_.now_precise();
+      for (std::size_t i = 0; i < mb.pf_segs.size(); i++) {
+        trace_->instant(rank_, now, "prefetch evict");
+      }
+    }
+    mb.pf_segs.clear();
+  }
+}
+
+void cache_system::feed_stream(std::int64_t a, std::int64_t b, bool was_miss) {
+  const auto depth = static_cast<std::int64_t>(prefetch_depth_);
+  // Confirmed streams first. Matching is tolerant up to `depth` sub-blocks
+  // ahead of the expected position: once prefetched blocks become fully
+  // valid the front table serves them without reaching this detector, so
+  // the next slow-path visit can land anywhere inside the issued window.
+  for (stream& s : streams_) {
+    if (!s.live || s.dir == 0) continue;
+    if (s.dir > 0 && a >= s.next && a <= s.next + depth) {
+      s.next = std::max(s.next, b + 1);
+      if (s.issued_until < s.next) s.issued_until = s.next;
+      // Top up with hysteresis: refill once the lead shrinks to half.
+      if (s.issued_until - s.next < (depth + 1) / 2) issue_stream(s);
+      return;
+    }
+    if (s.dir < 0 && b <= s.next && b >= s.next - depth) {
+      s.next = std::min(s.next, a - 1);
+      if (s.issued_until > s.next) s.issued_until = s.next;
+      if (s.next - s.issued_until < (depth + 1) / 2) issue_stream(s);
+      return;
+    }
+  }
+  // Unconfirmed streams: the second sequential touch confirms a direction.
+  for (stream& s : streams_) {
+    if (!s.live || s.dir != 0) continue;
+    if (a >= s.next_fwd && a <= s.next_fwd + depth) {
+      s.dir = +1;
+      s.next = b + 1;
+      s.issued_until = s.next;
+      issue_stream(s);
+      return;
+    }
+    if (b <= s.next_bwd && b >= s.next_bwd - depth) {
+      s.dir = -1;
+      s.next = a - 1;
+      s.issued_until = s.next;
+      issue_stream(s);
+      return;
+    }
+  }
+  // No stream matched: a demand miss seeds a new (unconfirmed) candidate.
+  if (!was_miss) return;
+  stream& s = streams_[stream_rr_++ % kNStreams];
+  s = {};
+  s.live = true;
+  s.next_fwd = b + 1;
+  s.next_bwd = a - 1;
+}
+
+void cache_system::issue_stream(stream& s) {
+  const auto depth = static_cast<std::int64_t>(prefetch_depth_);
+  if (s.dir > 0) {
+    const std::int64_t target = s.next + depth;
+    while (s.issued_until < target) {
+      const pf_result r = prefetch_sub_block(s.issued_until);
+      if (r == pf_result::dead) {
+        s = {};
+        return;
+      }
+      if (r == pf_result::stall) return;  // retried at the next advance
+      s.issued_until++;
+    }
+  } else {
+    const std::int64_t target = s.next - depth;
+    while (s.issued_until > target) {
+      const pf_result r = prefetch_sub_block(s.issued_until);
+      if (r == pf_result::dead) {
+        s = {};
+        return;
+      }
+      if (r == pf_result::stall) return;
+      s.issued_until--;
+    }
+  }
+}
+
+cache_system::pf_result cache_system::prefetch_sub_block(std::int64_t sub) {
+  if (sub < 0) return pf_result::dead;
+  const std::uint64_t voff = static_cast<std::uint64_t>(sub) * sub_block_size_;
+  if (voff >= heap_.total_size()) return pf_result::dead;
+  const std::uint64_t mb_id = voff / block_size_;
+  global_heap::home_loc home;
+  // Stop at unallocated territory: running past the end of an allocation is
+  // how most streams die.
+  if (!heap_.try_locate_block(mb_id, home)) return pf_result::dead;
+  // Home data is already authoritative; the stream just passes through.
+  if (home.rank == rank_ || eng_.same_node(home.rank, rank_)) return pf_result::ok;
+
+  const double now = eng_.now();
+  // Drain the modelled in-flight FIFO: transfers whose completion time has
+  // passed no longer occupy the budget.
+  while (inflight_head_ < inflight_.size() && inflight_[inflight_head_].ready_at <= now) {
+    inflight_bytes_ -= inflight_[inflight_head_].bytes;
+    inflight_head_++;
+  }
+  if (inflight_head_ == inflight_.size()) {
+    inflight_.clear();
+    inflight_head_ = 0;
+  }
+
+  const std::uint64_t block_base = mb_id * block_size_;
+  const common::interval sub_iv{voff - block_base, voff - block_base + sub_block_size_};
+
+  mem_block* mb;
+  auto it = cache_blocks_.find(mb_id);
+  if (it != cache_blocks_.end()) {
+    mb = it->second.get();  // no LRU touch: speculation must not look like use
+  } else {
+    // Gentle allocation only: a free slot or a clean unpinned victim. No
+    // write-back rounds and no too-much-checkout from a speculative path.
+    if (free_slots_.empty() && !try_evict_cache_block()) return pf_result::stall;
+    const std::size_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    auto owned = std::make_unique<mem_block>();
+    owned->k = mem_block::kind::cache;
+    owned->mb_id = mb_id;
+    owned->home = home;
+    owned->slot = slot;
+    mb = owned.get();
+    cache_blocks_.emplace(mb_id, std::move(owned));
+    // Mid-point insertion: a useless prefetch is evicted before any
+    // demand-fetched block, a useful one has half the list to live in.
+    cache_lru_.insert_middle(*mb);
+  }
+
+  if (mb->valid.contains(sub_iv)) return pf_result::ok;
+  for (const auto& miss : mb->valid.missing(sub_iv)) {
+    if (inflight_bytes_ + miss.size() > prefetch_max_inflight_) return pf_result::stall;
+    const double done = rma_.get_nb(*home.win, home.rank, home.pool_off + miss.begin,
+                                    cache_slot_ptr(*mb) + miss.begin, miss.size());
+    mb->valid.add(miss);
+    mb->prefetched.add(miss);
+    mb->pf_segs.push_back({miss, done});
+    inflight_.push_back({done, miss.size()});
+    inflight_bytes_ += miss.size();
+    st_.prefetch_issued++;
+    st_.prefetch_issued_bytes += miss.size();
+    if (trace_ != nullptr) trace_->flow(rank_, now, rank_, done, "prefetch");
+  }
+  update_fully_valid(*mb);
+  return pf_result::ok;
 }
 
 void cache_system::release() {

@@ -66,6 +66,16 @@ public:
     std::uint64_t releases = 0;          ///< write-back-all rounds
     std::uint64_t acquires = 0;          ///< invalidate-all rounds
     std::uint64_t lazy_release_waits = 0;  ///< acquires that had to wait
+    // prefetcher (all zero unless ITYR_PREFETCH is on)
+    std::uint64_t prefetch_issued = 0;        ///< prefetch get segments issued
+    std::uint64_t prefetch_issued_bytes = 0;  ///< bytes those segments carried
+    std::uint64_t prefetch_useful_bytes = 0;  ///< prefetched bytes later read
+    std::uint64_t prefetch_wasted_bytes = 0;  ///< evicted/overwritten unread
+    std::uint64_t prefetch_late = 0;     ///< consumes that waited on in-flight data
+    /// Virtual time checkout spent stalled on fetch completion (the flush /
+    /// targeted wait at the end of the block walk). Accounted identically
+    /// with prefetching off, so on/off stall times are directly comparable.
+    double fetch_stall_s = 0;
   };
 
   /// `ctrl_win` must expose, at offsets 0 and 8 of each rank's region, the
@@ -114,6 +124,18 @@ public:
   std::byte* view_ptr(gaddr_t g) { return view_.at(heap_.view_off(g)); }
 
 private:
+  /// One in-flight prefetch segment: a block-relative byte range whose
+  /// nonblocking get was issued at some past virtual time and whose data is
+  /// usable from `ready_at` on. The segment is retired (erased) when a
+  /// consumer first touches it, when a write fully overwrites it, or when
+  /// the block is evicted/invalidated — each retirement emits exactly one
+  /// "prefetch consume" or "prefetch evict" trace terminator for the flow
+  /// arrow recorded at issue time (tools/trace_lint checks the pairing).
+  struct pf_seg {
+    common::interval iv;     ///< block-relative range
+    double ready_at = 0;     ///< modelled completion time of the get
+  };
+
   struct mem_block : common::lru_hook {
     enum class kind : std::uint8_t { home, cache };
     kind k{};
@@ -127,6 +149,28 @@ private:
     common::interval_set dirty;
     bool fully_valid = false;             ///< valid == [0, block_size)
     bool in_dirty_list = false;
+    // prefetcher state (cache blocks only; empty unless ITYR_PREFETCH):
+    common::interval_set prefetched;      ///< prefetched, not yet consumed
+    std::vector<pf_seg> pf_segs;          ///< unretired prefetch segments
+  };
+
+  /// One detected access stream (sequential run of sub-blocks, forward or
+  /// backward). `next` and `issued_until` are *global* sub-block indices
+  /// (view offset / sub-block size), so streams run across block
+  /// boundaries and straight through home-block spans.
+  struct stream {
+    bool live = false;
+    int dir = 0;                    ///< 0 = unconfirmed, +1 fwd, -1 bwd
+    std::int64_t next_fwd = 0;      ///< unconfirmed: expected next if forward
+    std::int64_t next_bwd = 0;      ///< unconfirmed: expected next if backward
+    std::int64_t next = 0;          ///< confirmed: next expected consume
+    std::int64_t issued_until = 0;  ///< next sub-block to issue (fwd: >= next)
+  };
+
+  /// Modelled in-flight prefetch budget entry (drained by virtual time).
+  struct inflight_entry {
+    double ready_at = 0;
+    std::size_t bytes = 0;
   };
 
   /// Direct-mapped memo of recently touched blocks (mapped ones only).
@@ -184,8 +228,29 @@ private:
   /// Issue `segs` as nonblocking gets or puts, coalescing per (window, rank)
   /// when enabled; clears `segs`. Checkout and write-back rounds keep
   /// separate vectors because a write-back can fire mid-checkout (eviction
-  /// pressure inside get_cache_block).
-  void issue_segs(std::vector<xfer_seg>& segs, bool is_put);
+  /// pressure inside get_cache_block). Returns the latest modelled
+  /// completion time of the issued messages (0 if none).
+  double issue_segs(std::vector<xfer_seg>& segs, bool is_put);
+
+  // ---- prefetcher (ITYR_PREFETCH; all no-ops when disabled) ----
+  /// Account a checkout touching `span` of `mb` against the block's
+  /// prefetched bytes and in-flight segments: useful/wasted byte counting,
+  /// retirement (consume/evict terminators), and recording the latest
+  /// in-flight completion the round must wait for in `pf_wait_`.
+  void consume_prefetch(mem_block& mb, common::interval span, bool is_write);
+  /// Feed the stream detector with a read visit covering global sub-blocks
+  /// [a, b]; confirmed/advanced streams top up their prefetch window.
+  /// Streams are only created on demand misses.
+  void feed_stream(std::int64_t a, std::int64_t b, bool was_miss);
+  /// Issue prefetches for `s` up to `next +/- depth`, stopping early on
+  /// budget or slot pressure (retried at the next advance) and killing the
+  /// stream when it runs off the heap or a live allocation.
+  void issue_stream(stream& s);
+  enum class pf_result { ok, stall, dead };
+  pf_result prefetch_sub_block(std::int64_t sub);
+  /// Drop a block's prefetcher state on eviction/invalidation: unread bytes
+  /// count as wasted, unretired segments emit "prefetch evict" terminators.
+  void drop_prefetched(mem_block& mb);
 
   sim::engine& eng_;
   rma::context& rma_;
@@ -196,6 +261,9 @@ private:
   const std::size_t sub_block_size_;
   const common::cache_policy policy_;
   const bool coalesce_;
+  const bool prefetch_on_;
+  const std::size_t prefetch_depth_;         ///< sub-blocks ahead of a stream
+  const std::size_t prefetch_max_inflight_;  ///< modelled in-flight byte cap
 
   vm::view_region view_;
   vm::physical_pool cache_pool_;
@@ -223,6 +291,15 @@ private:
     common::interval write_added;  // empty unless write-mode valid.add
   };
   std::vector<touched> pinned_;
+
+  // Prefetcher state (untouched unless prefetch_on_).
+  static constexpr std::size_t kNStreams = 4;
+  stream streams_[kNStreams];
+  std::size_t stream_rr_ = 0;        ///< round-robin stream replacement
+  std::vector<inflight_entry> inflight_;  ///< FIFO, drained by virtual time
+  std::size_t inflight_head_ = 0;
+  std::size_t inflight_bytes_ = 0;
+  double pf_wait_ = 0;               ///< per-round: latest in-flight completion hit
 
   common::tracer* trace_ = nullptr;
   stats st_;

@@ -78,6 +78,19 @@ global_heap::home_loc global_heap::locate_block(std::uint64_t mb_id) const {
   return {static_cast<int>(rank), nc_pools_[rank].get(), pool_off, nc_win_};
 }
 
+bool global_heap::try_locate_block(std::uint64_t mb_id, home_loc& out) const {
+  const std::uint64_t off = mb_id * block_size_;
+  if (off >= total_) return false;
+  if (off < coll_total_) {
+    auto it = coll_allocs_.upper_bound(off);
+    if (it == coll_allocs_.begin()) return false;
+    --it;
+    if (off >= it->second.vbase + it->second.gspan) return false;
+  }
+  out = locate_block(mb_id);
+  return true;
+}
+
 void global_heap::charge_collective() {
   // Collective allocation implies window creation / synchronization across
   // all ranks; charge a latency tree.

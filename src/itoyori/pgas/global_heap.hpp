@@ -65,6 +65,12 @@ public:
   /// Collective-region blocks must belong to a live allocation.
   home_loc locate_block(std::uint64_t mb_id) const;
 
+  /// Non-throwing locate_block for speculative lookups (prefetch): false iff
+  /// the block is out of range or a collective block outside any live
+  /// allocation. Never a substitute for locate_block on the demand path,
+  /// where such an access is an API error worth reporting.
+  bool try_locate_block(std::uint64_t mb_id, home_loc& out) const;
+
   /// True iff block `b` directly follows block `a` in the same rank's home
   /// pool, i.e. their physical bytes form one contiguous window range (so
   /// RMA transfers touching both can ride a single message). Holds for

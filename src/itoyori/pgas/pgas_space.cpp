@@ -135,6 +135,12 @@ cache_system::stats pgas_space::aggregate_stats() const {
     agg.releases += s.releases;
     agg.acquires += s.acquires;
     agg.lazy_release_waits += s.lazy_release_waits;
+    agg.prefetch_issued += s.prefetch_issued;
+    agg.prefetch_issued_bytes += s.prefetch_issued_bytes;
+    agg.prefetch_useful_bytes += s.prefetch_useful_bytes;
+    agg.prefetch_wasted_bytes += s.prefetch_wasted_bytes;
+    agg.prefetch_late += s.prefetch_late;
+    agg.fetch_stall_s += s.fetch_stall_s;
   }
   return agg;
 }

@@ -65,6 +65,15 @@ public:
     return done;
   }
 
+  /// Wait (in virtual time) until `t`, a completion time previously returned
+  /// by issue(). Unlike flush(), transfers completing after `t` (e.g.
+  /// prefetches the caller is not consuming yet) stay pending — mirroring a
+  /// per-request MPI_Wait against flush_all.
+  void wait_until(double t) {
+    const double now = eng_.now();
+    if (t > now) eng_.advance(t - now);
+  }
+
   /// Wait (in virtual time) for all of this rank's pending transfers.
   void flush() {
     per_rank& s = state_[static_cast<std::size_t>(eng_.my_rank())];

@@ -62,18 +62,21 @@ public:
 
   /// Nonblocking get: data is copied now (an admissible RMA completion
   /// order) but the issuer's virtual time only reflects completion after
-  /// flush(). Mirrors MPI_Get + MPI_Win_flush_all.
-  void get_nb(window& w, int target, std::uint64_t off, void* dst, std::size_t len) {
+  /// flush() — or a targeted net().wait_until() on the returned modelled
+  /// completion time. Mirrors MPI_Get + MPI_Win_flush_all.
+  double get_nb(window& w, int target, std::uint64_t off, void* dst, std::size_t len) {
     std::memcpy(dst, w.addr(target, off, len), len);
-    net_.issue(target, len);
+    const double done = net_.issue(target, len);
     gets_++;
+    return done;
   }
 
   /// Nonblocking put (MPI_Put).
-  void put_nb(window& w, int target, std::uint64_t off, const void* src, std::size_t len) {
+  double put_nb(window& w, int target, std::uint64_t off, const void* src, std::size_t len) {
     std::memcpy(w.addr(target, off, len), src, len);
-    net_.issue(target, len);
+    const double done = net_.issue(target, len);
     puts_++;
+    return done;
   }
 
   /// Nonblocking multi-segment get: one message fetching several remote
@@ -81,7 +84,7 @@ public:
   /// with an indexed datatype / NIC gather list). Issue-side CPU overhead is
   /// paid once; bytes are charged in full. Segments must be sorted by
   /// remote offset and non-overlapping.
-  void get_nb_multi(window& w, int target, const io_segment* segs, std::size_t n) {
+  double get_nb_multi(window& w, int target, const io_segment* segs, std::size_t n) {
     ITYR_CHECK(n > 0);
     std::size_t total = 0;
     for (std::size_t i = 0; i < n; i++) {
@@ -89,12 +92,13 @@ public:
       std::memcpy(segs[i].local, w.addr(target, segs[i].off, segs[i].len), segs[i].len);
       total += segs[i].len;
     }
-    net_.issue(target, total);
+    const double done = net_.issue(target, total);
     gets_++;
+    return done;
   }
 
   /// Nonblocking multi-segment put (scatter side of get_nb_multi).
-  void put_nb_multi(window& w, int target, const io_segment* segs, std::size_t n) {
+  double put_nb_multi(window& w, int target, const io_segment* segs, std::size_t n) {
     ITYR_CHECK(n > 0);
     std::size_t total = 0;
     for (std::size_t i = 0; i < n; i++) {
@@ -102,8 +106,9 @@ public:
       std::memcpy(w.addr(target, segs[i].off, segs[i].len), segs[i].local, segs[i].len);
       total += segs[i].len;
     }
-    net_.issue(target, total);
+    const double done = net_.issue(target, total);
     puts_++;
+    return done;
   }
 
   /// Complete all outstanding one-sided operations of the calling rank.

@@ -94,6 +94,49 @@ TEST(Options, MalformedObservabilityEnvIsBenign) {
   ::unsetenv("ITYR_METRICS_SAMPLE_INTERVAL");
 }
 
+TEST(Options, PrefetchEnvRoundTrip) {
+  ::setenv("ITYR_PREFETCH", "1", 1);
+  ::setenv("ITYR_PREFETCH_DEPTH", "16", 1);
+  ::setenv("ITYR_PREFETCH_MAX_INFLIGHT", "262144", 1);
+  auto o = ic::options::from_env();
+  EXPECT_TRUE(o.prefetch);
+  EXPECT_EQ(o.prefetch_depth, 16u);
+  EXPECT_EQ(o.prefetch_max_inflight, 262144u);
+  ::setenv("ITYR_PREFETCH", "true", 1);
+  EXPECT_TRUE(ic::options::from_env().prefetch);
+  ::setenv("ITYR_PREFETCH", "0", 1);
+  EXPECT_FALSE(ic::options::from_env().prefetch);
+  ::unsetenv("ITYR_PREFETCH");
+  ::unsetenv("ITYR_PREFETCH_DEPTH");
+  ::unsetenv("ITYR_PREFETCH_MAX_INFLIGHT");
+}
+
+TEST(Options, PrefetchEnvDefaults) {
+  ::unsetenv("ITYR_PREFETCH");
+  ::unsetenv("ITYR_PREFETCH_DEPTH");
+  ::unsetenv("ITYR_PREFETCH_MAX_INFLIGHT");
+  auto o = ic::options::from_env();
+  EXPECT_FALSE(o.prefetch);  // strictly additive: off by default
+  EXPECT_GT(o.prefetch_depth, 0u);
+  EXPECT_GT(o.prefetch_max_inflight, 0u);
+}
+
+TEST(Options, MalformedPrefetchEnvIsBenign) {
+  // A bool that isn't "1"/"true" reads as false; malformed integers parse
+  // to 0, and a 0 depth or 0 in-flight budget disables prefetching — no
+  // crash, no partial configuration.
+  ::setenv("ITYR_PREFETCH", "maybe", 1);
+  ::setenv("ITYR_PREFETCH_DEPTH", "not-a-number", 1);
+  ::setenv("ITYR_PREFETCH_MAX_INFLIGHT", "bogus", 1);
+  auto o = ic::options::from_env();
+  EXPECT_FALSE(o.prefetch);
+  EXPECT_EQ(o.prefetch_depth, 0u);
+  EXPECT_EQ(o.prefetch_max_inflight, 0u);
+  ::unsetenv("ITYR_PREFETCH");
+  ::unsetenv("ITYR_PREFETCH_DEPTH");
+  ::unsetenv("ITYR_PREFETCH_MAX_INFLIGHT");
+}
+
 TEST(Options, BadPolicyStringThrows) {
   EXPECT_THROW(ic::cache_policy_from_string("bogus"), ic::api_error);
 }

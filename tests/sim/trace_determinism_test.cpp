@@ -20,11 +20,12 @@ struct run_dump {
   std::string metrics_json;
 };
 
-run_dump run_traced_cilksort(std::uint64_t seed) {
+run_dump run_traced_cilksort(std::uint64_t seed, bool prefetch = false) {
   auto o = ityr::test::tiny_opts(2, 2);
   o.coll_heap_per_rank = 2 * ityr::common::MiB;
   o.seed = seed;
   o.metrics_sample_interval = 1.0e-5;
+  o.prefetch = prefetch;
   ityr::runtime rt(o);
   rt.trace().set_enabled(true);
   rt.spmd([] {
@@ -56,6 +57,24 @@ TEST(TraceDeterminism, SameSeedGivesByteIdenticalTraceAndStats) {
   EXPECT_GT(r.n_spans, 0u);
   EXPECT_GT(r.n_flows, 0u);
   EXPECT_GT(r.n_counters, 0u);
+}
+
+TEST(TraceDeterminism, PrefetchEnabledRunsAreByteIdentical) {
+  // The prefetcher's timestamps all derive from the virtual clock, so a
+  // prefetch-enabled run is just as reproducible as the baseline: identical
+  // sort results, byte-identical trace and metrics dumps.
+  const run_dump a = run_traced_cilksort(42, /*prefetch=*/true);
+  const run_dump b = run_traced_cilksort(42, /*prefetch=*/true);
+  EXPECT_EQ(a.trace_json, b.trace_json);
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+
+  const auto r = ityr::common::validate_trace_json(a.trace_json);
+  EXPECT_TRUE(r.ok) << r.error;
+  // Prefetch lifecycle discipline: in a complete trace every issue flow has
+  // exactly one consume-or-evict terminator.
+  if (r.dropped_events == 0) {
+    EXPECT_EQ(r.n_prefetch_flows, r.n_prefetch_consumes + r.n_prefetch_evicts);
+  }
 }
 
 TEST(TraceDeterminism, DifferentSeedsGiveDifferentTraces) {

@@ -1,7 +1,9 @@
 /// trace_lint: validates Chrome/Perfetto trace_events JSON against the
 /// invariants the itoyori tracer promises (parseable JSON, balanced and
 /// name-matched B/E spans per (pid,tid), non-decreasing timestamps, every
-/// flow id has both its start and finish half).
+/// flow id has both its start and finish half, and — when the trace is
+/// complete, i.e. no ring-buffer eviction — every "prefetch" issue flow is
+/// terminated by exactly one "prefetch consume" or "prefetch evict" instant).
 ///
 /// With a file argument it lints that file:
 ///
@@ -11,8 +13,13 @@
 /// ctest): it runs a small deterministic cilksort with tracing and counter
 /// sampling enabled, dumps the trace, and lints the result, additionally
 /// requiring that spans, flows, and counter samples are all present.
+///
+/// With `--self-check-prefetch` (the `trace_lint_prefetch` ctest) it runs the
+/// same workload with ITYR_PREFETCH enabled and additionally requires at
+/// least one prefetch issue flow with matched terminators.
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -24,14 +31,27 @@
 
 namespace {
 
-int lint(const std::string& json, const char* what, bool require_content) {
+int lint(const std::string& json, const char* what, bool require_content,
+         bool require_prefetch = false) {
   const ityr::common::trace_check_result r = ityr::common::validate_trace_json(json);
   if (!r.ok) {
     std::fprintf(stderr, "trace_lint: %s: INVALID: %s\n", what, r.error.c_str());
     return 1;
   }
-  std::printf("trace_lint: %s: OK (%zu events: %zu spans, %zu flows, %zu counter samples)\n",
-              what, r.n_events, r.n_spans, r.n_flows, r.n_counters);
+  std::printf("trace_lint: %s: OK (%zu events: %zu spans, %zu flows, %zu counter samples, "
+              "%zu prefetch flows)\n",
+              what, r.n_events, r.n_spans, r.n_flows, r.n_counters, r.n_prefetch_flows);
+  // Prefetch lifecycle: each issued prefetch segment gets exactly one
+  // terminator — a "prefetch consume" instant at first read-touch or a
+  // "prefetch evict" instant when overwritten, evicted, or invalidated.
+  // Only checkable when the ring buffers evicted nothing.
+  if (r.dropped_events == 0 &&
+      r.n_prefetch_flows != r.n_prefetch_consumes + r.n_prefetch_evicts) {
+    std::fprintf(stderr,
+                 "trace_lint: %s: %zu prefetch flows but %zu consume + %zu evict terminators\n",
+                 what, r.n_prefetch_flows, r.n_prefetch_consumes, r.n_prefetch_evicts);
+    return 1;
+  }
   if (require_content) {
     if (r.n_spans == 0) {
       std::fprintf(stderr, "trace_lint: %s: expected at least one span\n", what);
@@ -46,10 +66,21 @@ int lint(const std::string& json, const char* what, bool require_content) {
       return 1;
     }
   }
+  if (require_prefetch) {
+    if (r.dropped_events != 0) {
+      std::fprintf(stderr, "trace_lint: %s: trace dropped %llu events; enlarge the cap\n", what,
+                   static_cast<unsigned long long>(r.dropped_events));
+      return 1;
+    }
+    if (r.n_prefetch_flows == 0) {
+      std::fprintf(stderr, "trace_lint: %s: expected at least one prefetch issue flow\n", what);
+      return 1;
+    }
+  }
   return 0;
 }
 
-int self_check() {
+int self_check(bool with_prefetch) {
   ityr::common::options o;
   o.n_nodes = 2;
   o.ranks_per_node = 2;
@@ -60,6 +91,7 @@ int self_check() {
   o.coll_heap_per_rank = 1 * ityr::common::MiB;
   o.noncoll_heap_per_rank = 256 * ityr::common::KiB;
   o.metrics_sample_interval = 1.0e-5;
+  if (with_prefetch) o.prefetch = true;
 
   constexpr std::size_t n = 1 << 16;
   std::string json;
@@ -81,13 +113,19 @@ int self_check() {
     });
     json = rt.trace().to_json();
   }
-  return lint(json, "self-check (traced cilksort)", /*require_content=*/true);
+  return lint(json,
+              with_prefetch ? "self-check (traced cilksort, prefetch)"
+                            : "self-check (traced cilksort)",
+              /*require_content=*/true, /*require_prefetch=*/with_prefetch);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return self_check();
+  if (argc < 2) return self_check(/*with_prefetch=*/false);
+  if (argc == 2 && std::strcmp(argv[1], "--self-check-prefetch") == 0) {
+    return self_check(/*with_prefetch=*/true);
+  }
 
   int rc = 0;
   for (int i = 1; i < argc; i++) {
