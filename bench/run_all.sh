@@ -38,3 +38,10 @@ echo
 echo "#### bench/ablation_prefetch"
 ./build/bench/ablation_prefetch BENCH_prefetch.json
 echo
+
+# Release-protocol ablation (cilksort + write-heavy burst with
+# ITYR_ASYNC_RELEASE off vs on: release-stall virtual time, epoch pipelining
+# counters, cross-mode checksum) -> BENCH_release.json.
+echo "#### bench/ablation_release"
+./build/bench/ablation_release BENCH_release.json
+echo

@@ -78,6 +78,8 @@ options options::from_env() {
   env_get("ITYR_PREFETCH", o.prefetch);
   env_get("ITYR_PREFETCH_DEPTH", o.prefetch_depth);
   env_get("ITYR_PREFETCH_MAX_INFLIGHT", o.prefetch_max_inflight);
+  env_get("ITYR_ASYNC_RELEASE", o.async_release);
+  env_get("ITYR_ASYNC_WB_MAX_INFLIGHT", o.async_wb_max_inflight);
   env_get("ITYR_ULT_STACK_SIZE", o.ult_stack_size);
   env_get("ITYR_COMPUTE_SCALE", o.compute_scale);
   env_get("ITYR_DETERMINISTIC", o.deterministic);

@@ -111,6 +111,21 @@ struct options {
   /// (ITYR_PREFETCH_MAX_INFLIGHT). 0 disables prefetching.
   std::size_t prefetch_max_inflight = 1 * MiB;
 
+  /// Asynchronous epoch-pipelined release (ITYR_ASYNC_RELEASE): write-back
+  /// rounds issue their put segments nonblocking, record the round's modelled
+  /// completion time in a per-rank epoch->ready_at ring, and return to
+  /// compute immediately; visibility is enforced on the *acquire* side by a
+  /// targeted wait on the releaser's round completion. Idle workers flush
+  /// dirty data opportunistically between failed steals. Off by default:
+  /// with it disabled every counter, bench and trace is bit-identical to the
+  /// synchronous-release runtime.
+  bool async_release = false;
+  /// Cap on modelled in-flight write-back bytes per rank
+  /// (ITYR_ASYNC_WB_MAX_INFLIGHT). A release fence over budget stalls until
+  /// enough older rounds complete — never unbounded. 0 degenerates to
+  /// draining every previous round before issuing the next.
+  std::size_t async_wb_max_inflight = 4 * MiB;
+
   // --- scheduler ---
   std::size_t ult_stack_size = 256 * KiB;  ///< user-level thread stacks
   double steal_backoff       = 2.0e-6;     ///< seconds between failed steal rounds

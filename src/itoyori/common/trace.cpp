@@ -432,7 +432,11 @@ trace_check_result validate_trace_json(const std::string& json_text) {
   using track_key = std::pair<long long, long long>;
   std::map<track_key, std::vector<std::string>> stacks;
   std::map<track_key, double> last_ts;
-  std::map<std::string, std::pair<bool, bool>> flows;  // id -> (has s, has f)
+  struct flow_state {
+    bool has_s = false, has_f = false;
+    double ts_s = 0, ts_f = 0;
+  };
+  std::map<std::string, flow_state> flows;
 
   for (std::size_t i = 0; i < events->arr.size(); i++) {
     const jvalue& e = events->arr[i];
@@ -480,6 +484,7 @@ trace_check_result validate_trace_json(const std::string& json_text) {
       }
       st.pop_back();
       res.n_spans++;
+      if (name == "Write Back (async)") res.n_wb_async_spans++;
     } else if (ph == "s" || ph == "f") {
       const jvalue* id_v = e.find("id");
       std::string id;
@@ -493,8 +498,16 @@ trace_check_result validate_trace_json(const std::string& json_text) {
         return res;
       }
       auto& halves = flows[id];
-      (ph == "s" ? halves.first : halves.second) = true;
+      if (ph == "s") {
+        halves.has_s = true;
+        halves.ts_s = ts;
+      } else {
+        halves.has_f = true;
+        halves.ts_f = ts;
+      }
       if (ph == "s" && name == "prefetch") res.n_prefetch_flows++;
+      if (ph == "s" && name == "writeback") res.n_writeback_flows++;
+      if (ph == "s" && name == "wb acquire") res.n_wb_acquire_flows++;
     } else if (ph == "C") {
       res.n_counters++;
     } else if (ph == "i") {
@@ -518,10 +531,17 @@ trace_check_result validate_trace_json(const std::string& json_text) {
     }
   }
   for (const auto& kv : flows) {
-    if (!kv.second.first || !kv.second.second) {
+    if (!kv.second.has_s || !kv.second.has_f) {
       res.error = "flow id " + kv.first + " is missing its " +
-                  (kv.second.first ? std::string("finish (f)") : std::string("start (s)")) +
+                  (kv.second.has_s ? std::string("finish (f)") : std::string("start (s)")) +
                   " half";
+      return res;
+    }
+    // Causality: an arrow cannot land before it was launched. For "wb
+    // acquire" flows this is exactly the async-release safety property (no
+    // acquire completes before the releaser's round was visible).
+    if (kv.second.ts_f < kv.second.ts_s) {
+      res.error = "flow id " + kv.first + " finishes before it starts";
       return res;
     }
     res.n_flows++;

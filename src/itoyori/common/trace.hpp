@@ -169,6 +169,13 @@ struct trace_check_result {
   std::size_t n_prefetch_flows = 0;     ///< "prefetch" flow-start events
   std::size_t n_prefetch_consumes = 0;  ///< "prefetch consume" instants
   std::size_t n_prefetch_evicts = 0;    ///< "prefetch evict" instants
+  // Async-release lifecycle (tools/trace_lint checks that, in a complete
+  // trace, every "Write Back (async)" span is terminated by exactly one
+  // "writeback" completion flow, and the generic finish>=start flow check
+  // guarantees no "wb acquire" lands before the releaser's ready_at).
+  std::size_t n_wb_async_spans = 0;     ///< completed "Write Back (async)" spans
+  std::size_t n_writeback_flows = 0;    ///< "writeback" flow-start events
+  std::size_t n_wb_acquire_flows = 0;   ///< "wb acquire" flow-start events
   std::uint64_t dropped_events = 0;     ///< root "dropped_events" (ring eviction)
 };
 
@@ -241,6 +248,11 @@ private:
   };
 
   void account(int rank, per_rank& r, double now) {
+    // Transitions must move forward in virtual time: a phase can only be
+    // closed at or after the instant it was entered. A violation means a
+    // caller fed a stale `now` (e.g. cached before a yield) and the
+    // busy/steal/idle split is garbage from here on.
+    ITYR_CHECK(now >= r.since);
     const double dt = now - r.since;
     if (dt > 0) {
       if (r.cur == phase::busy) {

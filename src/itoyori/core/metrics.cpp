@@ -136,6 +136,11 @@ metrics_snapshot collect_metrics(runtime& rt) {
       [&](int r) { return u64(cst(r).prefetch_wasted_bytes); });
   add("cache.prefetch_late", true, [&](int r) { return u64(cst(r).prefetch_late); });
   add("cache.fetch_stall_s", false, [&](int r) { return cst(r).fetch_stall_s; });
+  add("cache.releases_noop", true, [&](int r) { return u64(cst(r).releases_noop); });
+  add("cache.async_wb_rounds", true, [&](int r) { return u64(cst(r).async_wb_rounds); });
+  add("cache.idle_flush_bytes", true, [&](int r) { return u64(cst(r).idle_flush_bytes); });
+  add("cache.epochs_in_flight", true, [&](int r) { return u64(cst(r).epochs_in_flight); });
+  add("cache.release_stall_s", false, [&](int r) { return cst(r).release_stall_s; });
 
   // --- work-stealing scheduler (sched::scheduler::stats) ---
   const auto sst = [&](int r) -> const sched::scheduler::stats& {

@@ -32,6 +32,8 @@ cache_system::cache_system(sim::engine& eng, rma::context& rma, global_heap& hea
                    eng.opts().prefetch_max_inflight > 0),
       prefetch_depth_(eng.opts().prefetch_depth),
       prefetch_max_inflight_(eng.opts().prefetch_max_inflight),
+      async_release_(eng.opts().async_release),
+      wb_max_inflight_(eng.opts().async_wb_max_inflight),
       view_(heap.total_size()),
       cache_pool_(block_size_, std::max<std::size_t>(1, eng.opts().cache_size / block_size_),
                   "ityr-cache"),
@@ -565,7 +567,14 @@ void cache_system::mark_dirty(mem_block& mb, common::interval iv) {
 }
 
 void cache_system::writeback_all() {
-  if (dirty_blocks_.empty()) return;
+  if (dirty_blocks_.empty()) {
+    st_.releases_noop++;
+    return;
+  }
+  if (async_release_) {
+    async_writeback_round(/*opportunistic=*/false);
+    return;
+  }
   if (trace_ != nullptr) trace_->span_begin(rank_, eng_.now_precise(), "Write Back");
   wb_segs_.clear();
   for (mem_block* mb : dirty_blocks_) {
@@ -579,12 +588,122 @@ void cache_system::writeback_all() {
   }
   dirty_blocks_.clear();
   issue_segs(wb_segs_, /*is_put=*/true);
+  const double stall_from = eng_.now();
   rma_.flush();
+  st_.release_stall_s += eng_.now() - stall_from;
   // Completing a write-back round advances this process's epoch, releasing
   // any acquirer waiting on a handler from before this round (Fig. 6).
   epoch_words()[0]++;
   st_.releases++;
   if (trace_ != nullptr) trace_->span_end(rank_, eng_.now_precise(), "Write Back");
+}
+
+void cache_system::drain_wb_inflight() {
+  const double now = eng_.now();
+  while (wb_inflight_head_ < wb_inflight_.size() &&
+         wb_inflight_[wb_inflight_head_].ready_at <= now) {
+    wb_inflight_bytes_ -= wb_inflight_[wb_inflight_head_].bytes;
+    wb_inflight_head_++;
+  }
+  if (wb_inflight_head_ == wb_inflight_.size()) {
+    wb_inflight_.clear();
+    wb_inflight_head_ = 0;
+  }
+}
+
+void cache_system::record_epoch_ready(std::uint64_t epoch, double ready) {
+  epoch_ready_last_ = std::max(epoch_ready_last_, ready);
+  epoch_ready_[epoch % kEpochRing] = epoch_ready_last_;
+}
+
+double cache_system::release_ready_at(std::uint64_t epoch) const {
+  if (epoch == 0 || !async_release_) return 0.0;
+  const std::uint64_t cur = epoch_words()[0];
+  // Epochs beyond the current word or evicted from the ring fall back to the
+  // latest recorded completion: always conservative (waits no less).
+  if (epoch > cur || cur - epoch >= kEpochRing) return epoch_ready_last_;
+  return epoch_ready_[epoch % kEpochRing];
+}
+
+bool cache_system::async_writeback_round(bool opportunistic) {
+  ITYR_CHECK(!dirty_blocks_.empty());
+  std::size_t round_bytes = 0;
+  for (mem_block* mb : dirty_blocks_) round_bytes += mb->dirty.size();
+
+  drain_wb_inflight();
+  if (wb_inflight_bytes_ + round_bytes > wb_max_inflight_) {
+    // Over the in-flight budget. An opportunistic (idle-time) round just
+    // bails and retries at the next backoff; a real fence stalls until
+    // enough older rounds complete — bounded, never dropped.
+    if (opportunistic) return false;
+    const double stall_from = eng_.now();
+    while (wb_inflight_bytes_ + round_bytes > wb_max_inflight_ &&
+           wb_inflight_head_ < wb_inflight_.size()) {
+      rma_.net().wait_until(wb_inflight_[wb_inflight_head_].ready_at);
+      drain_wb_inflight();
+    }
+    st_.release_stall_s += eng_.now() - stall_from;
+  }
+
+  const double t_issue = eng_.now_precise();
+  if (trace_ != nullptr) trace_->span_begin(rank_, t_issue, "Write Back (async)");
+  wb_segs_.clear();
+  for (mem_block* mb : dirty_blocks_) {
+    for (const auto& iv : mb->dirty.to_vector()) {
+      wb_segs_.push_back({mb->home.win, mb->home.rank, mb->home.pool_off + iv.begin,
+                          cache_slot_ptr(*mb) + iv.begin, iv.size()});
+      st_.written_back_bytes += iv.size();
+    }
+    mb->dirty.clear();
+    mb->in_dirty_list = false;
+  }
+  dirty_blocks_.clear();
+  const double done = std::max(issue_segs(wb_segs_, /*is_put=*/true), eng_.now());
+
+  // The epoch word advances at issue; visibility is what the ready_at ring
+  // models. Acquirers that observe the new epoch wait until `done` via a
+  // targeted wait instead of this releaser flushing.
+  const std::uint64_t epoch = epoch_words()[0] + 1;
+  record_epoch_ready(epoch, done);
+  vis_watermark_ = std::max(vis_watermark_, done);
+  wb_inflight_.push_back({done, round_bytes});
+  wb_inflight_bytes_ += round_bytes;
+  st_.epochs_in_flight =
+      std::max<std::uint64_t>(st_.epochs_in_flight, wb_inflight_.size() - wb_inflight_head_);
+  epoch_words()[0] = epoch;
+  st_.releases++;
+  st_.async_wb_rounds++;
+  if (trace_ != nullptr) {
+    trace_->span_end(rank_, eng_.now_precise(), "Write Back (async)");
+    // One flow arrow per round: issue -> modelled completion, both on this
+    // rank's track (tools/trace_lint pairs them with the span count).
+    trace_->flow(rank_, t_issue, rank_, std::max(done, t_issue), "writeback");
+  }
+  return true;
+}
+
+void cache_system::idle_flush() {
+  if (!async_release_) return;
+  drain_wb_inflight();
+  if (dirty_blocks_.empty()) return;
+  std::size_t round_bytes = 0;
+  for (mem_block* mb : dirty_blocks_) round_bytes += mb->dirty.size();
+  if (async_writeback_round(/*opportunistic=*/true)) {
+    st_.idle_flush_bytes += round_bytes;
+  }
+}
+
+void cache_system::wait_visibility(double w) {
+  if (!async_release_ || w <= 0) return;
+  rma_.net().wait_until(w);
+  vis_watermark_ = std::max(vis_watermark_, w);
+}
+
+void cache_system::acquire_watermark(double w) {
+  ITYR_CHECK(eng_.my_rank() == rank_);
+  ITYR_CHECK(!has_dirty());
+  wait_visibility(w);
+  invalidate_all();
 }
 
 void cache_system::invalidate_all() {
@@ -828,6 +947,15 @@ void cache_system::acquire(release_handler h) {
       // Degenerate case: the handler refers to our own cache; a local
       // write-back round satisfies it directly.
       if (epoch_words()[0] < h.epoch) writeback_all();
+      if (async_release_) {
+        // The round was issued, not flushed: wait out its modelled
+        // completion before trusting re-fetched home data.
+        const double ready = release_ready_at(h.epoch);
+        wait_visibility(ready);
+        if (trace_ != nullptr && ready > 0) {
+          trace_->flow(rank_, ready, rank_, eng_.now_precise(), "wb acquire");
+        }
+      }
     } else {
       ITYR_CHECK(!has_dirty());
       bool first = true;
@@ -842,6 +970,18 @@ void cache_system::acquire(release_handler h) {
         }
         eng_.advance(eng_.opts().poll_interval);
       }
+      if (async_release_ && peer_ready_) {
+        // The releaser advanced its epoch at issue time; its round's data is
+        // only visible from ready_at on. Wait there (targeted MPI_Wait
+        // analog), not a full flush — unrelated in-flight traffic keeps
+        // flying. The flow arrow starts at the releaser's round completion,
+        // so trace_lint's f>=s check pins "no acquire lands early" down.
+        const double ready = peer_ready_(h.rank, h.epoch);
+        wait_visibility(ready);
+        if (trace_ != nullptr && ready > 0) {
+          trace_->flow(h.rank, ready, rank_, eng_.now_precise(), "wb acquire");
+        }
+      }
     }
   }
   invalidate_all();
@@ -853,13 +993,18 @@ void cache_system::poll() {
     // A thief requested a write-back of the data it stole a continuation
     // for (DoReleaseIfRequested, Fig. 6 lines 55-58).
     if (has_dirty()) {
-      writeback_all();  // bumps the epoch
+      writeback_all();  // bumps the epoch (at issue time in async mode)
     } else {
       // The dirty data the handler covered was already flushed by an
       // eviction or another fence; still advance the epoch so the waiting
       // acquirer makes progress.
       ew[0]++;
       st_.releases++;
+      if (async_release_) {
+        // No data rides this advance, but earlier rounds might still be in
+        // flight; the running max keeps the ring monotone and conservative.
+        record_epoch_ready(ew[0], eng_.now());
+      }
     }
   }
 }

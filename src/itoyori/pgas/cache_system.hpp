@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -76,6 +77,15 @@ public:
     /// targeted wait at the end of the block walk). Accounted identically
     /// with prefetching off, so on/off stall times are directly comparable.
     double fetch_stall_s = 0;
+    // release pipeline (counted in both modes unless noted)
+    std::uint64_t releases_noop = 0;   ///< release fences with nothing dirty
+    std::uint64_t async_wb_rounds = 0; ///< nonblocking write-back rounds (async only)
+    std::uint64_t idle_flush_bytes = 0;  ///< dirty bytes flushed from the idle loop
+    std::uint64_t epochs_in_flight = 0;  ///< peak write-back rounds pending at once
+    /// Virtual time release fences spent blocked: the flush in synchronous
+    /// mode, the over-budget stall in async mode. Accounted identically in
+    /// both modes, so blocking/async stall times are directly comparable.
+    double release_stall_s = 0;
   };
 
   /// `ctrl_win` must expose, at offsets 0 and 8 of each rank's region, the
@@ -106,6 +116,36 @@ public:
   void acquire();                    ///< plain acquire: self-invalidate
   void acquire(release_handler h);   ///< wait for the releaser's epoch first
   void poll();                       ///< DoReleaseIfRequested
+
+  // ---- asynchronous release pipeline (ITYR_ASYNC_RELEASE) ----
+  /// Opportunistic flush from the worker loop's steal-backoff branch: issues
+  /// a nonblocking write-back round for any dirty data (skipped, not
+  /// stalled, when over the in-flight byte budget) so the next real fence
+  /// finds an empty dirty list. No-op unless async release is enabled.
+  void idle_flush();
+  /// Visibility watermark: the latest modelled completion time of any async
+  /// write-back round this cache issued or transitively observed. Always 0
+  /// in synchronous mode (every fence completes inline), so callers can
+  /// stamp/wait unconditionally.
+  double visibility_watermark() const { return vis_watermark_; }
+  /// Wait (targeted, not a flush) until `w`, then fold it into our own
+  /// watermark: data observed under `w` may include third-party rounds that
+  /// later handoffs must also respect. No-op for w <= now.
+  void wait_visibility(double w);
+  /// Plain acquire whose releaser's watermark is known locally (join with a
+  /// finished child, barrier): wait out the watermark, then self-invalidate.
+  /// Equivalent to acquire() in synchronous mode.
+  void acquire_watermark(double w);
+  /// Modelled completion time of the write-back round that advanced this
+  /// rank's epoch to `epoch` (0 when nothing needs waiting). Monotone in
+  /// `epoch`; epochs older than the ring conservatively report the latest
+  /// recorded completion. Peers reach this through the pgas_space callback.
+  double release_ready_at(std::uint64_t epoch) const;
+  /// Async-release peer lookup, wired by pgas_space: maps (rank, epoch) to
+  /// that rank's release_ready_at (cache_system cannot see sibling caches).
+  void set_peer_ready(std::function<double(int, std::uint64_t)> fn) {
+    peer_ready_ = std::move(fn);
+  }
 
   // ---- introspection ----
   bool has_dirty() const { return !dirty_blocks_.empty(); }
@@ -198,6 +238,17 @@ private:
   void map_block(mem_block& mb);
   void unmap_block(mem_block& mb);
   void writeback_all();  // flush dirty + bump epoch
+  /// Async-mode write-back round: stall on the byte budget (or bail if
+  /// `opportunistic`), issue the dirty segments nonblocking, record the
+  /// round's completion in the epoch ring, advance the epoch. Returns false
+  /// only when an opportunistic round was skipped for budget.
+  bool async_writeback_round(bool opportunistic);
+  /// Record `ready` as the completion time of the round advancing the epoch
+  /// to `epoch`. Stored as a running max so ready_at is monotone in epoch
+  /// even though per-round channel completions are not.
+  void record_epoch_ready(std::uint64_t epoch, double ready);
+  /// Drop in-flight write-back FIFO entries whose completion time passed.
+  void drain_wb_inflight();
   void invalidate_all();
   void mark_dirty(mem_block& mb, common::interval iv);
   std::byte* cache_slot_ptr(const mem_block& mb) const {
@@ -264,6 +315,8 @@ private:
   const bool prefetch_on_;
   const std::size_t prefetch_depth_;         ///< sub-blocks ahead of a stream
   const std::size_t prefetch_max_inflight_;  ///< modelled in-flight byte cap
+  const bool async_release_;
+  const std::size_t wb_max_inflight_;        ///< in-flight write-back byte cap
 
   vm::view_region view_;
   vm::physical_pool cache_pool_;
@@ -300,6 +353,19 @@ private:
   std::size_t inflight_head_ = 0;
   std::size_t inflight_bytes_ = 0;
   double pf_wait_ = 0;               ///< per-round: latest in-flight completion hit
+
+  // Async-release state (untouched unless async_release_). The epoch ring
+  // maps epoch -> cumulative-max completion time of the round that advanced
+  // to it; overwritten (too-old) entries are superseded by later — larger —
+  // values, so stale reads only ever wait longer, never too little.
+  static constexpr std::size_t kEpochRing = 64;
+  double epoch_ready_[kEpochRing] = {};
+  double epoch_ready_last_ = 0;           ///< running max of recorded completions
+  std::vector<inflight_entry> wb_inflight_;  ///< FIFO, drained by virtual time
+  std::size_t wb_inflight_head_ = 0;
+  std::size_t wb_inflight_bytes_ = 0;
+  double vis_watermark_ = 0;
+  std::function<double(int, std::uint64_t)> peer_ready_;
 
   common::tracer* trace_ = nullptr;
   stats st_;

@@ -18,6 +18,13 @@ pgas_space::pgas_space(sim::engine& eng, rma::context& rma)
     caches_.push_back(
         std::make_unique<cache_system>(eng_, rma_, heap_, *ctrl_win_, static_cast<int>(r)));
   }
+  // Async-release visibility: an acquirer that observed a releaser's epoch
+  // word still has to wait out that round's modelled completion time; the
+  // caches cannot see each other, so the lookup goes through us.
+  for (auto& c : caches_) {
+    c->set_peer_ready(
+        [this](int r, std::uint64_t epoch) { return cache_of(r).release_ready_at(epoch); });
+  }
 }
 
 void pgas_space::get(gaddr_t from, void* to, std::size_t size) {
@@ -89,8 +96,14 @@ void pgas_space::barrier() {
 
   const int n = eng_.n_ranks();
   const std::uint64_t my_generation = barrier_generation_;
+  barrier_vis_pending_ = std::max(barrier_vis_pending_, cache().visibility_watermark());
   if (++barrier_arrived_ == n) {
     barrier_arrived_ = 0;
+    // Seal the watermark of this generation before releasing the spinners; a
+    // laggard of generation g reads `sealed` strictly before it can arrive at
+    // generation g+1, so the two-variable scheme cannot race.
+    barrier_vis_sealed_ = barrier_vis_pending_;
+    barrier_vis_pending_ = 0;
     barrier_generation_++;
   } else {
     while (barrier_generation_ == my_generation) {
@@ -112,7 +125,9 @@ void pgas_space::barrier() {
   for (int p = 1; p < n; p *= 2) depth += 1.0;
   eng_.advance(depth * eng_.opts().net.inter_latency);
 
-  cache().acquire();
+  // Under async release the pre-barrier releases may still be in flight;
+  // wait out the sealed watermark before invalidating (no-op when 0).
+  cache().acquire_watermark(barrier_vis_sealed_);
 }
 
 cache_system::stats pgas_space::aggregate_stats() const {
@@ -141,6 +156,11 @@ cache_system::stats pgas_space::aggregate_stats() const {
     agg.prefetch_wasted_bytes += s.prefetch_wasted_bytes;
     agg.prefetch_late += s.prefetch_late;
     agg.fetch_stall_s += s.fetch_stall_s;
+    agg.releases_noop += s.releases_noop;
+    agg.async_wb_rounds += s.async_wb_rounds;
+    agg.idle_flush_bytes += s.idle_flush_bytes;
+    agg.epochs_in_flight = std::max(agg.epochs_in_flight, s.epochs_in_flight);
+    agg.release_stall_s += s.release_stall_s;
   }
   return agg;
 }

@@ -39,6 +39,11 @@ public:
   release_handler release_lazy() { return cache().release_lazy(); }
   void acquire() { cache().acquire(); }
   void acquire(release_handler h) { cache().acquire(h); }
+  /// Plain acquire that first waits out a known releaser watermark (async
+  /// release: the finishing child's pending write-back rounds).
+  void acquire_watermark(double w) { cache().acquire_watermark(w); }
+  /// Opportunistic dirty-data flush from an idle worker (ITYR_ASYNC_RELEASE).
+  void idle_flush() { cache().idle_flush(); }
   void poll() {
     cache().poll();
     heap_.poll();
@@ -88,6 +93,12 @@ private:
   // Barrier state (shared; the DES serializes access).
   std::uint64_t barrier_generation_ = 0;
   int barrier_arrived_ = 0;
+  // Async release: max visibility watermark of the arriving ranks' pending
+  // write-back rounds. Accumulated into `pending` while ranks arrive, sealed
+  // into `sealed` by the last arrival, waited on by everyone after the flip
+  // (always 0 in synchronous mode).
+  double barrier_vis_pending_ = 0;
+  double barrier_vis_sealed_ = 0;
 };
 
 }  // namespace ityr::pgas

@@ -89,6 +89,12 @@ public:
     return s.pending_until > eng_.now();
   }
 
+  /// Latest completion time among this rank's pending transfers (0 when a
+  /// flush() already consumed them). What a flush() would advance to.
+  double pending_until() const {
+    return state_[static_cast<std::size_t>(eng_.my_rank())].pending_until;
+  }
+
   /// Blocking round trip for remote atomics (network-offloaded, so the
   /// target CPU is not charged). Yields, so other ranks interleave within
   /// the round-trip window — giving realistic contention races on CAS.

@@ -162,6 +162,9 @@ void scheduler::child_body(const std::function<void(thread_state*)>& fn, thread_
     common::profiler::maybe_scope sc(prof_, common::prof_event::release);
     pgas_.release();
   }
+  // Async release: the Release #2 round above was only *issued*; tell the
+  // joiner when it becomes visible (0 in synchronous mode).
+  ts->release_watermark = pgas_.cache().visibility_watermark();
   charge_ts_touch(ts);
   ts->finished = true;
 
@@ -237,10 +240,12 @@ void scheduler::join(thread_handle& h) {
     ITYR_CHECK(k == resume_kind::join_done);
   }
 
-  // Acquire #1: observe the child's (and our own released) writes.
+  // Acquire #1: observe the child's (and our own released) writes. The
+  // child's Release #2 may still be in flight under async release; its
+  // stamped watermark tells us how long (no-op when 0).
   {
     common::profiler::maybe_scope sc(prof_, common::prof_event::acquire);
-    pgas_.acquire();
+    pgas_.acquire_watermark(ts->release_watermark);
   }
 
   if (ts->error) {
@@ -312,10 +317,15 @@ bool scheduler::try_steal() {
   rs.st.migrated_stack_bytes += stack_bytes;
   eng_.advance(latency + static_cast<double>(stack_bytes) / bandwidth);
 
-  // Acquire #2: synchronize with the victim's delayed Release #1.
+  // Acquire #2: synchronize with the victim's delayed Release #1, plus any
+  // async rounds the victim had already issued when it pushed this entry
+  // (the lazy handler only covers data that was still dirty at the fork).
+  // Reading the victim's current watermark piggybacks on the one-sided steal
+  // traffic above; it is conservative — at least the push-time value.
   {
     common::profiler::maybe_scope sc(prof_, common::prof_event::acquire);
     pgas_.acquire(e.rh);
+    pgas_.cache().wait_visibility(pgas_.cache_of(victim).visibility_watermark());
   }
   // Thief<-victim pairing as a trace flow arrow: starts where the entry was
   // claimed on the victim's track, lands when the migrated task is runnable.
@@ -360,6 +370,11 @@ void scheduler::worker_loop() {
     } else {
       // Backoff waiting is idle time, not steal time.
       timeline_.enter(eng_.my_rank(), common::phase_timeline::phase::idle, eng_.now_precise());
+      // Nothing to run: opportunistically push out dirty data (and retire
+      // completed rounds) so the next real fence finds less to do. Bails
+      // without stalling if the in-flight budget is full (ITYR_ASYNC_RELEASE
+      // off: no-op).
+      pgas_.idle_flush();
       const int shift = failed_rounds < 5 ? failed_rounds : 5;
       eng_.advance(eng_.opts().steal_backoff * static_cast<double>(1 << shift));
       failed_rounds++;

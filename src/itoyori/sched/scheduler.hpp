@@ -26,6 +26,8 @@ struct thread_state {
   sim::fiber* parent_fiber = nullptr;  ///< valid when parent_waiting
   int parent_wait_rank = -1;           ///< rank the parent suspended on
   int owner_rank = -1;                 ///< rank that forked (allocation home)
+  double release_watermark = 0;        ///< async release: child's Release #2
+                                       ///< visibility time (0 = synchronous)
   std::exception_ptr error;
   alignas(16) unsigned char result[result_capacity]{};  ///< type-erased slot
 
@@ -35,6 +37,7 @@ struct thread_state {
     parent_fiber = nullptr;
     parent_wait_rank = -1;
     owner_rank = -1;
+    release_watermark = 0;
     error = nullptr;
   }
 };

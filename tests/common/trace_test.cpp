@@ -270,6 +270,36 @@ TEST(PhaseTimelineTest, BeginRegionResets) {
   EXPECT_DOUBLE_EQ(tl.makespan(), 1.0);
 }
 
+TEST(PhaseTimelineTest, StealIdleStealRoundTrip) {
+  // Regression: the worker loop's steal backoff transitions steal -> idle ->
+  // steal repeatedly; each leg must be attributed to the phase that was
+  // active, never double-counted or dropped.
+  phase_timeline tl;
+  tl.configure(1);
+
+  tl.begin_region(0, 0.0);
+  tl.enter(0, phase_timeline::phase::steal, 1.0);  // idle  [0,1)
+  tl.enter(0, phase_timeline::phase::idle, 3.0);   // steal [1,3)
+  tl.enter(0, phase_timeline::phase::steal, 4.0);  // idle  [3,4)
+  tl.enter(0, phase_timeline::phase::busy, 6.0);   // steal [4,6)
+  tl.end_region(0, 7.0);                           // busy  [6,7)
+
+  EXPECT_DOUBLE_EQ(tl.busy_of(0), 1.0);
+  EXPECT_DOUBLE_EQ(tl.steal_of(0), 4.0);
+  EXPECT_DOUBLE_EQ(tl.idle_of(0), 2.0);
+  EXPECT_DOUBLE_EQ(tl.makespan(), 7.0);
+}
+
+TEST(PhaseTimelineTest, RejectsTimeGoingBackwards) {
+  // Virtual time is monotone per rank; a transition stamped before the
+  // current phase began can only be an accounting bug upstream.
+  phase_timeline tl;
+  tl.configure(1);
+  tl.begin_region(0, 0.0);
+  tl.enter(0, phase_timeline::phase::busy, 2.0);
+  EXPECT_DEATH(tl.enter(0, phase_timeline::phase::idle, 1.0), "");
+}
+
 TEST(PhaseTimelineTest, EmitsBusySpansIntoTracer) {
   tracer t = make_tracer(1, 1);
   phase_timeline tl;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdlib>
 #include <functional>
 
 #include "itoyori/common/options.hpp"
@@ -21,6 +22,13 @@ inline common::options tiny_opts(int nodes = 2, int rpn = 2) {
   o.cache_size = 64 * common::KiB;
   o.coll_heap_per_rank = 256 * common::KiB;
   o.noncoll_heap_per_rank = 128 * common::KiB;
+  // Tests build their options directly, so the usual from_env() path never
+  // runs; honor ITYR_ASYNC_RELEASE here so the whole suite can be re-run
+  // with the asynchronous release protocol (the itoyori_tests_async_release
+  // ctest) without editing every test.
+  if (const char* v = std::getenv("ITYR_ASYNC_RELEASE")) {
+    o.async_release = std::string(v) == "1" || std::string(v) == "true";
+  }
   return o;
 }
 

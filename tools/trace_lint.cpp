@@ -17,6 +17,13 @@
 /// With `--self-check-prefetch` (the `trace_lint_prefetch` ctest) it runs the
 /// same workload with ITYR_PREFETCH enabled and additionally requires at
 /// least one prefetch issue flow with matched terminators.
+///
+/// With `--self-check-release` (the `trace_lint_release` ctest) it runs the
+/// same workload with ITYR_ASYNC_RELEASE enabled and additionally requires at
+/// least one "Write Back (async)" span, each paired with exactly one
+/// "writeback" completion flow; the generic finish>=start flow check then
+/// guarantees no "wb acquire" flow lands before the releaser's round was
+/// ready.
 
 #include <cstdio>
 #include <cstring>
@@ -32,15 +39,16 @@
 namespace {
 
 int lint(const std::string& json, const char* what, bool require_content,
-         bool require_prefetch = false) {
+         bool require_prefetch = false, bool require_release = false) {
   const ityr::common::trace_check_result r = ityr::common::validate_trace_json(json);
   if (!r.ok) {
     std::fprintf(stderr, "trace_lint: %s: INVALID: %s\n", what, r.error.c_str());
     return 1;
   }
   std::printf("trace_lint: %s: OK (%zu events: %zu spans, %zu flows, %zu counter samples, "
-              "%zu prefetch flows)\n",
-              what, r.n_events, r.n_spans, r.n_flows, r.n_counters, r.n_prefetch_flows);
+              "%zu prefetch flows, %zu async wb spans, %zu wb acquire flows)\n",
+              what, r.n_events, r.n_spans, r.n_flows, r.n_counters, r.n_prefetch_flows,
+              r.n_wb_async_spans, r.n_wb_acquire_flows);
   // Prefetch lifecycle: each issued prefetch segment gets exactly one
   // terminator — a "prefetch consume" instant at first read-touch or a
   // "prefetch evict" instant when overwritten, evicted, or invalidated.
@@ -50,6 +58,15 @@ int lint(const std::string& json, const char* what, bool require_content,
     std::fprintf(stderr,
                  "trace_lint: %s: %zu prefetch flows but %zu consume + %zu evict terminators\n",
                  what, r.n_prefetch_flows, r.n_prefetch_consumes, r.n_prefetch_evicts);
+    return 1;
+  }
+  // Async-release lifecycle: every "Write Back (async)" round span must be
+  // matched by exactly one "writeback" completion flow (issue -> modelled
+  // completion). Only checkable when the ring buffers evicted nothing.
+  if (r.dropped_events == 0 && r.n_wb_async_spans != r.n_writeback_flows) {
+    std::fprintf(stderr,
+                 "trace_lint: %s: %zu async write-back spans but %zu writeback completion flows\n",
+                 what, r.n_wb_async_spans, r.n_writeback_flows);
     return 1;
   }
   if (require_content) {
@@ -77,10 +94,21 @@ int lint(const std::string& json, const char* what, bool require_content,
       return 1;
     }
   }
+  if (require_release) {
+    if (r.dropped_events != 0) {
+      std::fprintf(stderr, "trace_lint: %s: trace dropped %llu events; enlarge the cap\n", what,
+                   static_cast<unsigned long long>(r.dropped_events));
+      return 1;
+    }
+    if (r.n_wb_async_spans == 0) {
+      std::fprintf(stderr, "trace_lint: %s: expected at least one async write-back span\n", what);
+      return 1;
+    }
+  }
   return 0;
 }
 
-int self_check(bool with_prefetch) {
+int self_check(bool with_prefetch, bool with_async_release = false) {
   ityr::common::options o;
   o.n_nodes = 2;
   o.ranks_per_node = 2;
@@ -92,6 +120,7 @@ int self_check(bool with_prefetch) {
   o.noncoll_heap_per_rank = 256 * ityr::common::KiB;
   o.metrics_sample_interval = 1.0e-5;
   if (with_prefetch) o.prefetch = true;
+  if (with_async_release) o.async_release = true;
 
   constexpr std::size_t n = 1 << 16;
   std::string json;
@@ -114,9 +143,11 @@ int self_check(bool with_prefetch) {
     json = rt.trace().to_json();
   }
   return lint(json,
-              with_prefetch ? "self-check (traced cilksort, prefetch)"
-                            : "self-check (traced cilksort)",
-              /*require_content=*/true, /*require_prefetch=*/with_prefetch);
+              with_async_release ? "self-check (traced cilksort, async release)"
+              : with_prefetch    ? "self-check (traced cilksort, prefetch)"
+                                 : "self-check (traced cilksort)",
+              /*require_content=*/true, /*require_prefetch=*/with_prefetch,
+              /*require_release=*/with_async_release);
 }
 
 }  // namespace
@@ -125,6 +156,9 @@ int main(int argc, char** argv) {
   if (argc < 2) return self_check(/*with_prefetch=*/false);
   if (argc == 2 && std::strcmp(argv[1], "--self-check-prefetch") == 0) {
     return self_check(/*with_prefetch=*/true);
+  }
+  if (argc == 2 && std::strcmp(argv[1], "--self-check-release") == 0) {
+    return self_check(/*with_prefetch=*/false, /*with_async_release=*/true);
   }
 
   int rc = 0;
