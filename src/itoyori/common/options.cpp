@@ -1,5 +1,7 @@
 #include "itoyori/common/options.hpp"
 
+#include <unistd.h>
+
 #include <cstdlib>
 #include <string>
 
@@ -23,6 +25,20 @@ cache_policy cache_policy_from_string(const std::string& s) {
   if (s == "write_back") return cache_policy::write_back;
   if (s == "write_back_lazy") return cache_policy::write_back_lazy;
   throw api_error("unknown cache policy: " + s);
+}
+
+const char* to_string(eviction_kind k) {
+  switch (k) {
+    case eviction_kind::lru:   return "lru";
+    case eviction_kind::clock: return "clock";
+  }
+  return "?";
+}
+
+eviction_kind eviction_kind_from_string(const std::string& s) {
+  if (s == "lru") return eviction_kind::lru;
+  if (s == "clock") return eviction_kind::clock;
+  throw api_error("unknown eviction policy: " + s);
 }
 
 const char* to_string(steal_policy p) {
@@ -53,6 +69,8 @@ void env_get(const char* name, T& out) {
     out = static_cast<T>(std::strtod(v, nullptr));
   } else if constexpr (std::is_same_v<T, cache_policy>) {
     out = cache_policy_from_string(v);
+  } else if constexpr (std::is_same_v<T, eviction_kind>) {
+    out = eviction_kind_from_string(v);
   } else if constexpr (std::is_same_v<T, std::string>) {
     out = v;
   } else {
@@ -73,6 +91,7 @@ options options::from_env() {
   env_get("ITYR_NONCOLL_HEAP_PER_RANK", o.noncoll_heap_per_rank);
   env_get("ITYR_MAX_MAP_ENTRIES", o.max_map_entries);
   env_get("ITYR_POLICY", o.policy);
+  env_get("ITYR_EVICTION_POLICY", o.eviction);
   env_get("ITYR_COALESCE_RMA", o.coalesce_rma);
   env_get("ITYR_FRONT_TABLE_SIZE", o.front_table_size);
   env_get("ITYR_PREFETCH", o.prefetch);
@@ -92,7 +111,36 @@ options options::from_env() {
   env_get("ITYR_NET_INTER_BANDWIDTH", o.net.inter_bandwidth);
   env_get("ITYR_NET_INTRA_LATENCY", o.net.intra_latency);
   env_get("ITYR_NET_INTRA_BANDWIDTH", o.net.intra_bandwidth);
+  validate_cache_geometry(o.block_size, o.sub_block_size);
   return o;
+}
+
+namespace {
+
+bool is_pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+void validate_cache_geometry(std::size_t block_size, std::size_t sub_block_size) {
+  if (!is_pow2(block_size)) {
+    throw error("invalid cache geometry: block size (ITYR_BLOCK_SIZE) must be a nonzero "
+                "power of two, got " + std::to_string(block_size));
+  }
+  const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  if (block_size % page != 0) {
+    throw error("invalid cache geometry: block size (ITYR_BLOCK_SIZE = " +
+                std::to_string(block_size) + ") must be a multiple of the OS page size (" +
+                std::to_string(page) + "), since blocks are mmap/unmap granules");
+  }
+  if (!is_pow2(sub_block_size)) {
+    throw error("invalid cache geometry: sub-block size (ITYR_SUB_BLOCK_SIZE) must be a "
+                "nonzero power of two, got " + std::to_string(sub_block_size));
+  }
+  if (sub_block_size > block_size) {
+    throw error("invalid cache geometry: sub-block size (ITYR_SUB_BLOCK_SIZE = " +
+                std::to_string(sub_block_size) + ") must not exceed block size "
+                "(ITYR_BLOCK_SIZE = " + std::to_string(block_size) + ")");
+  }
 }
 
 }  // namespace ityr::common

@@ -21,6 +21,17 @@ enum class cache_policy {
 const char* to_string(cache_policy p);
 cache_policy cache_policy_from_string(const std::string& s);
 
+/// Victim-selection policy for the software cache's block lists
+/// (paper Section 4.3.1 describes the LRU baseline).
+enum class eviction_kind {
+  lru,    ///< strict LRU: every touch moves the block to MRU
+  clock,  ///< clock/second-chance: touches set a reference bit; the eviction
+          ///< sweep clears bits and takes the first unreferenced block
+};
+
+const char* to_string(eviction_kind k);
+eviction_kind eviction_kind_from_string(const std::string& s);
+
 /// Memory distribution policy for collective allocations (paper Section 4.2).
 enum class dist_policy {
   block,         ///< contiguous even split across ranks
@@ -81,6 +92,10 @@ struct options {
 
   cache_policy policy       = cache_policy::write_back_lazy;
   dist_policy default_dist  = dist_policy::block_cyclic;
+
+  /// Block-list victim selection (ITYR_EVICTION_POLICY): strict LRU by
+  /// default; "clock" selects the second-chance policy.
+  eviction_kind eviction    = eviction_kind::lru;
 
   /// Cross-block RMA coalescing: fetch gaps and write-back runs addressed to
   /// the same (window, rank) within one checkout or write-back round are
@@ -165,7 +180,17 @@ struct options {
   int n_ranks() const { return n_nodes * ranks_per_node; }
 
   /// Read overrides from ITYR_* environment variables on top of defaults.
+  /// Throws common::error if the resulting cache geometry is invalid (see
+  /// validate_cache_geometry).
   static options from_env();
 };
+
+/// Check the cache-geometry invariants the block/interval arithmetic relies
+/// on: both sizes are nonzero powers of two and the sub-block (remote-fetch
+/// granularity) fits inside a block. Throws common::error with the offending
+/// value otherwise — a garbage ITYR_BLOCK_SIZE must fail loudly at startup,
+/// not corrupt interval math later. Called by options::from_env() and by the
+/// cache system's constructor (covering programmatically built options).
+void validate_cache_geometry(std::size_t block_size, std::size_t sub_block_size);
 
 }  // namespace ityr::common

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "itoyori/common/trace.hpp"
+#include "itoyori/pgas/cache_stats.hpp"
+#include "itoyori/pgas/eviction_policy.hpp"
+#include "itoyori/pgas/mem_block.hpp"
+#include "itoyori/sim/engine.hpp"
+#include "itoyori/vm/physical_pool.hpp"
+#include "itoyori/vm/view_region.hpp"
+
+namespace ityr::pgas {
+
+/// Ownership layer of the coherence stack: the home/cache mem_block maps,
+/// their recency lists, the cache-slot free list, the per-rank view region
+/// and cache pool, and the mapping-entry budget (paper Section 4.3.2).
+/// All block lifetime decisions — allocation, LRU/clock accounting via the
+/// eviction_policy seam, eviction, view (un)mapping — happen here.
+///
+/// Blocks are destroyed only by the directory. Before a block dies, the
+/// client callback fires so layers holding raw pointers into it (front-table
+/// memos, prefetch segments) can let go; flush_dirty_for_eviction() is the
+/// escalation hook when every cache block is pinned or dirty.
+class block_directory {
+public:
+  struct client {
+    virtual ~client() = default;
+    /// The directory is about to destroy `mb`: purge any raw pointers and
+    /// retire its speculative state. Called for home and cache blocks.
+    virtual void on_block_evicted(mem_block& mb) = 0;
+    /// Every cache block is pinned or dirty: write all dirty data back so
+    /// the eviction retry below finds clean victims (paper Section 4.4).
+    virtual void flush_dirty_for_eviction() = 0;
+  };
+
+  block_directory(sim::engine& eng, eviction_policy& evict, client& cl, cache_stats& st,
+                  std::size_t block_size, std::size_t view_size, std::size_t cache_size,
+                  int rank);
+
+  /// Emit eviction instants into `t` (nullptr detaches).
+  void set_tracer(common::tracer* t) { trace_ = t; }
+
+  vm::view_region& view() { return view_; }
+  const vm::view_region& view() const { return view_; }
+  std::byte* slot_ptr(const mem_block& mb) const { return cache_pool_.block_ptr(mb.slot); }
+
+  std::size_t n_cache_blocks() const { return n_cache_blocks_; }
+  std::size_t home_mapped_limit() const { return home_mapped_limit_; }
+
+  /// Lookup-or-allocate with an access touch (the demand path). Allocation
+  /// may evict (throwing too_much_checkout_error if everything is pinned);
+  /// get_cache_block escalates through the client's dirty flush first.
+  mem_block& get_home_block(std::uint64_t mb_id, const home_loc& home);
+  mem_block& get_cache_block(std::uint64_t mb_id, const home_loc& home);
+
+  /// Plain lookups: no allocation, no access touch (checkin, speculation).
+  mem_block* find_home_block(std::uint64_t mb_id);
+  mem_block* find_cache_block(std::uint64_t mb_id);
+
+  /// Gentle allocation for the speculative (prefetch) path: a free slot or a
+  /// clean unpinned victim, else nullptr. Never a write-back round and never
+  /// too-much-checkout from speculation. The new block enters the recency
+  /// list via the policy's speculative insertion.
+  mem_block* alloc_cache_block_speculative(std::uint64_t mb_id, const home_loc& home);
+
+  /// Access touch for fast paths that bypass get_*_block.
+  void touch(mem_block& mb) {
+    evict_.on_access(mb.k == mem_block::kind::home ? home_lru_ : cache_lru_, mb);
+  }
+
+  /// Evict one clean, unpinned cache block; false if none exists.
+  bool try_evict_cache_block();
+
+  /// Map a block's view pages (deferred until after a round's communication
+  /// has been issued, Fig. 4 lines 25-29).
+  void map_block(mem_block& mb);
+
+  /// Iterate every live cache block in map order (invalidate_all).
+  template <typename F>
+  void for_each_cache_block(F&& f) {
+    for (auto& [id, mb] : cache_blocks_) f(*mb);
+  }
+
+private:
+  void evict_home_block();
+  void unmap_block(mem_block& mb);
+  void charge_mmap();
+
+  sim::engine& eng_;
+  eviction_policy& evict_;
+  client& client_;
+  cache_stats& st_;
+  const int rank_;
+  const std::size_t block_size_;
+
+  vm::view_region view_;
+  vm::physical_pool cache_pool_;
+  std::size_t n_cache_blocks_;
+  std::size_t home_mapped_limit_;
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<mem_block>> cache_blocks_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<mem_block>> home_blocks_;
+  common::lru_list cache_lru_;
+  common::lru_list home_lru_;
+  std::vector<std::size_t> free_slots_;
+
+  common::tracer* trace_ = nullptr;
+};
+
+}  // namespace ityr::pgas

@@ -1,370 +1,51 @@
 #include "itoyori/pgas/cache_system.hpp"
 
 #include <algorithm>
-#include <cstring>
+
+#include "itoyori/common/error.hpp"
 
 namespace ityr::pgas {
 
 namespace {
-// Fixed virtual cost of one mmap/munmap when running in deterministic mode
-// (in measured mode the real syscall cost is captured by the engine).
-constexpr double kDeterministicMmapCost = 2.0e-6;
-
-std::size_t round_up_pow2(std::size_t n) {
-  std::size_t p = 1;
-  while (p < n) p <<= 1;
-  return p;
+// Geometry must be validated before any member sized off it is constructed,
+// so the check rides the first initializer.
+std::size_t checked_block_size(const common::options& o) {
+  common::validate_cache_geometry(o.block_size, o.sub_block_size);
+  return o.block_size;
 }
 }  // namespace
 
 cache_system::cache_system(sim::engine& eng, rma::context& rma, global_heap& heap,
                            rma::window& ctrl_win, int rank)
     : eng_(eng),
-      rma_(rma),
+      ch_(rma),
       heap_(heap),
-      ctrl_win_(ctrl_win),
       rank_(rank),
-      block_size_(eng.opts().block_size),
-      sub_block_size_(std::min(eng.opts().sub_block_size, eng.opts().block_size)),
-      policy_(eng.opts().policy),
-      coalesce_(eng.opts().coalesce_rma),
-      prefetch_on_(eng.opts().prefetch && eng.opts().prefetch_depth > 0 &&
-                   eng.opts().prefetch_max_inflight > 0),
-      prefetch_depth_(eng.opts().prefetch_depth),
-      prefetch_max_inflight_(eng.opts().prefetch_max_inflight),
-      async_release_(eng.opts().async_release),
-      wb_max_inflight_(eng.opts().async_wb_max_inflight),
-      view_(heap.total_size()),
-      cache_pool_(block_size_, std::max<std::size_t>(1, eng.opts().cache_size / block_size_),
-                  "ityr-cache"),
-      n_cache_blocks_(cache_pool_.n_blocks()) {
-  ITYR_CHECK(block_size_ % sub_block_size_ == 0);
+      block_size_(checked_block_size(eng.opts())),
+      sub_block_size_(eng.opts().sub_block_size),
+      evict_(make_eviction_policy(eng.opts().eviction)),
+      dir_(eng, *evict_, *this, st_, block_size_, heap.total_size(), eng.opts().cache_size, rank),
+      wb_(eng, ch_, dir_, ctrl_win, st_,
+          {eng.opts().coalesce_rma, eng.opts().async_release, eng.opts().async_wb_max_inflight,
+           rank}),
+      write_policy_(make_write_policy(eng.opts().policy, ch_, dir_, wb_, st_)),
+      fetch_(eng, ch_, dir_, heap, st_,
+             {block_size_, sub_block_size_, eng.opts().coalesce_rma,
+              eng.opts().prefetch && eng.opts().prefetch_depth > 0 &&
+                  eng.opts().prefetch_max_inflight > 0,
+              eng.opts().prefetch_depth, eng.opts().prefetch_max_inflight, rank}),
+      front_(eng, heap, dir_, *write_policy_, ch_, st_, checked_out_bytes_,
+             eng.opts().front_table_size, block_size_, rank) {}
 
-  // Mapping-entry budget (paper Section 4.3.2): the OS limit is shared by
-  // the whole simulated cluster (one real process), and each mapped block
-  // can cost up to two entries. Split the budget evenly across ranks,
-  // reserve the cache blocks' share, and let home blocks use the rest.
-  const std::size_t per_rank_budget =
-      eng.opts().max_map_entries / (2 * static_cast<std::size_t>(eng.n_ranks()) + 2);
-  home_mapped_limit_ = per_rank_budget > n_cache_blocks_ + 64
-                           ? per_rank_budget - n_cache_blocks_
-                           : 64;
-
-  free_slots_.reserve(n_cache_blocks_);
-  for (std::size_t s = n_cache_blocks_; s-- > 0;) free_slots_.push_back(s);
-
-  if (eng.opts().front_table_size > 0) {
-    // Clamped: a garbage ITYR_FRONT_TABLE_SIZE (e.g. "-5" read as 2^64-5)
-    // must not wedge startup in round_up_pow2 or exhaust memory.
-    const std::size_t entries =
-        std::min<std::size_t>(eng.opts().front_table_size, std::size_t(1) << 20);
-    front_.resize(round_up_pow2(entries));
-    front_mask_ = front_.size() - 1;
-  }
-}
-
-std::uint64_t* cache_system::epoch_words() const {
-  return reinterpret_cast<std::uint64_t*>(ctrl_win_.addr(rank_, 0, 2 * sizeof(std::uint64_t)));
-}
-
-void cache_system::charge_mmap() {
-  if (eng_.opts().deterministic) eng_.charge(kDeterministicMmapCost);
-}
-
-void cache_system::map_block(mem_block& mb) {
-  ITYR_CHECK(!mb.mapped);
-  const std::uint64_t voff = mb.mb_id * block_size_;
-  if (mb.k == mem_block::kind::home) {
-    view_.map(voff, *mb.home.pool, mb.home.pool_off, block_size_);
-  } else {
-    view_.map(voff, cache_pool_, mb.slot * block_size_, block_size_);
-  }
-  mb.mapped = true;
-  charge_mmap();
-}
-
-void cache_system::unmap_block(mem_block& mb) {
-  ITYR_CHECK(mb.mapped);
-  view_.unmap(mb.mb_id * block_size_, block_size_);
-  mb.mapped = false;
-  charge_mmap();
-}
-
-cache_system::mem_block& cache_system::get_home_block(std::uint64_t mb_id,
-                                                      const global_heap::home_loc& home) {
-  auto it = home_blocks_.find(mb_id);
-  if (it != home_blocks_.end()) {
-    home_lru_.touch(*it->second);
-    return *it->second;
-  }
-  if (home_blocks_.size() >= home_mapped_limit_) evict_home_block();
-
-  auto mb = std::make_unique<mem_block>();
-  mb->k = mem_block::kind::home;
-  mb->mb_id = mb_id;
-  mb->home = home;
-  mem_block& ref = *mb;
-  home_blocks_.emplace(mb_id, std::move(mb));
-  home_lru_.push_back(ref);
-  return ref;
-}
-
-void cache_system::evict_home_block() {
-  auto* hook = home_lru_.find_from_lru(
-      [](common::lru_hook& h) { return static_cast<mem_block&>(h).ref_count == 0; });
-  if (hook == nullptr) {
-    throw common::too_much_checkout_error(
-        "all home-block mapping entries are pinned by outstanding checkouts");
-  }
-  auto& mb = static_cast<mem_block&>(*hook);
-  purge_front(mb.mb_id);  // the front table must never outlive a block
-  if (mb.mapped) unmap_block(mb);
-  home_lru_.erase(mb);
-  st_.home_evictions++;
-  if (trace_ != nullptr) trace_->instant(rank_, eng_.now_precise(), "home evict");
-  home_blocks_.erase(mb.mb_id);
-}
-
-cache_system::mem_block& cache_system::get_cache_block(std::uint64_t mb_id,
-                                                       const global_heap::home_loc& home) {
-  auto it = cache_blocks_.find(mb_id);
-  if (it != cache_blocks_.end()) {
-    cache_lru_.touch(*it->second);
-    return *it->second;
-  }
-  if (free_slots_.empty()) {
-    if (!try_evict_cache_block()) {
-      // Everything is pinned or dirty: write back all dirty data and retry
-      // (paper Section 4.4). After the write-back every block is clean, so
-      // a block that still cannot be evicted is pinned by an outstanding
-      // checkout — the checkout request exceeds the cache capacity.
-      writeback_all();
-      if (!try_evict_cache_block()) {
-        throw common::too_much_checkout_error(
-            "cache capacity exhausted by pinned blocks (too-much-checkout)");
-      }
-    }
-  }
-  const std::size_t slot = free_slots_.back();
-  free_slots_.pop_back();
-
-  auto mb = std::make_unique<mem_block>();
-  mb->k = mem_block::kind::cache;
-  mb->mb_id = mb_id;
-  mb->home = home;
-  mb->slot = slot;
-  mem_block& ref = *mb;
-  cache_blocks_.emplace(mb_id, std::move(mb));
-  cache_lru_.push_back(ref);
-  return ref;
-}
-
-bool cache_system::try_evict_cache_block() {
-  auto* hook = cache_lru_.find_from_lru([](common::lru_hook& h) {
-    auto& mb = static_cast<mem_block&>(h);
-    return mb.ref_count == 0 && mb.dirty.empty();
-  });
-  if (hook == nullptr) return false;
-  auto& mb = static_cast<mem_block&>(*hook);
-  drop_prefetched(mb);    // unread prefetches die with the block
-  purge_front(mb.mb_id);  // the front table must never outlive a block
-  if (mb.mapped) unmap_block(mb);
-  cache_lru_.erase(mb);
-  free_slots_.push_back(mb.slot);
-  st_.cache_evictions++;
-  if (trace_ != nullptr) trace_->instant(rank_, eng_.now_precise(), "cache evict");
-  cache_blocks_.erase(mb.mb_id);
-  return true;
-}
-
-cache_system::mem_block* cache_system::front_probe(gaddr_t g, std::size_t size) {
-  if (front_.empty() || size == 0) return nullptr;
-  ITYR_CHECK(eng_.my_rank() == rank_);
-  if (!heap_.in_heap(g, size)) return nullptr;
-  const std::uint64_t off0 = heap_.view_off(g);
-  const std::uint64_t mb_id = off0 / block_size_;
-  if ((off0 + size - 1) / block_size_ != mb_id) return nullptr;  // spans blocks
-  const front_entry& fe = front_[mb_id & front_mask_];
-  if (fe.mb_id != mb_id) return nullptr;
-  ITYR_CHECK(fe.mb != nullptr);
-  ITYR_CHECK(fe.mb->mapped);
-  return fe.mb;
-}
-
-void* cache_system::checkout_fast(gaddr_t g, std::size_t size, access_mode mode) {
-  mem_block* mb = front_probe(g, size);
-  if (mb == nullptr) return nullptr;
-  // Read-mode data must be present: only home blocks (always authoritative)
-  // and fully-valid cache blocks qualify. Write-mode never fetches, so any
-  // memoized cache block qualifies.
-  if (mb->k == mem_block::kind::cache && mode != access_mode::write && !mb->fully_valid)
-    return nullptr;
-  // A block with unretired prefetch segments takes the slow path: reads may
-  // have to wait out in-flight data, writes would race the incoming RDMA,
-  // and the slow path keeps feeding the stream detector.
-  if (mb->k == mem_block::kind::cache && !mb->pf_segs.empty()) return nullptr;
-
-  const std::uint64_t off0 = heap_.view_off(g);
-  st_.checkouts++;
-  st_.fast_path_hits++;
-  st_.block_visits++;
-  if (mb->k == mem_block::kind::home) {
-    home_lru_.touch(*mb);
-    st_.block_hits++;
-  } else {
-    cache_lru_.touch(*mb);
-    if (mode == access_mode::write) {
-      if (!mb->fully_valid) {
-        const std::uint64_t block_base = mb->mb_id * block_size_;
-        mb->valid.add({off0 - block_base, off0 - block_base + size});
-        update_fully_valid(*mb);
-      }
-      st_.write_skips++;
-    } else {
-      st_.block_hits++;
-    }
-  }
-  mb->ref_count++;
-  checked_out_bytes_ += size;
-  return view_.at(off0);
-}
-
-bool cache_system::checkin_fast(gaddr_t g, std::size_t size, access_mode mode) {
-  mem_block* mb = front_probe(g, size);
-  if (mb == nullptr) return false;
-  if (mb->ref_count == 0) return false;  // mismatched: let checkin() report it
-
-  if (mb->k == mem_block::kind::cache && mode != access_mode::read) {
-    const std::uint64_t off0 = heap_.view_off(g);
-    const std::uint64_t block_base = mb->mb_id * block_size_;
-    const common::interval req{off0 - block_base, off0 - block_base + size};
-    if (policy_ == common::cache_policy::write_through) {
-      rma_.put_nb(*mb->home.win, mb->home.rank, mb->home.pool_off + req.begin,
-                  cache_slot_ptr(*mb) + req.begin, req.size());
-      st_.write_through_bytes += req.size();
-      rma_.flush();
-    } else {
-      mark_dirty(*mb, req);
-    }
-  }
-  st_.checkins++;
-  mb->ref_count--;
-  ITYR_CHECK(checked_out_bytes_ >= size);
-  checked_out_bytes_ -= size;
-  return true;
-}
-
-bool cache_system::get_fast(gaddr_t g, std::size_t size, void* out) {
-  mem_block* mb = front_probe(g, size);
-  if (mb == nullptr) return false;
-  if (mb->k == mem_block::kind::cache && (!mb->fully_valid || !mb->pf_segs.empty())) return false;
-
-  std::memcpy(out, view_.at(heap_.view_off(g)), size);
-  (mb->k == mem_block::kind::home ? home_lru_ : cache_lru_).touch(*mb);
-  // Counted as a fused checkout+checkin pair so aggregate stats stay
-  // comparable with the generic path.
-  st_.checkouts++;
-  st_.checkins++;
-  st_.fast_path_hits++;
-  st_.block_visits++;
-  st_.block_hits++;
-  return true;
-}
-
-bool cache_system::put_fast(gaddr_t g, std::size_t size, const void* in) {
-  mem_block* mb = front_probe(g, size);
-  if (mb == nullptr) return false;
-  if (mb->k == mem_block::kind::cache && !mb->pf_segs.empty()) return false;
-
-  const std::uint64_t off0 = heap_.view_off(g);
-  std::memcpy(view_.at(off0), in, size);
-  st_.checkouts++;
-  st_.checkins++;
-  st_.fast_path_hits++;
-  st_.block_visits++;
-  if (mb->k == mem_block::kind::home) {
-    home_lru_.touch(*mb);
-    st_.block_hits++;
-    return true;
-  }
-  cache_lru_.touch(*mb);
-  st_.write_skips++;
-  const std::uint64_t block_base = mb->mb_id * block_size_;
-  const common::interval req{off0 - block_base, off0 - block_base + size};
-  if (!mb->fully_valid) {
-    mb->valid.add(req);
-    update_fully_valid(*mb);
-  }
-  if (policy_ == common::cache_policy::write_through) {
-    rma_.put_nb(*mb->home.win, mb->home.rank, mb->home.pool_off + req.begin,
-                cache_slot_ptr(*mb) + req.begin, req.size());
-    st_.write_through_bytes += req.size();
-    rma_.flush();
-  } else {
-    mark_dirty(*mb, req);
-  }
-  return true;
-}
-
-double cache_system::issue_segs(std::vector<xfer_seg>& segs, bool is_put) {
-  if (segs.empty()) return 0.0;
-  double round_done = 0.0;
-  if (!coalesce_) {
-    // Baseline: one message per gap/run, in discovery order.
-    for (const xfer_seg& s : segs) {
-      const double done = is_put ? rma_.put_nb(*s.win, s.rank, s.off, s.local, s.len)
-                                 : rma_.get_nb(*s.win, s.rank, s.off, s.local, s.len);
-      round_done = std::max(round_done, done);
-    }
-    segs.clear();
-    return round_done;
-  }
-
-  // Deterministic order: window creation id, not pointer value.
-  std::sort(segs.begin(), segs.end(), [](const xfer_seg& a, const xfer_seg& b) {
-    if (a.win->id != b.win->id) return a.win->id < b.win->id;
-    if (a.rank != b.rank) return a.rank < b.rank;
-    return a.off < b.off;
-  });
-
-  std::size_t i = 0;
-  while (i < segs.size()) {
-    rma::window* const win = segs[i].win;
-    const int rank = segs[i].rank;
-    iov_.clear();
-    std::size_t n_in_group = 0;
-    for (; i < segs.size() && segs[i].win == win && segs[i].rank == rank; i++) {
-      // Merge runs that are contiguous both remotely (pool offsets) and
-      // locally (e.g. consecutive blocks of one rank's span fetched into the
-      // user buffer) into a single range spanning block boundaries.
-      if (!iov_.empty() && iov_.back().off + iov_.back().len == segs[i].off &&
-          iov_.back().local + iov_.back().len == segs[i].local) {
-        iov_.back().len += segs[i].len;
-      } else {
-        iov_.push_back({segs[i].off, segs[i].local, segs[i].len});
-      }
-      n_in_group++;
-    }
-    // The whole (window, rank) group rides one message: contiguous runs
-    // merged outright, the rest as a gather/scatter list.
-    double done;
-    if (iov_.size() == 1) {
-      done = is_put ? rma_.put_nb(*win, rank, iov_[0].off, iov_[0].local, iov_[0].len)
-                    : rma_.get_nb(*win, rank, iov_[0].off, iov_[0].local, iov_[0].len);
-    } else if (is_put) {
-      done = rma_.put_nb_multi(*win, rank, iov_.data(), iov_.size());
-    } else {
-      done = rma_.get_nb_multi(*win, rank, iov_.data(), iov_.size());
-    }
-    round_done = std::max(round_done, done);
-    st_.coalesced_messages += n_in_group - 1;
-  }
-  segs.clear();
-  return round_done;
+void cache_system::on_block_evicted(mem_block& mb) {
+  // Unread prefetches die with the block; the front table must never hold a
+  // pointer that outlives it.
+  fetch_.drop_prefetched(mb);
+  front_.purge(mb.mb_id);
 }
 
 void* cache_system::checkout(gaddr_t g, std::size_t size, access_mode mode) {
-  if (void* p = checkout_fast(g, size, mode)) return p;
+  if (void* p = front_.checkout_fast(g, size, mode)) return p;
 
   ITYR_CHECK(eng_.my_rank() == rank_);
   ITYR_CHECK(size > 0);
@@ -374,8 +55,7 @@ void* cache_system::checkout(gaddr_t g, std::size_t size, access_mode mode) {
   const std::uint64_t off0 = heap_.view_off(g);
   const std::uint64_t off1 = off0 + size;
   blocks_to_map_.clear();
-  segs_.clear();
-  pf_wait_ = 0.0;
+  fetch_.begin_round();
   // Blocks already pinned by this checkout, for rollback if a later block
   // raises too-much-checkout: the failed checkout must leave no dangling
   // refcounts and no "valid" claims over never-fetched write-mode bytes.
@@ -399,25 +79,25 @@ void* cache_system::checkout(gaddr_t g, std::size_t size, access_mode mode) {
       st_.block_visits++;
 
       if (home.rank == rank_ || eng_.same_node(home.rank, rank_)) {
-        mem_block& mb = get_home_block(mb_id, home);
+        mem_block& mb = dir_.get_home_block(mb_id, home);
         st_.block_hits++;  // home data is authoritative; nothing to fetch
         if (!mb.mapped) blocks_to_map_.push_back(&mb);
         mb.ref_count++;
         pinned_.push_back({&mb, {}});
-        if (prefetch_on_ && mode != access_mode::write) {
+        if (fetch_.prefetch_enabled() && mode != access_mode::write) {
           // Home blocks have nothing to prefetch, but a sequential stream
           // runs straight through them (block-cyclic interleaves home and
           // remote blocks), so they still advance the detector.
           const std::uint64_t r0 = std::max(off0, block_base);
           const std::uint64_t r1 = std::min(off1, block_base + block_size_);
-          feed_stream(static_cast<std::int64_t>(r0 / sub_block_size_),
-                      static_cast<std::int64_t>((r1 - 1) / sub_block_size_),
-                      /*was_miss=*/false);
+          fetch_.feed_stream(static_cast<std::int64_t>(r0 / sub_block_size_),
+                             static_cast<std::int64_t>((r1 - 1) / sub_block_size_),
+                             /*was_miss=*/false);
         }
         continue;
       }
 
-      mem_block& mb = get_cache_block(mb_id, home);
+      mem_block& mb = dir_.get_cache_block(mb_id, home);
       // Requested region, block-relative.
       const common::interval req{std::max(off0, block_base) - block_base,
                                  std::min(off1, block_base + block_size_) - block_base};
@@ -430,7 +110,7 @@ void* cache_system::checkout(gaddr_t g, std::size_t size, access_mode mode) {
         st_.write_skips++;
         if (!mb.valid.contains(req)) {
           mb.valid.add(req);
-          update_fully_valid(mb);
+          mb.update_fully_valid(block_size_);
           write_added = req;
         }
       } else if (mb.valid.contains(req)) {
@@ -440,77 +120,51 @@ void* cache_system::checkout(gaddr_t g, std::size_t size, access_mode mode) {
         was_miss = true;
         // Fetch at sub-block granularity for spatial locality, skipping
         // already-valid (possibly dirty!) byte ranges (Fig. 4 lines 18-21).
-        // Gaps are collected and issued together after the block walk so
-        // that same-home gaps can ride one message.
-        const common::interval padded{req.begin / sub_block_size_ * sub_block_size_,
-                                      std::min<std::uint64_t>(
-                                          (req.end + sub_block_size_ - 1) / sub_block_size_ *
-                                              sub_block_size_,
-                                          block_size_)};
-        for (const auto& miss : mb.valid.missing(padded)) {
-          segs_.push_back({home.win, home.rank, home.pool_off + miss.begin,
-                           cache_slot_ptr(mb) + miss.begin, miss.size()});
-          st_.fetched_bytes += miss.size();
-          mb.valid.add(miss);
-        }
-        update_fully_valid(mb);
+        fetch_.queue_demand(mb, fetch_.pad_to_sub_blocks(req));
       }
       if (!mb.mapped) blocks_to_map_.push_back(&mb);
       mb.ref_count++;
       pinned_.push_back({&mb, write_added});
-      if (prefetch_on_) {
+      if (fetch_.prefetch_enabled()) {
         if (mode == access_mode::write) {
           // A write into a range with in-flight prefetches must wait them
           // out (a real RDMA get would overwrite the buffer); prefetched
           // bytes overwritten before being read count as wasted.
-          consume_prefetch(mb, req, /*is_write=*/true);
+          fetch_.consume_prefetch(mb, req, /*is_write=*/true);
         } else {
           // Consume at demand-fetch granularity: every prefetched byte in
           // the padded range is a byte a demand miss would have fetched.
-          const common::interval padded{
-              req.begin / sub_block_size_ * sub_block_size_,
-              std::min<std::uint64_t>(
-                  (req.end + sub_block_size_ - 1) / sub_block_size_ * sub_block_size_,
-                  block_size_)};
-          consume_prefetch(mb, padded, /*is_write=*/false);
-          feed_stream(static_cast<std::int64_t>((block_base + padded.begin) / sub_block_size_),
-                      static_cast<std::int64_t>((block_base + padded.end - 1) / sub_block_size_),
-                      was_miss);
+          const common::interval padded = fetch_.pad_to_sub_blocks(req);
+          fetch_.consume_prefetch(mb, padded, /*is_write=*/false);
+          fetch_.feed_stream(
+              static_cast<std::int64_t>((block_base + padded.begin) / sub_block_size_),
+              static_cast<std::int64_t>((block_base + padded.end - 1) / sub_block_size_),
+              was_miss);
         }
       }
     }
   } catch (const common::too_much_checkout_error&) {
     // Gaps collected so far were already claimed valid; their data must
     // still land before anyone trusts those claims.
-    issue_segs(segs_, /*is_put=*/false);
+    fetch_.issue_round();
     rollback();
-    rma_.flush();
+    ch_.flush();
     throw;
   }
 
-  const double round_done = issue_segs(segs_, /*is_put=*/false);
+  const double round_done = fetch_.issue_round();
   // Update memory mappings only after all communication has been issued, to
   // overlap the mmap syscalls with the transfers (Fig. 4 lines 25-29).
-  for (mem_block* mb : blocks_to_map_) map_block(*mb);
-  const double stall_from = eng_.now();
-  if (prefetch_on_) {
-    // Wait only for this round's demand fetches plus any in-flight prefetch
-    // the round consumed; untouched prefetches stay pending instead of
-    // serializing the checkout behind them.
-    rma_.net().wait_until(std::max(round_done, pf_wait_));
-    if (pf_wait_ > round_done && pf_wait_ > stall_from) st_.prefetch_late++;
-  } else {
-    rma_.flush();
-  }
-  st_.fetch_stall_s += eng_.now() - stall_from;
-  for (auto& t : pinned_) memoize(*t.mb);
+  for (mem_block* mb : blocks_to_map_) dir_.map_block(*mb);
+  fetch_.wait_round(round_done);
+  for (auto& t : pinned_) front_.memoize(*t.mb);
 
   checked_out_bytes_ += size;
-  return view_.at(off0);
+  return dir_.view().at(off0);
 }
 
 void cache_system::checkin(gaddr_t g, std::size_t size, access_mode mode) {
-  if (checkin_fast(g, size, mode)) return;
+  if (front_.checkin_fast(g, size, mode)) return;
 
   ITYR_CHECK(eng_.my_rank() == rank_);
   ITYR_CHECK(size > 0);
@@ -526,412 +180,58 @@ void cache_system::checkin(gaddr_t g, std::size_t size, access_mode mode) {
     const auto home = heap_.locate_block(mb_id);
 
     if (home.rank == rank_ || eng_.same_node(home.rank, rank_)) {
-      auto it = home_blocks_.find(mb_id);
-      if (it == home_blocks_.end() || it->second->ref_count == 0)
+      mem_block* mb = dir_.find_home_block(mb_id);
+      if (mb == nullptr || mb->ref_count == 0)
         throw common::api_error("checkin without matching checkout (home block)");
-      it->second->ref_count--;
+      mb->ref_count--;
       continue;
     }
 
-    auto it = cache_blocks_.find(mb_id);
-    if (it == cache_blocks_.end() || it->second->ref_count == 0)
+    mem_block* mb = dir_.find_cache_block(mb_id);
+    if (mb == nullptr || mb->ref_count == 0)
       throw common::api_error("checkin without matching checkout (cache block)");
-    mem_block& mb = *it->second;
 
     if (mode != access_mode::read) {
       const common::interval req{std::max(off0, block_base) - block_base,
                                  std::min(off1, block_base + block_size_) - block_base};
-      if (policy_ == common::cache_policy::write_through) {
-        rma_.put_nb(*home.win, home.rank, home.pool_off + req.begin,
-                    cache_slot_ptr(mb) + req.begin, req.size());
-        st_.write_through_bytes += req.size();
-        flushed_any = true;
-      } else {
-        mark_dirty(mb, req);
-      }
+      flushed_any |= write_policy_->on_dirty(*mb, req);
     }
-    mb.ref_count--;
+    mb->ref_count--;
   }
 
-  if (flushed_any) rma_.flush();
+  if (flushed_any) ch_.flush();
   ITYR_CHECK(checked_out_bytes_ >= size);
   checked_out_bytes_ -= size;
 }
 
-void cache_system::mark_dirty(mem_block& mb, common::interval iv) {
-  mb.dirty.add(iv);
-  if (!mb.in_dirty_list) {
-    mb.in_dirty_list = true;
-    dirty_blocks_.push_back(&mb);
-  }
-}
-
-void cache_system::writeback_all() {
-  if (dirty_blocks_.empty()) {
-    st_.releases_noop++;
-    return;
-  }
-  if (async_release_) {
-    async_writeback_round(/*opportunistic=*/false);
-    return;
-  }
-  if (trace_ != nullptr) trace_->span_begin(rank_, eng_.now_precise(), "Write Back");
-  wb_segs_.clear();
-  for (mem_block* mb : dirty_blocks_) {
-    for (const auto& iv : mb->dirty.to_vector()) {
-      wb_segs_.push_back({mb->home.win, mb->home.rank, mb->home.pool_off + iv.begin,
-                          cache_slot_ptr(*mb) + iv.begin, iv.size()});
-      st_.written_back_bytes += iv.size();
-    }
-    mb->dirty.clear();
-    mb->in_dirty_list = false;
-  }
-  dirty_blocks_.clear();
-  issue_segs(wb_segs_, /*is_put=*/true);
-  const double stall_from = eng_.now();
-  rma_.flush();
-  st_.release_stall_s += eng_.now() - stall_from;
-  // Completing a write-back round advances this process's epoch, releasing
-  // any acquirer waiting on a handler from before this round (Fig. 6).
-  epoch_words()[0]++;
-  st_.releases++;
-  if (trace_ != nullptr) trace_->span_end(rank_, eng_.now_precise(), "Write Back");
-}
-
-void cache_system::drain_wb_inflight() {
-  const double now = eng_.now();
-  while (wb_inflight_head_ < wb_inflight_.size() &&
-         wb_inflight_[wb_inflight_head_].ready_at <= now) {
-    wb_inflight_bytes_ -= wb_inflight_[wb_inflight_head_].bytes;
-    wb_inflight_head_++;
-  }
-  if (wb_inflight_head_ == wb_inflight_.size()) {
-    wb_inflight_.clear();
-    wb_inflight_head_ = 0;
-  }
-}
-
-void cache_system::record_epoch_ready(std::uint64_t epoch, double ready) {
-  epoch_ready_last_ = std::max(epoch_ready_last_, ready);
-  epoch_ready_[epoch % kEpochRing] = epoch_ready_last_;
-}
-
-double cache_system::release_ready_at(std::uint64_t epoch) const {
-  if (epoch == 0 || !async_release_) return 0.0;
-  const std::uint64_t cur = epoch_words()[0];
-  // Epochs beyond the current word or evicted from the ring fall back to the
-  // latest recorded completion: always conservative (waits no less).
-  if (epoch > cur || cur - epoch >= kEpochRing) return epoch_ready_last_;
-  return epoch_ready_[epoch % kEpochRing];
-}
-
-bool cache_system::async_writeback_round(bool opportunistic) {
-  ITYR_CHECK(!dirty_blocks_.empty());
-  std::size_t round_bytes = 0;
-  for (mem_block* mb : dirty_blocks_) round_bytes += mb->dirty.size();
-
-  drain_wb_inflight();
-  if (wb_inflight_bytes_ + round_bytes > wb_max_inflight_) {
-    // Over the in-flight budget. An opportunistic (idle-time) round just
-    // bails and retries at the next backoff; a real fence stalls until
-    // enough older rounds complete — bounded, never dropped.
-    if (opportunistic) return false;
-    const double stall_from = eng_.now();
-    while (wb_inflight_bytes_ + round_bytes > wb_max_inflight_ &&
-           wb_inflight_head_ < wb_inflight_.size()) {
-      rma_.net().wait_until(wb_inflight_[wb_inflight_head_].ready_at);
-      drain_wb_inflight();
-    }
-    st_.release_stall_s += eng_.now() - stall_from;
-  }
-
-  const double t_issue = eng_.now_precise();
-  if (trace_ != nullptr) trace_->span_begin(rank_, t_issue, "Write Back (async)");
-  wb_segs_.clear();
-  for (mem_block* mb : dirty_blocks_) {
-    for (const auto& iv : mb->dirty.to_vector()) {
-      wb_segs_.push_back({mb->home.win, mb->home.rank, mb->home.pool_off + iv.begin,
-                          cache_slot_ptr(*mb) + iv.begin, iv.size()});
-      st_.written_back_bytes += iv.size();
-    }
-    mb->dirty.clear();
-    mb->in_dirty_list = false;
-  }
-  dirty_blocks_.clear();
-  const double done = std::max(issue_segs(wb_segs_, /*is_put=*/true), eng_.now());
-
-  // The epoch word advances at issue; visibility is what the ready_at ring
-  // models. Acquirers that observe the new epoch wait until `done` via a
-  // targeted wait instead of this releaser flushing.
-  const std::uint64_t epoch = epoch_words()[0] + 1;
-  record_epoch_ready(epoch, done);
-  vis_watermark_ = std::max(vis_watermark_, done);
-  wb_inflight_.push_back({done, round_bytes});
-  wb_inflight_bytes_ += round_bytes;
-  st_.epochs_in_flight =
-      std::max<std::uint64_t>(st_.epochs_in_flight, wb_inflight_.size() - wb_inflight_head_);
-  epoch_words()[0] = epoch;
-  st_.releases++;
-  st_.async_wb_rounds++;
-  if (trace_ != nullptr) {
-    trace_->span_end(rank_, eng_.now_precise(), "Write Back (async)");
-    // One flow arrow per round: issue -> modelled completion, both on this
-    // rank's track (tools/trace_lint pairs them with the span count).
-    trace_->flow(rank_, t_issue, rank_, std::max(done, t_issue), "writeback");
-  }
-  return true;
-}
-
-void cache_system::idle_flush() {
-  if (!async_release_) return;
-  drain_wb_inflight();
-  if (dirty_blocks_.empty()) return;
-  std::size_t round_bytes = 0;
-  for (mem_block* mb : dirty_blocks_) round_bytes += mb->dirty.size();
-  if (async_writeback_round(/*opportunistic=*/true)) {
-    st_.idle_flush_bytes += round_bytes;
-  }
-}
-
-void cache_system::wait_visibility(double w) {
-  if (!async_release_ || w <= 0) return;
-  rma_.net().wait_until(w);
-  vis_watermark_ = std::max(vis_watermark_, w);
-}
-
-void cache_system::acquire_watermark(double w) {
-  ITYR_CHECK(eng_.my_rank() == rank_);
-  ITYR_CHECK(!has_dirty());
-  wait_visibility(w);
-  invalidate_all();
-}
-
 void cache_system::invalidate_all() {
-  for (auto& [id, mb] : cache_blocks_) {
+  dir_.for_each_cache_block([&](mem_block& mb) {
     // Self-invalidation must not happen while data is checked out: checkouts
     // must be checked in before any point where threads can migrate
     // (Section 3.3).
-    ITYR_CHECK(mb->ref_count == 0);
-    ITYR_CHECK(mb->dirty.empty());
-    drop_prefetched(*mb);
-    mb->valid.clear();
-    mb->fully_valid = false;
-  }
+    ITYR_CHECK(mb.ref_count == 0);
+    ITYR_CHECK(mb.dirty.empty());
+    fetch_.drop_prefetched(mb);
+    mb.valid.clear();
+    mb.fully_valid = false;
+  });
   // Memoized cache blocks just lost all their data; drop every memo (home
   // entries too — an acquire is rare enough that refilling is cheap).
-  purge_front_all();
+  front_.purge_all();
   // Streams were tracking a working set that a sync point just cut off;
   // start detection afresh rather than prefetching across the fence.
-  for (stream& s : streams_) s = {};
+  fetch_.reset_streams();
   st_.acquires++;
-}
-
-// ---------------------------------------------------------------------------
-// Prefetcher (ITYR_PREFETCH): stream detection + nonblocking fetch pipeline
-// ---------------------------------------------------------------------------
-
-void cache_system::consume_prefetch(mem_block& mb, common::interval span, bool is_write) {
-  if (mb.prefetched.overlaps(span)) {
-    std::uint64_t bytes = 0;
-    for (const auto& iv : mb.prefetched.overlapping(span)) bytes += iv.size();
-    if (is_write) {
-      st_.prefetch_wasted_bytes += bytes;
-    } else {
-      st_.prefetch_useful_bytes += bytes;
-    }
-    mb.prefetched.subtract(span);
-  }
-  if (mb.pf_segs.empty()) return;
-  const double now = eng_.now_precise();
-  for (auto it = mb.pf_segs.begin(); it != mb.pf_segs.end();) {
-    if (intersect(it->iv, span).empty()) {
-      ++it;
-      continue;
-    }
-    // The consumer (or overwriter) must wait out this segment's modelled
-    // completion; the checkout tail waits once for the round's maximum.
-    pf_wait_ = std::max(pf_wait_, it->ready_at);
-    if (is_write && !(span.begin <= it->iv.begin && it->iv.end <= span.end)) {
-      // Partial overwrite: the rest of the segment may still be read later;
-      // keep it (its terminator comes from that read, or from eviction).
-      ++it;
-      continue;
-    }
-    if (trace_ != nullptr) {
-      trace_->instant(rank_, now, is_write ? "prefetch evict" : "prefetch consume");
-    }
-    it = mb.pf_segs.erase(it);
-  }
-}
-
-void cache_system::drop_prefetched(mem_block& mb) {
-  if (!mb.prefetched.empty()) {
-    st_.prefetch_wasted_bytes += mb.prefetched.size();
-    mb.prefetched.clear();
-  }
-  if (!mb.pf_segs.empty()) {
-    if (trace_ != nullptr) {
-      const double now = eng_.now_precise();
-      for (std::size_t i = 0; i < mb.pf_segs.size(); i++) {
-        trace_->instant(rank_, now, "prefetch evict");
-      }
-    }
-    mb.pf_segs.clear();
-  }
-}
-
-void cache_system::feed_stream(std::int64_t a, std::int64_t b, bool was_miss) {
-  const auto depth = static_cast<std::int64_t>(prefetch_depth_);
-  // Confirmed streams first. Matching is tolerant up to `depth` sub-blocks
-  // ahead of the expected position: once prefetched blocks become fully
-  // valid the front table serves them without reaching this detector, so
-  // the next slow-path visit can land anywhere inside the issued window.
-  for (stream& s : streams_) {
-    if (!s.live || s.dir == 0) continue;
-    if (s.dir > 0 && a >= s.next && a <= s.next + depth) {
-      s.next = std::max(s.next, b + 1);
-      if (s.issued_until < s.next) s.issued_until = s.next;
-      // Top up with hysteresis: refill once the lead shrinks to half.
-      if (s.issued_until - s.next < (depth + 1) / 2) issue_stream(s);
-      return;
-    }
-    if (s.dir < 0 && b <= s.next && b >= s.next - depth) {
-      s.next = std::min(s.next, a - 1);
-      if (s.issued_until > s.next) s.issued_until = s.next;
-      if (s.next - s.issued_until < (depth + 1) / 2) issue_stream(s);
-      return;
-    }
-  }
-  // Unconfirmed streams: the second sequential touch confirms a direction.
-  for (stream& s : streams_) {
-    if (!s.live || s.dir != 0) continue;
-    if (a >= s.next_fwd && a <= s.next_fwd + depth) {
-      s.dir = +1;
-      s.next = b + 1;
-      s.issued_until = s.next;
-      issue_stream(s);
-      return;
-    }
-    if (b <= s.next_bwd && b >= s.next_bwd - depth) {
-      s.dir = -1;
-      s.next = a - 1;
-      s.issued_until = s.next;
-      issue_stream(s);
-      return;
-    }
-  }
-  // No stream matched: a demand miss seeds a new (unconfirmed) candidate.
-  if (!was_miss) return;
-  stream& s = streams_[stream_rr_++ % kNStreams];
-  s = {};
-  s.live = true;
-  s.next_fwd = b + 1;
-  s.next_bwd = a - 1;
-}
-
-void cache_system::issue_stream(stream& s) {
-  const auto depth = static_cast<std::int64_t>(prefetch_depth_);
-  if (s.dir > 0) {
-    const std::int64_t target = s.next + depth;
-    while (s.issued_until < target) {
-      const pf_result r = prefetch_sub_block(s.issued_until);
-      if (r == pf_result::dead) {
-        s = {};
-        return;
-      }
-      if (r == pf_result::stall) return;  // retried at the next advance
-      s.issued_until++;
-    }
-  } else {
-    const std::int64_t target = s.next - depth;
-    while (s.issued_until > target) {
-      const pf_result r = prefetch_sub_block(s.issued_until);
-      if (r == pf_result::dead) {
-        s = {};
-        return;
-      }
-      if (r == pf_result::stall) return;
-      s.issued_until--;
-    }
-  }
-}
-
-cache_system::pf_result cache_system::prefetch_sub_block(std::int64_t sub) {
-  if (sub < 0) return pf_result::dead;
-  const std::uint64_t voff = static_cast<std::uint64_t>(sub) * sub_block_size_;
-  if (voff >= heap_.total_size()) return pf_result::dead;
-  const std::uint64_t mb_id = voff / block_size_;
-  global_heap::home_loc home;
-  // Stop at unallocated territory: running past the end of an allocation is
-  // how most streams die.
-  if (!heap_.try_locate_block(mb_id, home)) return pf_result::dead;
-  // Home data is already authoritative; the stream just passes through.
-  if (home.rank == rank_ || eng_.same_node(home.rank, rank_)) return pf_result::ok;
-
-  const double now = eng_.now();
-  // Drain the modelled in-flight FIFO: transfers whose completion time has
-  // passed no longer occupy the budget.
-  while (inflight_head_ < inflight_.size() && inflight_[inflight_head_].ready_at <= now) {
-    inflight_bytes_ -= inflight_[inflight_head_].bytes;
-    inflight_head_++;
-  }
-  if (inflight_head_ == inflight_.size()) {
-    inflight_.clear();
-    inflight_head_ = 0;
-  }
-
-  const std::uint64_t block_base = mb_id * block_size_;
-  const common::interval sub_iv{voff - block_base, voff - block_base + sub_block_size_};
-
-  mem_block* mb;
-  auto it = cache_blocks_.find(mb_id);
-  if (it != cache_blocks_.end()) {
-    mb = it->second.get();  // no LRU touch: speculation must not look like use
-  } else {
-    // Gentle allocation only: a free slot or a clean unpinned victim. No
-    // write-back rounds and no too-much-checkout from a speculative path.
-    if (free_slots_.empty() && !try_evict_cache_block()) return pf_result::stall;
-    const std::size_t slot = free_slots_.back();
-    free_slots_.pop_back();
-    auto owned = std::make_unique<mem_block>();
-    owned->k = mem_block::kind::cache;
-    owned->mb_id = mb_id;
-    owned->home = home;
-    owned->slot = slot;
-    mb = owned.get();
-    cache_blocks_.emplace(mb_id, std::move(owned));
-    // Mid-point insertion: a useless prefetch is evicted before any
-    // demand-fetched block, a useful one has half the list to live in.
-    cache_lru_.insert_middle(*mb);
-  }
-
-  if (mb->valid.contains(sub_iv)) return pf_result::ok;
-  for (const auto& miss : mb->valid.missing(sub_iv)) {
-    if (inflight_bytes_ + miss.size() > prefetch_max_inflight_) return pf_result::stall;
-    const double done = rma_.get_nb(*home.win, home.rank, home.pool_off + miss.begin,
-                                    cache_slot_ptr(*mb) + miss.begin, miss.size());
-    mb->valid.add(miss);
-    mb->prefetched.add(miss);
-    mb->pf_segs.push_back({miss, done});
-    inflight_.push_back({done, miss.size()});
-    inflight_bytes_ += miss.size();
-    st_.prefetch_issued++;
-    st_.prefetch_issued_bytes += miss.size();
-    if (trace_ != nullptr) trace_->flow(rank_, now, rank_, done, "prefetch");
-  }
-  update_fully_valid(*mb);
-  return pf_result::ok;
 }
 
 void cache_system::release() {
   ITYR_CHECK(eng_.my_rank() == rank_);
-  writeback_all();
+  wb_.writeback_all();
 }
 
 release_handler cache_system::release_lazy() {
   ITYR_CHECK(eng_.my_rank() == rank_);
-  if (!has_dirty()) return {};  // Unneeded
-  return {rank_, epoch_words()[0] + 1};
+  return wb_.release_lazy();
 }
 
 void cache_system::acquire() {
@@ -942,71 +242,15 @@ void cache_system::acquire() {
 
 void cache_system::acquire(release_handler h) {
   ITYR_CHECK(eng_.my_rank() == rank_);
-  if (h.needed()) {
-    if (h.rank == rank_) {
-      // Degenerate case: the handler refers to our own cache; a local
-      // write-back round satisfies it directly.
-      if (epoch_words()[0] < h.epoch) writeback_all();
-      if (async_release_) {
-        // The round was issued, not flushed: wait out its modelled
-        // completion before trusting re-fetched home data.
-        const double ready = release_ready_at(h.epoch);
-        wait_visibility(ready);
-        if (trace_ != nullptr && ready > 0) {
-          trace_->flow(rank_, ready, rank_, eng_.now_precise(), "wb acquire");
-        }
-      }
-    } else {
-      ITYR_CHECK(!has_dirty());
-      bool first = true;
-      while (rma_.get_value(ctrl_win_, h.rank, 0) < h.epoch) {
-        if (first) {
-          // Ask the releaser (once) to perform its next write-back round.
-          // Multiple acquirers race benignly: only the max epoch matters,
-          // hence the remote atomic max (Fig. 6 lines 51-53).
-          rma_.atomic_max(ctrl_win_, h.rank, sizeof(std::uint64_t), h.epoch);
-          first = false;
-          st_.lazy_release_waits++;
-        }
-        eng_.advance(eng_.opts().poll_interval);
-      }
-      if (async_release_ && peer_ready_) {
-        // The releaser advanced its epoch at issue time; its round's data is
-        // only visible from ready_at on. Wait there (targeted MPI_Wait
-        // analog), not a full flush — unrelated in-flight traffic keeps
-        // flying. The flow arrow starts at the releaser's round completion,
-        // so trace_lint's f>=s check pins "no acquire lands early" down.
-        const double ready = peer_ready_(h.rank, h.epoch);
-        wait_visibility(ready);
-        if (trace_ != nullptr && ready > 0) {
-          trace_->flow(h.rank, ready, rank_, eng_.now_precise(), "wb acquire");
-        }
-      }
-    }
-  }
+  wb_.wait_handler(h);
   invalidate_all();
 }
 
-void cache_system::poll() {
-  std::uint64_t* ew = epoch_words();
-  if (ew[0] < ew[1]) {
-    // A thief requested a write-back of the data it stole a continuation
-    // for (DoReleaseIfRequested, Fig. 6 lines 55-58).
-    if (has_dirty()) {
-      writeback_all();  // bumps the epoch (at issue time in async mode)
-    } else {
-      // The dirty data the handler covered was already flushed by an
-      // eviction or another fence; still advance the epoch so the waiting
-      // acquirer makes progress.
-      ew[0]++;
-      st_.releases++;
-      if (async_release_) {
-        // No data rides this advance, but earlier rounds might still be in
-        // flight; the running max keeps the ring monotone and conservative.
-        record_epoch_ready(ew[0], eng_.now());
-      }
-    }
-  }
+void cache_system::acquire_watermark(double w) {
+  ITYR_CHECK(eng_.my_rank() == rank_);
+  ITYR_CHECK(!has_dirty());
+  wb_.wait_visibility(w);
+  invalidate_all();
 }
 
 }  // namespace ityr::pgas

@@ -4,89 +4,60 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "itoyori/common/interval_set.hpp"
-#include "itoyori/common/lru_list.hpp"
 #include "itoyori/common/options.hpp"
 #include "itoyori/common/trace.hpp"
+#include "itoyori/pgas/block_directory.hpp"
+#include "itoyori/pgas/cache_stats.hpp"
+#include "itoyori/pgas/eviction_policy.hpp"
+#include "itoyori/pgas/fetch_engine.hpp"
+#include "itoyori/pgas/front_table.hpp"
 #include "itoyori/pgas/global_heap.hpp"
+#include "itoyori/pgas/mem_block.hpp"
 #include "itoyori/pgas/types.hpp"
+#include "itoyori/pgas/write_policy.hpp"
+#include "itoyori/pgas/writeback_engine.hpp"
 #include "itoyori/rma/window.hpp"
 #include "itoyori/sim/engine.hpp"
 #include "itoyori/vm/view_region.hpp"
 
 namespace ityr::pgas {
 
-/// Per-rank software cache and coherence engine (paper Sections 4 and 5.2).
+/// Per-rank software cache and coherence engine (paper Sections 4 and 5.2):
+/// the orchestrating facade of a layered stack.
 ///
-/// Owns this rank's global view (a reserved VA range covering the whole
-/// heap) and a fixed pool of cache blocks. checkout()/checkin() implement
-/// Fig. 4: per-block hash lookup with LRU eviction, byte-granularity valid
-/// and dirty interval sets, sub-block remote fetch, deferred mmap of view
-/// mappings, and refcount pinning. Home blocks — blocks whose home rank is
-/// this rank or an intra-node peer — are mapped directly from the owner's
-/// pool (zero copy, no cache), and are themselves dynamically managed
-/// because of the mapping-entry budget (Section 4.3.2).
+/// checkout()/checkin() implement Fig. 4; coherence follows SC-for-DRF with
+/// self-invalidation: release() writes all dirty bytes back to their homes,
+/// acquire() invalidates every cache block, and release_lazy()/
+/// acquire(handler)/poll() implement the epoch-based lazy release protocol
+/// of Fig. 6.
 ///
-/// Two hot-path optimizations sit in front of the generic machinery:
+/// The machinery lives in four cooperating layers (docs/internals.md has the
+/// full diagram and ownership rules):
 ///
-/// * A small direct-mapped *front table* memoizes recently touched blocks.
-///   A single-block checkout whose block is memoized, mapped and fully
-///   valid (or a home block) is served without touching the hash map, the
-///   heap's home lookup, or any interval algebra; dedicated single-element
-///   get/put entry points additionally skip the pin/unpin pair. Eviction,
-///   unmap and invalidate_all purge memoized entries, so a front-table hit
-///   can never reference a dead or stale block.
-/// * Remote fetches and write-backs are *coalesced*: all gaps addressed to
-///   the same (window, rank) within one checkout or write-back round leave
-///   as one RMA message, with pool-contiguous runs (e.g. consecutive blocks
-///   of one rank's span) merged outright across block boundaries.
+/// * block_directory — home/cache mem_block ownership, the recency lists and
+///   mapping-entry budget (Section 4.3), eviction via the eviction_policy
+///   seam (LRU default, clock via ITYR_EVICTION_POLICY), and the per-rank
+///   view region + cache pool.
+/// * fetch_engine — demand-fetch gap collection at sub-block granularity,
+///   coalesced nonblocking gets, the round completion wait, and the adaptive
+///   stream prefetcher (ITYR_PREFETCH) with its in-flight pipeline.
+/// * writeback_engine — the dirty list, blocking and asynchronous
+///   epoch-pipelined write-back rounds (ITYR_ASYNC_RELEASE), the epoch words
+///   and fence handshakes, visibility watermarks and idle-time flushing.
+/// * front_table — the direct-mapped fast-path memo serving single-block
+///   checkouts without touching the generic machinery.
 ///
-/// Coherence follows SC-for-DRF with self-invalidation: release() writes
-/// all dirty bytes back to their homes; acquire() invalidates every cache
-/// block. release_lazy()/acquire(handler)/poll() implement the epoch-based
-/// lazy release protocol of Fig. 6.
-class cache_system {
+/// Checkin dirty-byte handling is a write_policy object (write-through vs
+/// write-back), not a branch. The facade walks blocks, keeps the pinned-set
+/// rollback for too-much-checkout, and wires the layers together; each layer
+/// takes its dependencies by reference and is unit-tested in isolation
+/// against a mock rma::channel.
+class cache_system : private block_directory::client {
 public:
-  struct stats {
-    std::uint64_t checkouts = 0;
-    std::uint64_t checkins = 0;
-    std::uint64_t block_visits = 0;      ///< (checkout, block) pairs processed
-    std::uint64_t block_hits = 0;        ///< visits needing no fetch (incl. home)
-    std::uint64_t block_misses = 0;      ///< visits that fetched remote data
-    std::uint64_t write_skips = 0;       ///< write-mode visits (fetch elided)
-    std::uint64_t fast_path_hits = 0;    ///< checkouts served by the front table
-    std::uint64_t coalesced_messages = 0;  ///< RMA messages saved by coalescing
-    std::uint64_t fetched_bytes = 0;
-    std::uint64_t written_back_bytes = 0;
-    std::uint64_t write_through_bytes = 0;
-    std::uint64_t cache_evictions = 0;
-    std::uint64_t home_evictions = 0;
-    std::uint64_t releases = 0;          ///< write-back-all rounds
-    std::uint64_t acquires = 0;          ///< invalidate-all rounds
-    std::uint64_t lazy_release_waits = 0;  ///< acquires that had to wait
-    // prefetcher (all zero unless ITYR_PREFETCH is on)
-    std::uint64_t prefetch_issued = 0;        ///< prefetch get segments issued
-    std::uint64_t prefetch_issued_bytes = 0;  ///< bytes those segments carried
-    std::uint64_t prefetch_useful_bytes = 0;  ///< prefetched bytes later read
-    std::uint64_t prefetch_wasted_bytes = 0;  ///< evicted/overwritten unread
-    std::uint64_t prefetch_late = 0;     ///< consumes that waited on in-flight data
-    /// Virtual time checkout spent stalled on fetch completion (the flush /
-    /// targeted wait at the end of the block walk). Accounted identically
-    /// with prefetching off, so on/off stall times are directly comparable.
-    double fetch_stall_s = 0;
-    // release pipeline (counted in both modes unless noted)
-    std::uint64_t releases_noop = 0;   ///< release fences with nothing dirty
-    std::uint64_t async_wb_rounds = 0; ///< nonblocking write-back rounds (async only)
-    std::uint64_t idle_flush_bytes = 0;  ///< dirty bytes flushed from the idle loop
-    std::uint64_t epochs_in_flight = 0;  ///< peak write-back rounds pending at once
-    /// Virtual time release fences spent blocked: the flush in synchronous
-    /// mode, the over-budget stall in async mode. Accounted identically in
-    /// both modes, so blocking/async stall times are directly comparable.
-    double release_stall_s = 0;
-  };
+  using stats = cache_stats;
 
   /// `ctrl_win` must expose, at offsets 0 and 8 of each rank's region, the
   /// current-epoch and request-epoch words of that rank.
@@ -101,37 +72,43 @@ public:
   /// Single-block fast path: non-null iff the block is memoized, mapped and
   /// home or fully valid. Pins the block like checkout(). checkout() tries
   /// this first, so callers only need it to skip the generic prologue.
-  void* checkout_fast(gaddr_t g, std::size_t size, access_mode mode);
+  void* checkout_fast(gaddr_t g, std::size_t size, access_mode mode) {
+    return front_.checkout_fast(g, size, mode);
+  }
   /// Matching fast checkin; false means the caller must use checkin().
-  bool checkin_fast(gaddr_t g, std::size_t size, access_mode mode);
+  bool checkin_fast(gaddr_t g, std::size_t size, access_mode mode) {
+    return front_.checkin_fast(g, size, mode);
+  }
   /// One-shot single-element load/store: checkout+copy+checkin fused, no
   /// pin/unpin (nothing can intervene — the copy cannot yield). False means
   /// the caller must fall back to the generic span path.
-  bool get_fast(gaddr_t g, std::size_t size, void* out);
-  bool put_fast(gaddr_t g, std::size_t size, const void* in);
+  bool get_fast(gaddr_t g, std::size_t size, void* out) { return front_.get_fast(g, size, out); }
+  bool put_fast(gaddr_t g, std::size_t size, const void* in) {
+    return front_.put_fast(g, size, in);
+  }
 
   // ---- fences (Section 4.4, Fig. 6) ----
   void release();
   release_handler release_lazy();
   void acquire();                    ///< plain acquire: self-invalidate
   void acquire(release_handler h);   ///< wait for the releaser's epoch first
-  void poll();                       ///< DoReleaseIfRequested
+  void poll() { wb_.poll(); }        ///< DoReleaseIfRequested
 
   // ---- asynchronous release pipeline (ITYR_ASYNC_RELEASE) ----
   /// Opportunistic flush from the worker loop's steal-backoff branch: issues
   /// a nonblocking write-back round for any dirty data (skipped, not
   /// stalled, when over the in-flight byte budget) so the next real fence
   /// finds an empty dirty list. No-op unless async release is enabled.
-  void idle_flush();
+  void idle_flush() { wb_.idle_flush(); }
   /// Visibility watermark: the latest modelled completion time of any async
   /// write-back round this cache issued or transitively observed. Always 0
   /// in synchronous mode (every fence completes inline), so callers can
   /// stamp/wait unconditionally.
-  double visibility_watermark() const { return vis_watermark_; }
+  double visibility_watermark() const { return wb_.visibility_watermark(); }
   /// Wait (targeted, not a flush) until `w`, then fold it into our own
   /// watermark: data observed under `w` may include third-party rounds that
   /// later handoffs must also respect. No-op for w <= now.
-  void wait_visibility(double w);
+  void wait_visibility(double w) { wb_.wait_visibility(w); }
   /// Plain acquire whose releaser's watermark is known locally (join with a
   /// finished child, barrier): wait out the watermark, then self-invalidate.
   /// Equivalent to acquire() in synchronous mode.
@@ -140,235 +117,65 @@ public:
   /// rank's epoch to `epoch` (0 when nothing needs waiting). Monotone in
   /// `epoch`; epochs older than the ring conservatively report the latest
   /// recorded completion. Peers reach this through the pgas_space callback.
-  double release_ready_at(std::uint64_t epoch) const;
+  double release_ready_at(std::uint64_t epoch) const { return wb_.release_ready_at(epoch); }
   /// Async-release peer lookup, wired by pgas_space: maps (rank, epoch) to
   /// that rank's release_ready_at (cache_system cannot see sibling caches).
   void set_peer_ready(std::function<double(int, std::uint64_t)> fn) {
-    peer_ready_ = std::move(fn);
+    wb_.set_peer_ready(std::move(fn));
   }
 
   // ---- introspection ----
-  bool has_dirty() const { return !dirty_blocks_.empty(); }
-  std::uint64_t current_epoch() const { return epoch_words()[0]; }
-  std::size_t n_cache_blocks() const { return n_cache_blocks_; }
-  std::size_t home_mapped_limit() const { return home_mapped_limit_; }
+  bool has_dirty() const { return wb_.has_dirty(); }
+  std::uint64_t current_epoch() const { return wb_.current_epoch(); }
+  std::size_t n_cache_blocks() const { return dir_.n_cache_blocks(); }
+  std::size_t home_mapped_limit() const { return dir_.home_mapped_limit(); }
   std::size_t checked_out_bytes() const { return checked_out_bytes_; }
-  std::size_t front_table_entries() const { return front_.size(); }
+  std::size_t front_table_entries() const { return front_.entries(); }
   const stats& get_stats() const { return st_; }
-  const vm::view_region& view() const { return view_; }
+  const vm::view_region& view() const { return dir_.view(); }
 
   /// Emit eviction instants and write-back spans into `t` (nullptr detaches).
-  void set_tracer(common::tracer* t) { trace_ = t; }
+  void set_tracer(common::tracer* t) {
+    dir_.set_tracer(t);
+    fetch_.set_tracer(t);
+    wb_.set_tracer(t);
+  }
 
   /// Raw view pointer for a gaddr (valid only while checked out).
-  std::byte* view_ptr(gaddr_t g) { return view_.at(heap_.view_off(g)); }
+  std::byte* view_ptr(gaddr_t g) { return dir_.view().at(heap_.view_off(g)); }
 
 private:
-  /// One in-flight prefetch segment: a block-relative byte range whose
-  /// nonblocking get was issued at some past virtual time and whose data is
-  /// usable from `ready_at` on. The segment is retired (erased) when a
-  /// consumer first touches it, when a write fully overwrites it, or when
-  /// the block is evicted/invalidated — each retirement emits exactly one
-  /// "prefetch consume" or "prefetch evict" trace terminator for the flow
-  /// arrow recorded at issue time (tools/trace_lint checks the pairing).
-  struct pf_seg {
-    common::interval iv;     ///< block-relative range
-    double ready_at = 0;     ///< modelled completion time of the get
-  };
+  // block_directory::client: a block is about to die / eviction needs clean
+  // victims.
+  void on_block_evicted(mem_block& mb) override;
+  void flush_dirty_for_eviction() override { wb_.writeback_all(); }
 
-  struct mem_block : common::lru_hook {
-    enum class kind : std::uint8_t { home, cache };
-    kind k{};
-    std::uint64_t mb_id = 0;
-    global_heap::home_loc home{};
-    bool mapped = false;
-    std::uint32_t ref_count = 0;
-    // cache blocks only:
-    std::size_t slot = 0;                 ///< index into the cache pool
-    common::interval_set valid;           ///< block-relative [0, block_size)
-    common::interval_set dirty;
-    bool fully_valid = false;             ///< valid == [0, block_size)
-    bool in_dirty_list = false;
-    // prefetcher state (cache blocks only; empty unless ITYR_PREFETCH):
-    common::interval_set prefetched;      ///< prefetched, not yet consumed
-    std::vector<pf_seg> pf_segs;          ///< unretired prefetch segments
-  };
-
-  /// One detected access stream (sequential run of sub-blocks, forward or
-  /// backward). `next` and `issued_until` are *global* sub-block indices
-  /// (view offset / sub-block size), so streams run across block
-  /// boundaries and straight through home-block spans.
-  struct stream {
-    bool live = false;
-    int dir = 0;                    ///< 0 = unconfirmed, +1 fwd, -1 bwd
-    std::int64_t next_fwd = 0;      ///< unconfirmed: expected next if forward
-    std::int64_t next_bwd = 0;      ///< unconfirmed: expected next if backward
-    std::int64_t next = 0;          ///< confirmed: next expected consume
-    std::int64_t issued_until = 0;  ///< next sub-block to issue (fwd: >= next)
-  };
-
-  /// Modelled in-flight prefetch budget entry (drained by virtual time).
-  struct inflight_entry {
-    double ready_at = 0;
-    std::size_t bytes = 0;
-  };
-
-  /// Direct-mapped memo of recently touched blocks (mapped ones only).
-  struct front_entry {
-    std::uint64_t mb_id = kNoBlock;
-    mem_block* mb = nullptr;
-  };
-  static constexpr std::uint64_t kNoBlock = ~std::uint64_t{0};
-
-  /// One remote range of a pending coalescable transfer.
-  struct xfer_seg {
-    rma::window* win = nullptr;
-    int rank = -1;
-    std::uint64_t off = 0;    ///< window offset
-    std::byte* local = nullptr;
-    std::size_t len = 0;
-  };
-
-  std::uint64_t* epoch_words() const;  // [0]=currentEpoch, [1]=requestEpoch
-
-  mem_block& get_home_block(std::uint64_t mb_id, const global_heap::home_loc& home);
-  mem_block& get_cache_block(std::uint64_t mb_id, const global_heap::home_loc& home);
-  void evict_home_block();
-  bool try_evict_cache_block();  // returns false if nothing evictable
-  void map_block(mem_block& mb);
-  void unmap_block(mem_block& mb);
-  void writeback_all();  // flush dirty + bump epoch
-  /// Async-mode write-back round: stall on the byte budget (or bail if
-  /// `opportunistic`), issue the dirty segments nonblocking, record the
-  /// round's completion in the epoch ring, advance the epoch. Returns false
-  /// only when an opportunistic round was skipped for budget.
-  bool async_writeback_round(bool opportunistic);
-  /// Record `ready` as the completion time of the round advancing the epoch
-  /// to `epoch`. Stored as a running max so ready_at is monotone in epoch
-  /// even though per-round channel completions are not.
-  void record_epoch_ready(std::uint64_t epoch, double ready);
-  /// Drop in-flight write-back FIFO entries whose completion time passed.
-  void drain_wb_inflight();
   void invalidate_all();
-  void mark_dirty(mem_block& mb, common::interval iv);
-  std::byte* cache_slot_ptr(const mem_block& mb) const {
-    return cache_pool_.block_ptr(mb.slot);
-  }
-  void charge_mmap();
-
-  void update_fully_valid(mem_block& mb) {
-    mb.fully_valid = mb.valid.contains({0, block_size_});
-  }
-  void memoize(mem_block& mb) {
-    if (!front_.empty() && mb.mapped) {
-      front_[mb.mb_id & front_mask_] = {mb.mb_id, &mb};
-    }
-  }
-  void purge_front(std::uint64_t mb_id) {
-    if (front_.empty()) return;
-    front_entry& fe = front_[mb_id & front_mask_];
-    if (fe.mb_id == mb_id) fe = {};
-  }
-  void purge_front_all() {
-    for (front_entry& fe : front_) fe = {};
-  }
-  /// Front-table probe shared by the fast paths: the memoized block iff the
-  /// request is in-heap, within one block, and memoized.
-  mem_block* front_probe(gaddr_t g, std::size_t size);
-
-  /// Issue `segs` as nonblocking gets or puts, coalescing per (window, rank)
-  /// when enabled; clears `segs`. Checkout and write-back rounds keep
-  /// separate vectors because a write-back can fire mid-checkout (eviction
-  /// pressure inside get_cache_block). Returns the latest modelled
-  /// completion time of the issued messages (0 if none).
-  double issue_segs(std::vector<xfer_seg>& segs, bool is_put);
-
-  // ---- prefetcher (ITYR_PREFETCH; all no-ops when disabled) ----
-  /// Account a checkout touching `span` of `mb` against the block's
-  /// prefetched bytes and in-flight segments: useful/wasted byte counting,
-  /// retirement (consume/evict terminators), and recording the latest
-  /// in-flight completion the round must wait for in `pf_wait_`.
-  void consume_prefetch(mem_block& mb, common::interval span, bool is_write);
-  /// Feed the stream detector with a read visit covering global sub-blocks
-  /// [a, b]; confirmed/advanced streams top up their prefetch window.
-  /// Streams are only created on demand misses.
-  void feed_stream(std::int64_t a, std::int64_t b, bool was_miss);
-  /// Issue prefetches for `s` up to `next +/- depth`, stopping early on
-  /// budget or slot pressure (retried at the next advance) and killing the
-  /// stream when it runs off the heap or a live allocation.
-  void issue_stream(stream& s);
-  enum class pf_result { ok, stall, dead };
-  pf_result prefetch_sub_block(std::int64_t sub);
-  /// Drop a block's prefetcher state on eviction/invalidation: unread bytes
-  /// count as wasted, unretired segments emit "prefetch evict" terminators.
-  void drop_prefetched(mem_block& mb);
 
   sim::engine& eng_;
-  rma::context& rma_;
+  rma::channel& ch_;
   global_heap& heap_;
-  rma::window& ctrl_win_;
   const int rank_;
   const std::size_t block_size_;
   const std::size_t sub_block_size_;
-  const common::cache_policy policy_;
-  const bool coalesce_;
-  const bool prefetch_on_;
-  const std::size_t prefetch_depth_;         ///< sub-blocks ahead of a stream
-  const std::size_t prefetch_max_inflight_;  ///< modelled in-flight byte cap
-  const bool async_release_;
-  const std::size_t wb_max_inflight_;        ///< in-flight write-back byte cap
 
-  vm::view_region view_;
-  vm::physical_pool cache_pool_;
-  std::size_t n_cache_blocks_;
-  std::size_t home_mapped_limit_;
-
-  std::unordered_map<std::uint64_t, std::unique_ptr<mem_block>> cache_blocks_;
-  std::unordered_map<std::uint64_t, std::unique_ptr<mem_block>> home_blocks_;
-  common::lru_list cache_lru_;
-  common::lru_list home_lru_;
-  std::vector<std::size_t> free_slots_;
-  std::vector<mem_block*> dirty_blocks_;
+  cache_stats st_;
   std::size_t checked_out_bytes_ = 0;
 
-  std::vector<front_entry> front_;  ///< size is a power of two (or empty)
-  std::uint64_t front_mask_ = 0;
+  std::unique_ptr<eviction_policy> evict_;
+  block_directory dir_;
+  writeback_engine wb_;
+  std::unique_ptr<write_policy> write_policy_;
+  fetch_engine fetch_;
+  front_table front_;
 
-  // Reused per checkout/write-back round (no allocation on the hot path).
+  // Reused per checkout round (no allocation on the hot path).
   std::vector<mem_block*> blocks_to_map_;
-  std::vector<xfer_seg> segs_;     ///< checkout fetch gaps
-  std::vector<xfer_seg> wb_segs_;  ///< write-back runs
-  std::vector<rma::io_segment> iov_;
   struct touched {
     mem_block* mb;
     common::interval write_added;  // empty unless write-mode valid.add
   };
   std::vector<touched> pinned_;
-
-  // Prefetcher state (untouched unless prefetch_on_).
-  static constexpr std::size_t kNStreams = 4;
-  stream streams_[kNStreams];
-  std::size_t stream_rr_ = 0;        ///< round-robin stream replacement
-  std::vector<inflight_entry> inflight_;  ///< FIFO, drained by virtual time
-  std::size_t inflight_head_ = 0;
-  std::size_t inflight_bytes_ = 0;
-  double pf_wait_ = 0;               ///< per-round: latest in-flight completion hit
-
-  // Async-release state (untouched unless async_release_). The epoch ring
-  // maps epoch -> cumulative-max completion time of the round that advanced
-  // to it; overwritten (too-old) entries are superseded by later — larger —
-  // values, so stale reads only ever wait longer, never too little.
-  static constexpr std::size_t kEpochRing = 64;
-  double epoch_ready_[kEpochRing] = {};
-  double epoch_ready_last_ = 0;           ///< running max of recorded completions
-  std::vector<inflight_entry> wb_inflight_;  ///< FIFO, drained by virtual time
-  std::size_t wb_inflight_head_ = 0;
-  std::size_t wb_inflight_bytes_ = 0;
-  double vis_watermark_ = 0;
-  std::function<double(int, std::uint64_t)> peer_ready_;
-
-  common::tracer* trace_ = nullptr;
-  stats st_;
 };
 
 }  // namespace ityr::pgas

@@ -1,0 +1,84 @@
+#include "itoyori/pgas/eviction_policy.hpp"
+
+namespace ityr::pgas {
+
+namespace {
+
+/// Strict LRU (paper Section 4.3.1, the default): every access moves the
+/// block to MRU; the eviction sweep takes the first evictable block from the
+/// LRU end.
+class lru_policy final : public eviction_policy {
+public:
+  const char* name() const override { return "lru"; }
+
+  void on_insert(common::lru_list& l, mem_block& mb) override { l.push_back(mb); }
+
+  void on_insert_speculative(common::lru_list& l, mem_block& mb) override {
+    // Mid-point insertion: a useless prefetch is evicted before any
+    // demand-fetched block, a useful one has half the list to live in.
+    l.insert_middle(mb);
+  }
+
+  void on_access(common::lru_list& l, mem_block& mb) override { l.touch(mb); }
+
+  mem_block* select_victim(common::lru_list& l, evictable_fn evictable) override {
+    auto* hook = l.find_from_lru(
+        [&](common::lru_hook& h) { return evictable(static_cast<mem_block&>(h)); });
+    return hook != nullptr ? static_cast<mem_block*>(hook) : nullptr;
+  }
+};
+
+/// Clock / second-chance: accesses only set the block's reference bit (O(1),
+/// no list movement — the appeal of clock over LRU in a real cache). The
+/// eviction sweep walks from the cold end, clears reference bits it passes,
+/// and takes the first evictable block found cold; if every evictable block
+/// was referenced, the sweep just spent all their second chances and the
+/// oldest one is taken.
+class clock_policy final : public eviction_policy {
+public:
+  const char* name() const override { return "clock"; }
+
+  void on_insert(common::lru_list& l, mem_block& mb) override {
+    mb.referenced = false;
+    l.push_back(mb);
+  }
+
+  void on_insert_speculative(common::lru_list& l, mem_block& mb) override {
+    mb.referenced = false;
+    l.insert_middle(mb);
+  }
+
+  void on_access(common::lru_list&, mem_block& mb) override { mb.referenced = true; }
+
+  mem_block* select_victim(common::lru_list& l, evictable_fn evictable) override {
+    mem_block* victim = nullptr;
+    l.find_from_lru([&](common::lru_hook& h) {
+      auto& mb = static_cast<mem_block&>(h);
+      if (!evictable(mb)) return false;
+      if (mb.referenced) {
+        mb.referenced = false;  // second chance spent
+        return false;
+      }
+      victim = &mb;
+      return true;
+    });
+    if (victim == nullptr) {
+      auto* hook = l.find_from_lru(
+          [&](common::lru_hook& h) { return evictable(static_cast<mem_block&>(h)); });
+      victim = hook != nullptr ? static_cast<mem_block*>(hook) : nullptr;
+    }
+    return victim;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<eviction_policy> make_eviction_policy(common::eviction_kind k) {
+  switch (k) {
+    case common::eviction_kind::lru:   return std::make_unique<lru_policy>();
+    case common::eviction_kind::clock: return std::make_unique<clock_policy>();
+  }
+  return std::make_unique<lru_policy>();
+}
+
+}  // namespace ityr::pgas

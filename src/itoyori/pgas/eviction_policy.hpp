@@ -1,0 +1,39 @@
+#pragma once
+
+#include <memory>
+
+#include "itoyori/common/lru_list.hpp"
+#include "itoyori/common/options.hpp"
+#include "itoyori/pgas/mem_block.hpp"
+
+namespace ityr::pgas {
+
+/// Victim-selection seam of the block_directory. The directory owns the
+/// intrusive recency lists (one for cache blocks, one for home blocks) and
+/// routes every insertion, touch and eviction sweep through one policy
+/// object; the policy decides where blocks sit in the list and which
+/// evictable block dies first. Policies are stateless across lists, so one
+/// shared instance serves both.
+class eviction_policy {
+public:
+  /// Predicate form the directory uses: "may this block be evicted at all"
+  /// (pin/dirty rules), orthogonal to the policy's recency decision.
+  using evictable_fn = bool (*)(const mem_block&);
+
+  virtual ~eviction_policy() = default;
+
+  virtual const char* name() const = 0;
+  /// A demand allocation enters the list.
+  virtual void on_insert(common::lru_list& l, mem_block& mb) = 0;
+  /// A speculative (prefetch) allocation enters the list: must not look as
+  /// young as demanded data.
+  virtual void on_insert_speculative(common::lru_list& l, mem_block& mb) = 0;
+  /// The block was used (checkout hit, fast-path touch).
+  virtual void on_access(common::lru_list& l, mem_block& mb) = 0;
+  /// Pick the block to evict, or nullptr if no evictable block exists.
+  virtual mem_block* select_victim(common::lru_list& l, evictable_fn evictable) = 0;
+};
+
+std::unique_ptr<eviction_policy> make_eviction_policy(common::eviction_kind k);
+
+}  // namespace ityr::pgas

@@ -1,0 +1,153 @@
+#include "itoyori/pgas/front_table.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ityr::pgas {
+
+namespace {
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+front_table::front_table(sim::engine& eng, global_heap& heap, block_directory& dir,
+                         write_policy& wp, rma::channel& ch, cache_stats& st,
+                         std::size_t& checked_out_bytes, std::size_t n_entries,
+                         std::size_t block_size, int rank)
+    : eng_(eng),
+      heap_(heap),
+      dir_(dir),
+      wp_(wp),
+      ch_(ch),
+      st_(st),
+      checked_out_bytes_(checked_out_bytes),
+      block_size_(block_size),
+      rank_(rank) {
+  if (n_entries > 0) {
+    // Clamped: a garbage ITYR_FRONT_TABLE_SIZE (e.g. "-5" read as 2^64-5)
+    // must not wedge startup in round_up_pow2 or exhaust memory.
+    const std::size_t entries = std::min<std::size_t>(n_entries, std::size_t(1) << 20);
+    table_.resize(round_up_pow2(entries));
+    mask_ = table_.size() - 1;
+  }
+}
+
+mem_block* front_table::probe(gaddr_t g, std::size_t size) {
+  if (table_.empty() || size == 0) return nullptr;
+  ITYR_CHECK(eng_.my_rank() == rank_);
+  if (!heap_.in_heap(g, size)) return nullptr;
+  const std::uint64_t off0 = heap_.view_off(g);
+  const std::uint64_t mb_id = off0 / block_size_;
+  if ((off0 + size - 1) / block_size_ != mb_id) return nullptr;  // spans blocks
+  const entry& fe = table_[mb_id & mask_];
+  if (fe.mb_id != mb_id) return nullptr;
+  ITYR_CHECK(fe.mb != nullptr);
+  ITYR_CHECK(fe.mb->mapped);
+  return fe.mb;
+}
+
+void* front_table::checkout_fast(gaddr_t g, std::size_t size, access_mode mode) {
+  mem_block* mb = probe(g, size);
+  if (mb == nullptr) return nullptr;
+  // Read-mode data must be present: only home blocks (always authoritative)
+  // and fully-valid cache blocks qualify. Write-mode never fetches, so any
+  // memoized cache block qualifies.
+  if (mb->k == mem_block::kind::cache && mode != access_mode::write && !mb->fully_valid)
+    return nullptr;
+  // A block with unretired prefetch segments takes the slow path: reads may
+  // have to wait out in-flight data, writes would race the incoming RDMA,
+  // and the slow path keeps feeding the stream detector.
+  if (mb->k == mem_block::kind::cache && !mb->pf_segs.empty()) return nullptr;
+
+  const std::uint64_t off0 = heap_.view_off(g);
+  st_.checkouts++;
+  st_.fast_path_hits++;
+  st_.block_visits++;
+  if (mb->k == mem_block::kind::home) {
+    dir_.touch(*mb);
+    st_.block_hits++;
+  } else {
+    dir_.touch(*mb);
+    if (mode == access_mode::write) {
+      if (!mb->fully_valid) {
+        const std::uint64_t block_base = mb->mb_id * block_size_;
+        mb->valid.add({off0 - block_base, off0 - block_base + size});
+        mb->update_fully_valid(block_size_);
+      }
+      st_.write_skips++;
+    } else {
+      st_.block_hits++;
+    }
+  }
+  mb->ref_count++;
+  checked_out_bytes_ += size;
+  return dir_.view().at(off0);
+}
+
+bool front_table::checkin_fast(gaddr_t g, std::size_t size, access_mode mode) {
+  mem_block* mb = probe(g, size);
+  if (mb == nullptr) return false;
+  if (mb->ref_count == 0) return false;  // mismatched: let checkin() report it
+
+  if (mb->k == mem_block::kind::cache && mode != access_mode::read) {
+    const std::uint64_t off0 = heap_.view_off(g);
+    const std::uint64_t block_base = mb->mb_id * block_size_;
+    const common::interval req{off0 - block_base, off0 - block_base + size};
+    if (wp_.on_dirty(*mb, req)) ch_.flush();
+  }
+  st_.checkins++;
+  mb->ref_count--;
+  ITYR_CHECK(checked_out_bytes_ >= size);
+  checked_out_bytes_ -= size;
+  return true;
+}
+
+bool front_table::get_fast(gaddr_t g, std::size_t size, void* out) {
+  mem_block* mb = probe(g, size);
+  if (mb == nullptr) return false;
+  if (mb->k == mem_block::kind::cache && (!mb->fully_valid || !mb->pf_segs.empty())) return false;
+
+  std::memcpy(out, dir_.view().at(heap_.view_off(g)), size);
+  dir_.touch(*mb);
+  // Counted as a fused checkout+checkin pair so aggregate stats stay
+  // comparable with the generic path.
+  st_.checkouts++;
+  st_.checkins++;
+  st_.fast_path_hits++;
+  st_.block_visits++;
+  st_.block_hits++;
+  return true;
+}
+
+bool front_table::put_fast(gaddr_t g, std::size_t size, const void* in) {
+  mem_block* mb = probe(g, size);
+  if (mb == nullptr) return false;
+  if (mb->k == mem_block::kind::cache && !mb->pf_segs.empty()) return false;
+
+  const std::uint64_t off0 = heap_.view_off(g);
+  std::memcpy(dir_.view().at(off0), in, size);
+  st_.checkouts++;
+  st_.checkins++;
+  st_.fast_path_hits++;
+  st_.block_visits++;
+  if (mb->k == mem_block::kind::home) {
+    dir_.touch(*mb);
+    st_.block_hits++;
+    return true;
+  }
+  dir_.touch(*mb);
+  st_.write_skips++;
+  const std::uint64_t block_base = mb->mb_id * block_size_;
+  const common::interval req{off0 - block_base, off0 - block_base + size};
+  if (!mb->fully_valid) {
+    mb->valid.add(req);
+    mb->update_fully_valid(block_size_);
+  }
+  if (wp_.on_dirty(*mb, req)) ch_.flush();
+  return true;
+}
+
+}  // namespace ityr::pgas

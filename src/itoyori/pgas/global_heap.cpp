@@ -15,6 +15,10 @@ constexpr std::size_t kNcQuantum = 64;
 
 global_heap::global_heap(sim::engine& eng, rma::context& rma) : eng_(eng), rma_(rma) {
   const auto& o = eng_.opts();
+  // Fail fast with a diagnosable error before any pool is carved up: the
+  // pools hard-assert on page granularity, and the cache layers assume
+  // power-of-two sub-block arithmetic.
+  common::validate_cache_geometry(o.block_size, o.sub_block_size);
   block_size_ = o.block_size;
   base_ = static_cast<gaddr_t>(block_size_);  // gaddr 0 stays invalid
 

@@ -8,6 +8,7 @@
 
 #include "itoyori/common/options.hpp"
 #include "itoyori/pgas/free_list.hpp"
+#include "itoyori/pgas/home_loc.hpp"
 #include "itoyori/pgas/types.hpp"
 #include "itoyori/rma/window.hpp"
 #include "itoyori/sim/engine.hpp"
@@ -33,21 +34,16 @@ namespace ityr::pgas {
 /// Every home block's physical bytes live in the owner's memfd pool; pools
 /// are registered as RMA windows at construction (MPI_Win_create), so cache
 /// fetches/flushes address them as (rank, pool offset).
-class global_heap {
+class global_heap : public block_locator {
 public:
-  /// Home location of one heap block.
-  struct home_loc {
-    int rank = -1;
-    const vm::physical_pool* pool = nullptr;
-    std::uint64_t pool_off = 0;   ///< offset within the pool == window offset
-    rma::window* win = nullptr;
-  };
+  /// Home location of one heap block (shared with the cache layers).
+  using home_loc = pgas::home_loc;
 
   global_heap(sim::engine& eng, rma::context& rma);
 
   // ---- layout ----
   gaddr_t heap_base() const { return base_; }
-  std::size_t total_size() const { return total_; }
+  std::size_t total_size() const override { return total_; }
   std::size_t block_size() const { return block_size_; }
 
   bool in_heap(gaddr_t g, std::size_t size) const {
@@ -69,7 +65,7 @@ public:
   /// the block is out of range or a collective block outside any live
   /// allocation. Never a substitute for locate_block on the demand path,
   /// where such an access is an API error worth reporting.
-  bool try_locate_block(std::uint64_t mb_id, home_loc& out) const;
+  bool try_locate_block(std::uint64_t mb_id, home_loc& out) const override;
 
   /// True iff block `b` directly follows block `a` in the same rank's home
   /// pool, i.e. their physical bytes form one contiguous window range (so

@@ -1,0 +1,21 @@
+#include "itoyori/pgas/write_policy.hpp"
+
+namespace ityr::pgas {
+
+bool write_through_policy::on_dirty(mem_block& mb, common::interval iv) {
+  ch_.put_nb(*mb.home.win, mb.home.rank, mb.home.pool_off + iv.begin,
+             dir_.slot_ptr(mb) + iv.begin, iv.size());
+  st_.write_through_bytes += iv.size();
+  return true;
+}
+
+std::unique_ptr<write_policy> make_write_policy(common::cache_policy p, rma::channel& ch,
+                                                block_directory& dir, writeback_engine& wb,
+                                                cache_stats& st) {
+  if (p == common::cache_policy::write_through) {
+    return std::make_unique<write_through_policy>(ch, dir, st);
+  }
+  return std::make_unique<write_back_policy>(wb);
+}
+
+}  // namespace ityr::pgas

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <memory>
+
+#include "itoyori/common/interval_set.hpp"
+#include "itoyori/common/options.hpp"
+#include "itoyori/pgas/block_directory.hpp"
+#include "itoyori/pgas/cache_stats.hpp"
+#include "itoyori/pgas/mem_block.hpp"
+#include "itoyori/pgas/writeback_engine.hpp"
+#include "itoyori/rma/channel.hpp"
+
+namespace ityr::pgas {
+
+/// Dirty-byte handling seam of the checkin paths (paper Section 4.4): what
+/// happens to a written range when its checkout ends. Expressed as an object
+/// instead of per-call-site policy branches so the facade and the front
+/// table share one decision point.
+class write_policy {
+public:
+  virtual ~write_policy() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Register `iv` (block-relative) of cache block `mb` as written. Returns
+  /// true iff the bytes were pushed to the home immediately and the caller
+  /// must flush before relying on them (write-through); false means the
+  /// range is tracked for a later write-back round.
+  virtual bool on_dirty(mem_block& mb, common::interval iv) = 0;
+};
+
+/// write_through: every checkin pushes its bytes to the home right away.
+class write_through_policy final : public write_policy {
+public:
+  write_through_policy(rma::channel& ch, block_directory& dir, cache_stats& st)
+      : ch_(ch), dir_(dir), st_(st) {}
+
+  const char* name() const override { return "write_through"; }
+  bool on_dirty(mem_block& mb, common::interval iv) override;
+
+private:
+  rma::channel& ch_;
+  block_directory& dir_;
+  cache_stats& st_;
+};
+
+/// write_back (and write_back_lazy): dirty ranges accumulate until a release
+/// fence or eviction pressure flushes them.
+class write_back_policy final : public write_policy {
+public:
+  explicit write_back_policy(writeback_engine& wb) : wb_(wb) {}
+
+  const char* name() const override { return "write_back"; }
+  bool on_dirty(mem_block& mb, common::interval iv) override {
+    wb_.mark_dirty(mb, iv);
+    return false;
+  }
+
+private:
+  writeback_engine& wb_;
+};
+
+/// Maps the user-facing cache_policy to a policy object. Only write_through
+/// changes checkin behaviour; none/write_back/write_back_lazy all defer to
+/// the write-back engine (laziness lives in the fence protocol, not here).
+std::unique_ptr<write_policy> make_write_policy(common::cache_policy p, rma::channel& ch,
+                                                block_directory& dir, writeback_engine& wb,
+                                                cache_stats& st);
+
+}  // namespace ityr::pgas

@@ -1,0 +1,64 @@
+#include "itoyori/pgas/xfer_batch.hpp"
+
+#include <algorithm>
+
+namespace ityr::pgas {
+
+double xfer_batch::issue(bool is_put) {
+  if (segs_.empty()) return 0.0;
+  double round_done = 0.0;
+  if (!coalesce_) {
+    // Baseline: one message per gap/run, in discovery order.
+    for (const xfer_seg& s : segs_) {
+      const double done = is_put ? ch_.put_nb(*s.win, s.rank, s.off, s.local, s.len)
+                                 : ch_.get_nb(*s.win, s.rank, s.off, s.local, s.len);
+      round_done = std::max(round_done, done);
+    }
+    segs_.clear();
+    return round_done;
+  }
+
+  // Deterministic order: window creation id, not pointer value.
+  std::sort(segs_.begin(), segs_.end(), [](const xfer_seg& a, const xfer_seg& b) {
+    if (a.win->id != b.win->id) return a.win->id < b.win->id;
+    if (a.rank != b.rank) return a.rank < b.rank;
+    return a.off < b.off;
+  });
+
+  std::size_t i = 0;
+  while (i < segs_.size()) {
+    rma::window* const win = segs_[i].win;
+    const int rank = segs_[i].rank;
+    iov_.clear();
+    std::size_t n_in_group = 0;
+    for (; i < segs_.size() && segs_[i].win == win && segs_[i].rank == rank; i++) {
+      // Merge runs that are contiguous both remotely (pool offsets) and
+      // locally (e.g. consecutive blocks of one rank's span fetched into the
+      // user buffer) into a single range spanning block boundaries.
+      if (!iov_.empty() && iov_.back().off + iov_.back().len == segs_[i].off &&
+          iov_.back().local + iov_.back().len == segs_[i].local) {
+        iov_.back().len += segs_[i].len;
+      } else {
+        iov_.push_back({segs_[i].off, segs_[i].local, segs_[i].len});
+      }
+      n_in_group++;
+    }
+    // The whole (window, rank) group rides one message: contiguous runs
+    // merged outright, the rest as a gather/scatter list.
+    double done;
+    if (iov_.size() == 1) {
+      done = is_put ? ch_.put_nb(*win, rank, iov_[0].off, iov_[0].local, iov_[0].len)
+                    : ch_.get_nb(*win, rank, iov_[0].off, iov_[0].local, iov_[0].len);
+    } else if (is_put) {
+      done = ch_.put_nb_multi(*win, rank, iov_.data(), iov_.size());
+    } else {
+      done = ch_.get_nb_multi(*win, rank, iov_.data(), iov_.size());
+    }
+    round_done = std::max(round_done, done);
+    coalesced_messages_ += n_in_group - 1;
+  }
+  segs_.clear();
+  return round_done;
+}
+
+}  // namespace ityr::pgas

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "itoyori/rma/channel.hpp"
+#include "itoyori/rma/window.hpp"
+
+namespace ityr::pgas {
+
+/// One remote range of a pending coalescable transfer.
+struct xfer_seg {
+  rma::window* win = nullptr;
+  int rank = -1;
+  std::uint64_t off = 0;    ///< window offset
+  std::byte* local = nullptr;
+  std::size_t len = 0;
+};
+
+/// Accumulates the remote ranges of one transfer round (a checkout's fetch
+/// gaps, a write-back's dirty runs) and issues them as nonblocking RMA,
+/// coalescing per (window, rank) when enabled. The fetch and write-back
+/// engines each own their own batch because a write-back can fire
+/// mid-checkout (eviction pressure inside the block walk); buffers are
+/// reused across rounds so the hot path never allocates.
+class xfer_batch {
+public:
+  /// `coalesced_messages` is the shared stats counter credited with the
+  /// messages saved by grouping.
+  xfer_batch(rma::channel& ch, bool coalesce, std::uint64_t& coalesced_messages)
+      : ch_(ch), coalesce_(coalesce), coalesced_messages_(coalesced_messages) {}
+
+  void add(rma::window* win, int rank, std::uint64_t off, std::byte* local, std::size_t len) {
+    segs_.push_back({win, rank, off, local, len});
+  }
+
+  bool empty() const { return segs_.empty(); }
+
+  /// Issue the accumulated segments as nonblocking gets or puts, coalescing
+  /// per (window, rank) when enabled; clears the batch. Returns the latest
+  /// modelled completion time of the issued messages (0 if none).
+  double issue(bool is_put);
+
+private:
+  rma::channel& ch_;
+  const bool coalesce_;
+  std::uint64_t& coalesced_messages_;
+  std::vector<xfer_seg> segs_;
+  std::vector<rma::io_segment> iov_;
+};
+
+}  // namespace ityr::pgas

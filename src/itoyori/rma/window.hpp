@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "itoyori/rma/channel.hpp"
 #include "itoyori/rma/network.hpp"
 
 namespace ityr::rma {
@@ -44,7 +45,9 @@ struct io_segment {
 /// space, so data movement is memcpy; *when* data is usable is governed by
 /// the network cost model, and the target rank's CPU is never involved
 /// (true RDMA semantics, as assumed throughout paper Section 5).
-class context {
+///
+/// Implements rma::channel, the abstract surface the cache engines consume.
+class context : public channel {
 public:
   explicit context(sim::engine& eng) : eng_(eng), net_(eng) {}
 
@@ -64,7 +67,7 @@ public:
   /// order) but the issuer's virtual time only reflects completion after
   /// flush() — or a targeted net().wait_until() on the returned modelled
   /// completion time. Mirrors MPI_Get + MPI_Win_flush_all.
-  double get_nb(window& w, int target, std::uint64_t off, void* dst, std::size_t len) {
+  double get_nb(window& w, int target, std::uint64_t off, void* dst, std::size_t len) override {
     std::memcpy(dst, w.addr(target, off, len), len);
     const double done = net_.issue(target, len);
     gets_++;
@@ -72,7 +75,8 @@ public:
   }
 
   /// Nonblocking put (MPI_Put).
-  double put_nb(window& w, int target, std::uint64_t off, const void* src, std::size_t len) {
+  double put_nb(window& w, int target, std::uint64_t off, const void* src,
+                std::size_t len) override {
     std::memcpy(w.addr(target, off, len), src, len);
     const double done = net_.issue(target, len);
     puts_++;
@@ -84,7 +88,7 @@ public:
   /// with an indexed datatype / NIC gather list). Issue-side CPU overhead is
   /// paid once; bytes are charged in full. Segments must be sorted by
   /// remote offset and non-overlapping.
-  double get_nb_multi(window& w, int target, const io_segment* segs, std::size_t n) {
+  double get_nb_multi(window& w, int target, const io_segment* segs, std::size_t n) override {
     ITYR_CHECK(n > 0);
     std::size_t total = 0;
     for (std::size_t i = 0; i < n; i++) {
@@ -98,7 +102,7 @@ public:
   }
 
   /// Nonblocking multi-segment put (scatter side of get_nb_multi).
-  double put_nb_multi(window& w, int target, const io_segment* segs, std::size_t n) {
+  double put_nb_multi(window& w, int target, const io_segment* segs, std::size_t n) override {
     ITYR_CHECK(n > 0);
     std::size_t total = 0;
     for (std::size_t i = 0; i < n; i++) {
@@ -112,11 +116,14 @@ public:
   }
 
   /// Complete all outstanding one-sided operations of the calling rank.
-  void flush() { net_.flush(); }
+  void flush() override { net_.flush(); }
+
+  /// Targeted wait on a completion time returned by a *_nb call.
+  void wait_until(double t) override { net_.wait_until(t); }
 
   /// Blocking 8-byte read (MPI_Get of a single word + flush): the epoch
   /// polls of the lazy-release protocol use this.
-  std::uint64_t get_value(window& w, int target, std::uint64_t off) {
+  std::uint64_t get_value(window& w, int target, std::uint64_t off) override {
     std::uint64_t v;
     std::memcpy(&v, w.addr(target, off, sizeof(v)), sizeof(v));
     net_.issue(target, sizeof(v));
@@ -156,7 +163,7 @@ public:
   /// Remote atomic max emulated with a CAS loop (paper footnote 6: the
   /// MPI_MAX fetch-and-op is not RDMA-offloaded, so Itoyori loops on
   /// MPI_Compare_and_swap instead).
-  void atomic_max(window& w, int target, std::uint64_t off, std::uint64_t value) {
+  void atomic_max(window& w, int target, std::uint64_t off, std::uint64_t value) override {
     std::uint64_t cur = get_value(w, target, off);
     while (cur < value) {
       const std::uint64_t old = compare_and_swap(w, target, off, cur, value);

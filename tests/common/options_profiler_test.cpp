@@ -141,6 +141,55 @@ TEST(Options, BadPolicyStringThrows) {
   EXPECT_THROW(ic::cache_policy_from_string("bogus"), ic::api_error);
 }
 
+TEST(Options, EvictionPolicyEnvRoundTrip) {
+  ::unsetenv("ITYR_EVICTION_POLICY");
+  EXPECT_EQ(ic::options::from_env().eviction, ic::eviction_kind::lru);  // default
+  ::setenv("ITYR_EVICTION_POLICY", "clock", 1);
+  EXPECT_EQ(ic::options::from_env().eviction, ic::eviction_kind::clock);
+  ::setenv("ITYR_EVICTION_POLICY", "lru", 1);
+  EXPECT_EQ(ic::options::from_env().eviction, ic::eviction_kind::lru);
+  ::setenv("ITYR_EVICTION_POLICY", "fifo", 1);
+  EXPECT_THROW(ic::options::from_env(), ic::api_error);
+  ::unsetenv("ITYR_EVICTION_POLICY");
+  for (auto k : {ic::eviction_kind::lru, ic::eviction_kind::clock}) {
+    EXPECT_EQ(ic::eviction_kind_from_string(ic::to_string(k)), k);
+  }
+}
+
+TEST(Options, CacheGeometryValidation) {
+  // Direct checks: power-of-two block and sub-block, block page-aligned,
+  // sub <= block.
+  ic::validate_cache_geometry(4096, 1024);  // must not throw
+  ic::validate_cache_geometry(8192, 8192);
+  EXPECT_THROW(ic::validate_cache_geometry(3000, 1024), ic::error);
+  EXPECT_THROW(ic::validate_cache_geometry(0, 1024), ic::error);
+  EXPECT_THROW(ic::validate_cache_geometry(4096, 1000), ic::error);
+  EXPECT_THROW(ic::validate_cache_geometry(4096, 0), ic::error);
+  EXPECT_THROW(ic::validate_cache_geometry(1024, 4096), ic::error);  // sub > block
+  EXPECT_THROW(ic::validate_cache_geometry(64, 64), ic::error);      // below page size
+  // The error message names the offending knob so a bad env override is
+  // diagnosable from the exception alone.
+  try {
+    ic::validate_cache_geometry(3000, 1024);
+    FAIL() << "expected ic::error";
+  } catch (const ic::error& e) {
+    EXPECT_NE(std::string(e.what()).find("ITYR_BLOCK_SIZE"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("3000"), std::string::npos);
+  }
+}
+
+TEST(Options, BadCacheGeometryEnvThrows) {
+  ::setenv("ITYR_BLOCK_SIZE", "3000", 1);
+  EXPECT_THROW(ic::options::from_env(), ic::error);
+  ::setenv("ITYR_BLOCK_SIZE", "4096", 1);
+  ::setenv("ITYR_SUB_BLOCK_SIZE", "8192", 1);  // sub > block
+  EXPECT_THROW(ic::options::from_env(), ic::error);
+  ::setenv("ITYR_SUB_BLOCK_SIZE", "256", 1);
+  EXPECT_EQ(ic::options::from_env().block_size, 4096u);  // valid pair passes
+  ::unsetenv("ITYR_BLOCK_SIZE");
+  ::unsetenv("ITYR_SUB_BLOCK_SIZE");
+}
+
 TEST(Options, PolicyRoundTrip) {
   for (auto p : {ic::cache_policy::none, ic::cache_policy::write_through,
                  ic::cache_policy::write_back, ic::cache_policy::write_back_lazy}) {

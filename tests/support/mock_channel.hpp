@@ -1,0 +1,118 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "itoyori/rma/window.hpp"
+#include "itoyori/sim/engine.hpp"
+
+namespace ityr::test {
+
+/// Scripted rma::channel for unit-testing the cache engines without booting
+/// the full network model. Data moves by memcpy at issue time (the same
+/// admissible completion order the real context uses); completion times
+/// follow a fixed linear latency model so tests can predict stalls exactly;
+/// every operation is recorded for assertions. flush() and wait_until()
+/// advance the calling rank's virtual clock the way the network does, so the
+/// engines' stall accounting (fetch_stall_s, release_stall_s) is observable.
+class mock_channel final : public rma::channel {
+public:
+  struct op {
+    bool is_put = false;
+    int target = -1;
+    std::uint64_t off = 0;
+    std::size_t len = 0;  ///< total bytes (multi ops: sum over segments)
+  };
+
+  explicit mock_channel(sim::engine& eng, double latency = 1.0e-6, double per_byte = 1.0e-9)
+      : eng_(eng), latency_(latency), per_byte_(per_byte) {}
+
+  double get_nb(rma::window& w, int target, std::uint64_t off, void* dst,
+                std::size_t len) override {
+    std::memcpy(dst, w.addr(target, off, len), len);
+    return record({false, target, off, len});
+  }
+
+  double put_nb(rma::window& w, int target, std::uint64_t off, const void* src,
+                std::size_t len) override {
+    std::memcpy(w.addr(target, off, len), src, len);
+    return record({true, target, off, len});
+  }
+
+  double get_nb_multi(rma::window& w, int target, const rma::io_segment* segs,
+                      std::size_t n) override {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < n; i++) {
+      std::memcpy(segs[i].local, w.addr(target, segs[i].off, segs[i].len), segs[i].len);
+      total += segs[i].len;
+    }
+    return record({false, target, segs[0].off, total});
+  }
+
+  double put_nb_multi(rma::window& w, int target, const rma::io_segment* segs,
+                      std::size_t n) override {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < n; i++) {
+      std::memcpy(w.addr(target, segs[i].off, segs[i].len), segs[i].local, segs[i].len);
+      total += segs[i].len;
+    }
+    return record({true, target, segs[0].off, total});
+  }
+
+  void flush() override {
+    flushes_++;
+    if (pending_until_ > eng_.now()) eng_.charge(pending_until_ - eng_.now());
+  }
+
+  void wait_until(double t) override {
+    waits_.push_back(t);
+    if (t > eng_.now()) eng_.charge(t - eng_.now());
+  }
+
+  std::uint64_t get_value(rma::window& w, int target, std::uint64_t off) override {
+    std::uint64_t v;
+    std::memcpy(&v, w.addr(target, off, sizeof(v)), sizeof(v));
+    value_gets_++;
+    return v;
+  }
+
+  void atomic_max(rma::window& w, int target, std::uint64_t off, std::uint64_t value) override {
+    auto* p = reinterpret_cast<std::uint64_t*>(w.addr(target, off, sizeof(std::uint64_t)));
+    *p = std::max(*p, value);
+    atomic_maxes_++;
+  }
+
+  // ---- assertions ----
+  const std::vector<op>& ops() const { return ops_; }
+  const std::vector<double>& waits() const { return waits_; }  ///< wait_until args
+  std::size_t n_flushes() const { return flushes_; }
+  std::size_t n_value_gets() const { return value_gets_; }
+  std::size_t n_atomic_maxes() const { return atomic_maxes_; }
+  /// Latest modelled completion over everything issued so far.
+  double pending_until() const { return pending_until_; }
+  /// True when nothing issued is still in flight at the caller's clock.
+  bool drained() const { return pending_until_ <= eng_.now(); }
+
+private:
+  double record(op o) {
+    ops_.push_back(o);
+    const double done = eng_.now() + latency_ + per_byte_ * static_cast<double>(o.len);
+    pending_until_ = std::max(pending_until_, done);
+    return done;
+  }
+
+  sim::engine& eng_;
+  const double latency_;
+  const double per_byte_;
+  std::vector<op> ops_;
+  std::vector<double> waits_;
+  double pending_until_ = 0;
+  std::size_t flushes_ = 0;
+  std::size_t value_gets_ = 0;
+  std::size_t atomic_maxes_ = 0;
+};
+
+}  // namespace ityr::test

@@ -24,6 +24,10 @@
 /// "writeback" completion flow; the generic finish>=start flow check then
 /// guarantees no "wb acquire" flow lands before the releaser's round was
 /// ready.
+///
+/// All subsystem-specific invariants live in the two rule tables below —
+/// adding a lifecycle or presence check for a new tracer feature means
+/// adding a table row, not a new code path.
 
 #include <cstdio>
 #include <cstring>
@@ -38,9 +42,63 @@
 
 namespace {
 
-int lint(const std::string& json, const char* what, bool require_content,
-         bool require_prefetch = false, bool require_release = false) {
-  const ityr::common::trace_check_result r = ityr::common::validate_trace_json(json);
+using trace_result = ityr::common::trace_check_result;
+using counter_fn = std::size_t (*)(const trace_result&);
+
+/// Which self-check mode enforces a presence rule (file lints enforce none).
+enum lint_mode : unsigned {
+  kContent = 1u << 0,   ///< plain self-check: generic content must exist
+  kPrefetch = 1u << 1,  ///< --self-check-prefetch
+  kRelease = 1u << 2,   ///< --self-check-release
+};
+
+/// Lifecycle pairing: every issued event must be retired by exactly one
+/// terminator. Only checkable when the ring buffers evicted nothing (an
+/// incomplete trace can be missing either half). Enforced on every lint,
+/// including plain files.
+struct pairing_rule {
+  const char* issued_what;
+  counter_fn issued;
+  const char* terminator_what;
+  counter_fn terminators;
+};
+
+constexpr pairing_rule kPairingRules[] = {
+    // Prefetch lifecycle: each issued prefetch segment gets exactly one
+    // terminator — a "prefetch consume" instant at first read-touch or a
+    // "prefetch evict" instant when overwritten, evicted, or invalidated.
+    {"prefetch issue flows", [](const trace_result& r) { return r.n_prefetch_flows; },
+     "consume/evict terminators",
+     [](const trace_result& r) { return r.n_prefetch_consumes + r.n_prefetch_evicts; }},
+    // Async-release lifecycle: every "Write Back (async)" round span must be
+    // matched by exactly one "writeback" completion flow (issue -> modelled
+    // completion).
+    {"async write-back spans", [](const trace_result& r) { return r.n_wb_async_spans; },
+     "writeback completion flows", [](const trace_result& r) { return r.n_writeback_flows; }},
+};
+
+/// "Expected at least one X" requirements of the self-check modes; rules
+/// with `needs_complete` additionally demand a trace with no dropped events
+/// (counting against a truncated trace would be meaningless).
+struct presence_rule {
+  unsigned modes;  ///< lint_mode bitmask this rule applies to
+  bool needs_complete;
+  const char* what;
+  counter_fn count;
+};
+
+constexpr presence_rule kPresenceRules[] = {
+    {kContent, false, "span", [](const trace_result& r) { return r.n_spans; }},
+    {kContent, false, "steal/RMA flow", [](const trace_result& r) { return r.n_flows; }},
+    {kContent, false, "counter sample", [](const trace_result& r) { return r.n_counters; }},
+    {kPrefetch, true, "prefetch issue flow",
+     [](const trace_result& r) { return r.n_prefetch_flows; }},
+    {kRelease, true, "async write-back span",
+     [](const trace_result& r) { return r.n_wb_async_spans; }},
+};
+
+int lint(const std::string& json, const char* what, unsigned modes) {
+  const trace_result r = ityr::common::validate_trace_json(json);
   if (!r.ok) {
     std::fprintf(stderr, "trace_lint: %s: INVALID: %s\n", what, r.error.c_str());
     return 1;
@@ -49,59 +107,26 @@ int lint(const std::string& json, const char* what, bool require_content,
               "%zu prefetch flows, %zu async wb spans, %zu wb acquire flows)\n",
               what, r.n_events, r.n_spans, r.n_flows, r.n_counters, r.n_prefetch_flows,
               r.n_wb_async_spans, r.n_wb_acquire_flows);
-  // Prefetch lifecycle: each issued prefetch segment gets exactly one
-  // terminator — a "prefetch consume" instant at first read-touch or a
-  // "prefetch evict" instant when overwritten, evicted, or invalidated.
-  // Only checkable when the ring buffers evicted nothing.
-  if (r.dropped_events == 0 &&
-      r.n_prefetch_flows != r.n_prefetch_consumes + r.n_prefetch_evicts) {
-    std::fprintf(stderr,
-                 "trace_lint: %s: %zu prefetch flows but %zu consume + %zu evict terminators\n",
-                 what, r.n_prefetch_flows, r.n_prefetch_consumes, r.n_prefetch_evicts);
-    return 1;
-  }
-  // Async-release lifecycle: every "Write Back (async)" round span must be
-  // matched by exactly one "writeback" completion flow (issue -> modelled
-  // completion). Only checkable when the ring buffers evicted nothing.
-  if (r.dropped_events == 0 && r.n_wb_async_spans != r.n_writeback_flows) {
-    std::fprintf(stderr,
-                 "trace_lint: %s: %zu async write-back spans but %zu writeback completion flows\n",
-                 what, r.n_wb_async_spans, r.n_writeback_flows);
-    return 1;
-  }
-  if (require_content) {
-    if (r.n_spans == 0) {
-      std::fprintf(stderr, "trace_lint: %s: expected at least one span\n", what);
-      return 1;
-    }
-    if (r.n_flows == 0) {
-      std::fprintf(stderr, "trace_lint: %s: expected at least one steal/RMA flow\n", what);
-      return 1;
-    }
-    if (r.n_counters == 0) {
-      std::fprintf(stderr, "trace_lint: %s: expected at least one counter sample\n", what);
-      return 1;
+
+  if (r.dropped_events == 0) {
+    for (const pairing_rule& p : kPairingRules) {
+      if (p.issued(r) != p.terminators(r)) {
+        std::fprintf(stderr, "trace_lint: %s: %zu %s but %zu %s\n", what, p.issued(r),
+                     p.issued_what, p.terminators(r), p.terminator_what);
+        return 1;
+      }
     }
   }
-  if (require_prefetch) {
-    if (r.dropped_events != 0) {
+
+  for (const presence_rule& p : kPresenceRules) {
+    if ((p.modes & modes) == 0) continue;
+    if (p.needs_complete && r.dropped_events != 0) {
       std::fprintf(stderr, "trace_lint: %s: trace dropped %llu events; enlarge the cap\n", what,
                    static_cast<unsigned long long>(r.dropped_events));
       return 1;
     }
-    if (r.n_prefetch_flows == 0) {
-      std::fprintf(stderr, "trace_lint: %s: expected at least one prefetch issue flow\n", what);
-      return 1;
-    }
-  }
-  if (require_release) {
-    if (r.dropped_events != 0) {
-      std::fprintf(stderr, "trace_lint: %s: trace dropped %llu events; enlarge the cap\n", what,
-                   static_cast<unsigned long long>(r.dropped_events));
-      return 1;
-    }
-    if (r.n_wb_async_spans == 0) {
-      std::fprintf(stderr, "trace_lint: %s: expected at least one async write-back span\n", what);
+    if (p.count(r) == 0) {
+      std::fprintf(stderr, "trace_lint: %s: expected at least one %s\n", what, p.what);
       return 1;
     }
   }
@@ -142,12 +167,13 @@ int self_check(bool with_prefetch, bool with_async_release = false) {
     });
     json = rt.trace().to_json();
   }
+  const unsigned modes =
+      kContent | (with_prefetch ? kPrefetch : 0u) | (with_async_release ? kRelease : 0u);
   return lint(json,
               with_async_release ? "self-check (traced cilksort, async release)"
               : with_prefetch    ? "self-check (traced cilksort, prefetch)"
                                  : "self-check (traced cilksort)",
-              /*require_content=*/true, /*require_prefetch=*/with_prefetch,
-              /*require_release=*/with_async_release);
+              modes);
 }
 
 }  // namespace
@@ -171,7 +197,7 @@ int main(int argc, char** argv) {
     }
     std::ostringstream ss;
     ss << in.rdbuf();
-    rc |= lint(ss.str(), argv[i], /*require_content=*/false);
+    rc |= lint(ss.str(), argv[i], /*modes=*/0);
   }
   return rc;
 }
