@@ -49,6 +49,76 @@ const char* to_string(steal_policy p) {
   return "?";
 }
 
+const char* to_string(fiber_backend_kind k) {
+  switch (k) {
+    case fiber_backend_kind::asm_switch: return "asm";
+    case fiber_backend_kind::ucontext:   return "ucontext";
+  }
+  return "?";
+}
+
+fiber_backend_kind fiber_backend_from_string(const std::string& s) {
+  if (s == "asm") return fiber_backend_kind::asm_switch;
+  if (s == "ucontext") return fiber_backend_kind::ucontext;
+  throw api_error("unknown fiber backend (ITYR_FIBER_BACKEND): " + s +
+                  " (expected asm or ucontext)");
+}
+
+namespace {
+
+#if defined(__SANITIZE_ADDRESS__)
+#define ITYR_UNDER_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define ITYR_UNDER_ASAN 1
+#endif
+#endif
+
+constexpr bool asm_fiber_supported() {
+#if (defined(__x86_64__) || defined(__aarch64__)) && defined(__ELF__) && \
+    !defined(ITYR_UNDER_ASAN)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool asm_fiber_backend_supported() { return asm_fiber_supported(); }
+
+fiber_backend_kind default_fiber_backend() {
+  // Honoring the env var here (not only in from_env) lets test suites that
+  // build options programmatically be re-run under ITYR_FIBER_BACKEND=
+  // ucontext without editing every test, mirroring the fixture's
+  // ITYR_ASYNC_RELEASE handling.
+  const char* v = std::getenv("ITYR_FIBER_BACKEND");
+  if (v != nullptr && *v != '\0') {
+    const fiber_backend_kind k = fiber_backend_from_string(v);
+    if (k == fiber_backend_kind::asm_switch && !asm_fiber_supported()) {
+      return fiber_backend_kind::ucontext;  // portability/ASan fallback
+    }
+    return k;
+  }
+  return asm_fiber_supported() ? fiber_backend_kind::asm_switch
+                               : fiber_backend_kind::ucontext;
+}
+
+const char* to_string(sim_sched_kind k) {
+  switch (k) {
+    case sim_sched_kind::indexed: return "indexed";
+    case sim_sched_kind::linear:  return "linear";
+  }
+  return "?";
+}
+
+sim_sched_kind sim_sched_from_string(const std::string& s) {
+  if (s == "indexed") return sim_sched_kind::indexed;
+  if (s == "linear") return sim_sched_kind::linear;
+  throw api_error("unknown simulator scheduler (ITYR_SIM_SCHEDULER): " + s +
+                  " (expected indexed or linear)");
+}
+
 const char* to_string(dist_policy p) {
   switch (p) {
     case dist_policy::block:        return "block";
@@ -62,7 +132,7 @@ namespace {
 template <typename T>
 void env_get(const char* name, T& out) {
   const char* v = std::getenv(name);
-  if (v == nullptr) return;
+  if (v == nullptr || *v == '\0') return;  // empty counts as unset (CI matrices)
   if constexpr (std::is_same_v<T, bool>) {
     out = std::string(v) == "1" || std::string(v) == "true";
   } else if constexpr (std::is_floating_point_v<T>) {
@@ -71,6 +141,12 @@ void env_get(const char* name, T& out) {
     out = cache_policy_from_string(v);
   } else if constexpr (std::is_same_v<T, eviction_kind>) {
     out = eviction_kind_from_string(v);
+  } else if constexpr (std::is_same_v<T, fiber_backend_kind>) {
+    out = fiber_backend_from_string(v);
+  } else if constexpr (std::is_same_v<T, sim_sched_kind>) {
+    out = sim_sched_from_string(v);
+  } else if constexpr (std::is_same_v<T, topology_spec>) {
+    out = topology_spec::parse(v);
   } else if constexpr (std::is_same_v<T, std::string>) {
     out = v;
   } else {
@@ -100,10 +176,15 @@ options options::from_env() {
   env_get("ITYR_ASYNC_RELEASE", o.async_release);
   env_get("ITYR_ASYNC_WB_MAX_INFLIGHT", o.async_wb_max_inflight);
   env_get("ITYR_ULT_STACK_SIZE", o.ult_stack_size);
+  env_get("ITYR_FIBER_BACKEND", o.fiber_backend);
+  env_get("ITYR_SIM_SCHEDULER", o.sim_sched);
+  env_get("ITYR_FIBER_POOL_CAP", o.fiber_pool_cap);
+  env_get("ITYR_TOPOLOGY", o.topology);
   env_get("ITYR_COMPUTE_SCALE", o.compute_scale);
   env_get("ITYR_DETERMINISTIC", o.deterministic);
   env_get("ITYR_TRACE", o.trace_path);
   env_get("ITYR_TRACE_CAP", o.trace_cap);
+  env_get("ITYR_TRACE_FLOW_SAMPLE", o.trace_flow_sample);
   env_get("ITYR_STATS_JSON", o.stats_json_path);
   env_get("ITYR_METRICS_SAMPLE_INTERVAL", o.metrics_sample_interval);
   env_get("ITYR_SEED", o.seed);
@@ -112,6 +193,8 @@ options options::from_env() {
   env_get("ITYR_NET_INTRA_LATENCY", o.net.intra_latency);
   env_get("ITYR_NET_INTRA_BANDWIDTH", o.net.intra_bandwidth);
   validate_cache_geometry(o.block_size, o.sub_block_size);
+  validate_topology(o.n_nodes, o.ranks_per_node, o.topology);
+  validate_sim_core(o.ult_stack_size);
   return o;
 }
 
@@ -140,6 +223,14 @@ void validate_cache_geometry(std::size_t block_size, std::size_t sub_block_size)
     throw error("invalid cache geometry: sub-block size (ITYR_SUB_BLOCK_SIZE = " +
                 std::to_string(sub_block_size) + ") must not exceed block size "
                 "(ITYR_BLOCK_SIZE = " + std::to_string(block_size) + ")");
+  }
+}
+
+void validate_sim_core(std::size_t ult_stack_size) {
+  if (ult_stack_size < 16 * KiB) {
+    throw error("invalid ULT stack size (ITYR_ULT_STACK_SIZE = " +
+                std::to_string(ult_stack_size) +
+                "): must be at least 16 KiB or the guard page fires on the first fork");
   }
 }
 

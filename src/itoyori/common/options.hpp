@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <string>
 
+#include "itoyori/common/topology.hpp"
+
 namespace ityr::common {
 
 inline constexpr std::size_t KiB = std::size_t{1} << 10;
@@ -52,6 +54,40 @@ enum class steal_policy {
 
 const char* to_string(steal_policy p);
 
+/// How fibers switch contexts (ITYR_FIBER_BACKEND). `asm_switch` is a
+/// minimal hand-rolled callee-saved-register switch (no signal-mask syscall,
+/// ~10ns); `ucontext` is the portable swapcontext path. The default is
+/// asm_switch where supported (x86-64/aarch64, not under ASan), ucontext
+/// otherwise.
+enum class fiber_backend_kind {
+  asm_switch,
+  ucontext,
+};
+
+const char* to_string(fiber_backend_kind k);
+fiber_backend_kind fiber_backend_from_string(const std::string& s);
+
+/// Default backend for this build: honors ITYR_FIBER_BACKEND, then falls
+/// back to asm_switch when the architecture supports it and the build is not
+/// sanitized (ASan tracks fiber stacks through swapcontext only).
+fiber_backend_kind default_fiber_backend();
+
+/// Whether this build can run the asm backend at all (x86-64/aarch64 ELF,
+/// not sanitized). Tests use this to skip asm-specific cases gracefully.
+bool asm_fiber_backend_supported();
+
+/// Which min-clock structure the DES run loop uses to pick the next rank
+/// (ITYR_SIM_SCHEDULER). `indexed` is a position-indexed d-ary min-heap
+/// (O(log n) per resume); `linear` is the O(n) scan kept as the
+/// bit-for-bit oracle for differential tests.
+enum class sim_sched_kind {
+  indexed,
+  linear,
+};
+
+const char* to_string(sim_sched_kind k);
+sim_sched_kind sim_sched_from_string(const std::string& s);
+
 /// Network cost-model constants, LogGP-flavoured.
 ///
 /// An RMA operation of n bytes issued by rank r to rank t costs the issuer
@@ -75,6 +111,12 @@ struct options {
   // --- simulated cluster topology ---
   int n_nodes        = 2;
   int ranks_per_node = 4;
+
+  /// Interconnect shape (ITYR_TOPOLOGY: "flat", "fat_tree:<arity>,<levels>",
+  /// "dragonfly:<groups>"); see common/topology.hpp. The default `flat`
+  /// reproduces the historic two-tier intra/inter-node cost model
+  /// bit-for-bit.
+  topology_spec topology;
 
   // --- memory system (paper Section 6.1 defaults, scaled) ---
   std::size_t block_size     = 64 * KiB;  ///< cache/home block granularity
@@ -142,11 +184,23 @@ struct options {
   std::size_t async_wb_max_inflight = 4 * MiB;
 
   // --- scheduler ---
-  std::size_t ult_stack_size = 256 * KiB;  ///< user-level thread stacks
+  std::size_t ult_stack_size = 256 * KiB;  ///< user-level thread stacks (ITYR_ULT_STACK_SIZE)
   double steal_backoff       = 2.0e-6;     ///< seconds between failed steal rounds
   double poll_interval       = 0.5e-6;     ///< epoch-poll spin granularity
   steal_policy steal         = steal_policy::random;
   double node_first_prob     = 0.75;       ///< node_first: P(choose intra-node victim)
+
+  // --- simulator core (docs/internals.md "simulator core") ---
+  /// Context-switch backend for fibers (ITYR_FIBER_BACKEND). Defaults to
+  /// the syscall-free asm backend where supported; see default_fiber_backend.
+  fiber_backend_kind fiber_backend = default_fiber_backend();
+  /// DES next-rank selection structure (ITYR_SIM_SCHEDULER): indexed d-ary
+  /// heap (default) or the linear-scan oracle.
+  sim_sched_kind sim_sched = sim_sched_kind::indexed;
+  /// Max idle fiber stacks retained by the recycling pool
+  /// (ITYR_FIBER_POOL_CAP); stacks released beyond the cap are unmapped.
+  /// 0 = unbounded retention.
+  std::size_t fiber_pool_cap = 64;
 
   // --- time model ---
   /// Scale factor from measured host-CPU seconds to virtual seconds. The
@@ -174,14 +228,19 @@ struct options {
   /// trace (ITYR_METRICS_SAMPLE_INTERVAL); <= 0 disables sampling. Only
   /// active while tracing is on.
   double metrics_sample_interval = 1.0e-4;
+  /// Emit one per-message "rma" trace flow for every Nth message a rank
+  /// issues (ITYR_TRACE_FLOW_SAMPLE). 1 = every message (historic
+  /// behaviour), 0 = none; sampling keeps O(1000)-rank traces writable.
+  std::uint64_t trace_flow_sample = 1;
 
   std::uint64_t seed = 42;
 
   int n_ranks() const { return n_nodes * ranks_per_node; }
 
   /// Read overrides from ITYR_* environment variables on top of defaults.
-  /// Throws common::error if the resulting cache geometry is invalid (see
-  /// validate_cache_geometry).
+  /// Throws common::error if the resulting cache geometry, cluster shape,
+  /// or topology is invalid (see validate_cache_geometry /
+  /// validate_topology / validate_sim_core).
   static options from_env();
 };
 
@@ -192,5 +251,12 @@ struct options {
 /// not corrupt interval math later. Called by options::from_env() and by the
 /// cache system's constructor (covering programmatically built options).
 void validate_cache_geometry(std::size_t block_size, std::size_t sub_block_size);
+
+/// Check the simulator-core knobs: ULT stacks must hold at least a few
+/// frames (>= 16 KiB) or the guard page fires on the first fork. Throws
+/// common::error with the offending value otherwise. Called by
+/// options::from_env() and the engine constructor (covering programmatically
+/// built options).
+void validate_sim_core(std::size_t ult_stack_size);
 
 }  // namespace ityr::common

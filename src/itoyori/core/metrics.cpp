@@ -164,6 +164,15 @@ metrics_snapshot collect_metrics(runtime& rt) {
   add("net.bytes.intra", true, [&](int r) { return u64(net.intra_bytes_of(r)); });
   add("net.bytes.inter", true, [&](int r) { return u64(net.inter_bytes_of(r)); });
 
+  // --- network, split by topology distance class (class 0 == intra-node;
+  //     under ITYR_TOPOLOGY=flat, class 1 == the inter series above) ---
+  for (int c = 0; c < net.n_classes(); c++) {
+    const std::string base = "net.class" + std::to_string(c);
+    add((base + ".messages").c_str(), true,
+        [&](int r) { return u64(net.class_messages_of(r, c)); });
+    add((base + ".bytes").c_str(), true, [&](int r) { return u64(net.class_bytes_of(r, c)); });
+  }
+
   // --- virtual-memory view (mapping-entry ledger, paper Section 4.3.2) ---
   const auto view = [&](int r) -> const vm::view_region& { return rt.pgas().cache_of(r).view(); };
   add("vm.map_calls", true, [&](int r) { return u64(view(r).map_calls()); });
@@ -174,6 +183,17 @@ metrics_snapshot collect_metrics(runtime& rt) {
   // --- DES engine ---
   add("engine.resumes", true, [&](int r) { return u64(rt.eng().resumes_of(r)); });
   add("engine.clock_s", false, [&](int r) { return rt.eng().clock_of(r); });
+
+  // --- ULT fiber pool (cluster-global in the single-threaded simulator, so
+  //     the counters are attributed to rank 0) ---
+  const auto& pool = rt.eng().pool_stats();
+  const auto at0 = [&](std::uint64_t v) {
+    return [&, v](int r) { return r == 0 ? static_cast<double>(v) : 0.0; };
+  };
+  add("engine.fiber_pool_high_water", true, at0(pool.high_water()));
+  add("engine.fiber_pool_created", true, at0(pool.created()));
+  add("engine.fiber_pool_reused", true, at0(pool.reused()));
+  add("engine.fiber_pool_dropped", true, at0(pool.dropped()));
 
   // --- busy/idle/steal phase timeline (Table 2 / Fig. 9 source of truth) ---
   const auto& tl = rt.sched().timeline();

@@ -176,11 +176,12 @@ void scheduler::child_body(const std::function<void(thread_state*)>& fn, thread_
       rs.st.migrations++;
       const std::size_t stack_bytes = pf->live_stack_bytes();
       rs.st.migrated_stack_bytes += stack_bytes;
-      const bool same_node = eng_.same_node(ts->parent_wait_rank, eng_.my_rank());
-      const auto& net = eng_.opts().net;
-      eng_.advance((same_node ? net.intra_latency : net.inter_latency) +
+      // Migration cost is priced by the distance class between the parent's
+      // wait rank and here (flat topology reproduces the old intra/inter
+      // split exactly).
+      eng_.advance(eng_.topo().latency(ts->parent_wait_rank, eng_.my_rank()) +
                    static_cast<double>(stack_bytes) /
-                       (same_node ? net.intra_bandwidth : net.inter_bandwidth));
+                       eng_.topo().bandwidth(ts->parent_wait_rank, eng_.my_rank()));
     }
     rs.note = resume_kind::join_done;
     rs.dead.push_back(eng_.current_fiber());
@@ -291,8 +292,11 @@ bool scheduler::try_steal() {
   rs.st.steal_attempts++;
 
   const bool same_node = eng_.same_node(me, victim);
-  const double latency = same_node ? opt.net.intra_latency : opt.net.inter_latency;
-  const double bandwidth = same_node ? opt.net.intra_bandwidth : opt.net.inter_bandwidth;
+  // Steal traffic is priced by the (me, victim) distance class: on a fat
+  // tree, stealing across the core costs measurably more than within a leaf
+  // switch, which is what makes node-first stealing visible in ablations.
+  const double latency = eng_.topo().latency(me, victim);
+  const double bandwidth = eng_.topo().bandwidth(me, victim);
 
   // Probe the victim's deque bounds: one small one-sided read.
   eng_.advance(latency);

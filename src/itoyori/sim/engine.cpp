@@ -1,7 +1,5 @@
 #include "itoyori/sim/engine.hpp"
 
-#include <limits>
-
 namespace ityr::sim {
 
 namespace {
@@ -19,14 +17,24 @@ namespace detail {
 void set_current_engine(engine* e) { g_engine = e; }
 }
 
-engine::engine(const common::options& opt) : opt_(opt) {
+engine::engine(const common::options& opt)
+    : opt_([&] {
+        common::validate_topology(opt.n_nodes, opt.ranks_per_node, opt.topology);
+        common::validate_sim_core(opt.ult_stack_size);
+        return opt;
+      }()),
+      topo_(opt_.n_nodes, opt_.ranks_per_node, opt_.topology, opt_.net),
+      queue_(opt_.n_ranks(), opt_.sim_sched) {
   ITYR_CHECK(opt_.n_ranks() >= 1);
+  // The backend is process-global; set it before any fiber exists. No fibers
+  // can be live here (engines don't nest), so the switch is safe.
+  set_fiber_backend(opt_.fiber_backend);
   ranks_.resize(static_cast<std::size_t>(opt_.n_ranks()));
   for (int r = 0; r < opt_.n_ranks(); r++) {
     ranks_[r].rng = common::xoshiro256ss(opt_.seed * 0x9e3779b97f4a7c15ULL +
                                          static_cast<std::uint64_t>(r) + 1);
   }
-  pool_ = std::make_unique<fiber_pool>(opt_.ult_stack_size);
+  pool_ = std::make_unique<fiber_pool>(opt_.ult_stack_size, opt_.fiber_pool_cap);
   detail::set_current_engine(this);
 }
 
@@ -72,21 +80,10 @@ void engine::exit_to(fiber* f) {
   __builtin_unreachable();
 }
 
-int engine::pick_next() const {
-  int best = -1;
-  double best_clock = std::numeric_limits<double>::infinity();
-  for (int r = 0; r < n_ranks(); r++) {
-    if (!ranks_[r].finished && ranks_[r].clock < best_clock) {
-      best = r;
-      best_clock = ranks_[r].clock;
-    }
-  }
-  return best;
-}
-
 void engine::run(std::function<void(int)> rank_main) {
   ITYR_CHECK(!running_);
   running_ = true;
+  queue_.reset();
 
   for (int r = 0; r < n_ranks(); r++) {
     rank_state& rs = ranks_[r];
@@ -109,12 +106,18 @@ void engine::run(std::function<void(int)> rank_main) {
   }
 
   while (true) {
-    const int r = pick_next();
+    // O(1) pick from the rank queue (previously an O(n) scan — the dominant
+    // cost at O(1000) ranks). charge() stays O(1) because the queue is only
+    // repositioned here, after the slice yields back with its final clock.
+    const int r = queue_.top();
     if (r < 0) break;
     current_rank_ = r;
     total_resumes_++;
     ranks_[r].resumes++;
-    resume_t0_ = std::chrono::steady_clock::now();
+    // In deterministic mode the slice cost is the fixed
+    // deterministic_resume_cost, so the host timestamp (a vDSO call, but
+    // still tens of ns) is skipped on the per-resume fast path.
+    if (!opt_.deterministic) resume_t0_ = std::chrono::steady_clock::now();
     fiber_switch(&main_ctx_, ranks_[r].running->context());
     // Commit measured compute for the slice that just ran.
     if (opt_.deterministic) {
@@ -124,6 +127,12 @@ void engine::run(std::function<void(int)> rank_main) {
           std::chrono::duration<double>(std::chrono::steady_clock::now() - resume_t0_).count();
       ranks_[r].clock += elapsed * opt_.compute_scale;
     }
+    if (ranks_[r].finished) {
+      queue_.remove(r);
+    } else {
+      queue_.update(r, ranks_[r].clock);
+    }
+    if (resume_hook_) resume_hook_(r, ranks_[r].clock);
     current_rank_ = -1;
   }
 

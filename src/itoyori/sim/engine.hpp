@@ -10,7 +10,9 @@
 #include "itoyori/common/error.hpp"
 #include "itoyori/common/options.hpp"
 #include "itoyori/common/rng.hpp"
+#include "itoyori/common/topology.hpp"
 #include "itoyori/sim/fiber.hpp"
+#include "itoyori/sim/rank_queue.hpp"
 
 namespace ityr::sim {
 
@@ -47,6 +49,10 @@ public:
   int n_ranks() const { return opt_.n_ranks(); }
   int node_of(int rank) const { return rank / opt_.ranks_per_node; }
   bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+
+  /// Distance-class map of the simulated interconnect (ITYR_TOPOLOGY); the
+  /// network and scheduler layers price messages through this.
+  const common::topology& topo() const { return topo_; }
 
   // ---- callable only from inside rank fibers ----
   int my_rank() const {
@@ -97,6 +103,17 @@ public:
   std::uint64_t total_resumes() const { return total_resumes_; }
   std::uint64_t resumes_of(int rank) const { return ranks_[rank].resumes; }
 
+  /// Fiber-pool footprint/churn counters (high-water, created, reused,
+  /// dropped) for the metrics registry.
+  const fiber_pool& pool_stats() const { return *pool_; }
+
+  /// Test hook: called on every DES resume with (rank, committed clock after
+  /// the slice). Used by the scheduler differential test to fingerprint the
+  /// exact resume order; null (and free) in normal runs.
+  void set_resume_hook(std::function<void(int, double)> hook) {
+    resume_hook_ = std::move(hook);
+  }
+
   /// True once any rank's main has terminated with an exception; pollers
   /// (e.g. barriers) use this to abort instead of waiting forever.
   bool any_rank_failed() const { return failed_ranks_ > 0; }
@@ -115,18 +132,20 @@ private:
   };
 
   void yield_to_scheduler();  // save current fiber, return to the run loop
-  int pick_next() const;
 
   common::options opt_;
+  common::topology topo_;
   std::vector<rank_state> ranks_;
+  rank_queue queue_;
   std::unique_ptr<fiber_pool> pool_;
-  ucontext_t main_ctx_{};
+  fiber_context main_ctx_{};
   int current_rank_ = -1;
   bool running_ = false;
   double min_advance_ = 1.0e-9;
   std::uint64_t total_resumes_ = 0;
   int failed_ranks_ = 0;
   std::chrono::steady_clock::time_point resume_t0_{};
+  std::function<void(int, double)> resume_hook_;
 };
 
 /// The engine currently executing (valid while engine::run is live). The

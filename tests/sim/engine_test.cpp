@@ -20,7 +20,7 @@ ic::options det_opts(int nodes, int rpn) {
 }  // namespace
 
 TEST(Fiber, RunsAndSwitchesBack) {
-  ucontext_t main_ctx;
+  is::fiber_context main_ctx;
   bool ran = false;
   is::fiber f(64 * 1024, [&] {
     ran = true;
@@ -31,7 +31,7 @@ TEST(Fiber, RunsAndSwitchesBack) {
 }
 
 TEST(Fiber, PingPong) {
-  ucontext_t main_ctx;
+  is::fiber_context main_ctx;
   std::vector<int> trace;
   is::fiber f(64 * 1024, [&] {
     trace.push_back(1);
@@ -47,7 +47,7 @@ TEST(Fiber, PingPong) {
 
 TEST(Fiber, PoolRecyclesStacks) {
   is::fiber_pool pool(64 * 1024);
-  ucontext_t main_ctx;
+  is::fiber_context main_ctx;
   int runs = 0;
   is::fiber* f1 = pool.acquire([&] {
     runs++;

@@ -25,6 +25,12 @@
 /// guarantees no "wb acquire" flow lands before the releaser's round was
 /// ready.
 ///
+/// With `--self-check-flow-sample` (the `trace_lint_flow_sample` ctest) it
+/// runs with ITYR_TRACE_FLOW_SAMPLE > 1: per-message "rma" flows are
+/// subsampled, and the lint confirms a sampled trace still satisfies every
+/// flow invariant (both halves of a flow are emitted by one tracer call, so
+/// sampling can never strand half an arrow).
+///
 /// All subsystem-specific invariants live in the two rule tables below —
 /// adding a lifecycle or presence check for a new tracer feature means
 /// adding a table row, not a new code path.
@@ -133,7 +139,8 @@ int lint(const std::string& json, const char* what, unsigned modes) {
   return 0;
 }
 
-int self_check(bool with_prefetch, bool with_async_release = false) {
+int self_check(bool with_prefetch, bool with_async_release = false,
+               std::uint64_t flow_sample = 1) {
   ityr::common::options o;
   o.n_nodes = 2;
   o.ranks_per_node = 2;
@@ -146,6 +153,7 @@ int self_check(bool with_prefetch, bool with_async_release = false) {
   o.metrics_sample_interval = 1.0e-5;
   if (with_prefetch) o.prefetch = true;
   if (with_async_release) o.async_release = true;
+  o.trace_flow_sample = flow_sample;
 
   constexpr std::size_t n = 1 << 16;
   std::string json;
@@ -170,7 +178,8 @@ int self_check(bool with_prefetch, bool with_async_release = false) {
   const unsigned modes =
       kContent | (with_prefetch ? kPrefetch : 0u) | (with_async_release ? kRelease : 0u);
   return lint(json,
-              with_async_release ? "self-check (traced cilksort, async release)"
+              flow_sample > 1    ? "self-check (traced cilksort, sampled flows)"
+              : with_async_release ? "self-check (traced cilksort, async release)"
               : with_prefetch    ? "self-check (traced cilksort, prefetch)"
                                  : "self-check (traced cilksort)",
               modes);
@@ -185,6 +194,10 @@ int main(int argc, char** argv) {
   }
   if (argc == 2 && std::strcmp(argv[1], "--self-check-release") == 0) {
     return self_check(/*with_prefetch=*/false, /*with_async_release=*/true);
+  }
+  if (argc == 2 && std::strcmp(argv[1], "--self-check-flow-sample") == 0) {
+    return self_check(/*with_prefetch=*/false, /*with_async_release=*/false,
+                      /*flow_sample=*/7);
   }
 
   int rc = 0;
