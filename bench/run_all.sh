@@ -52,3 +52,12 @@ echo
 echo "#### bench/sim_scaling"
 ./build/bench/sim_scaling BENCH_simcore.json
 echo
+
+# Online critical-path profiler sweep (cilksort + UTS-Mem at two grain sizes
+# with ITYR_CRITPATH: work/span/parallelism, span bucket breakdown,
+# network-free what-if projection, task/steal/fence percentile histograms,
+# flat-vs-fat_tree what-if contrast) -> BENCH_critpath.json. CI compares the
+# --smoke variant against bench/baseline_critpath.json via tools/stats_diff.
+echo "#### bench/critical_path"
+./build/bench/critical_path BENCH_critpath.json
+echo

@@ -185,6 +185,8 @@ options options::from_env() {
   env_get("ITYR_TRACE", o.trace_path);
   env_get("ITYR_TRACE_CAP", o.trace_cap);
   env_get("ITYR_TRACE_FLOW_SAMPLE", o.trace_flow_sample);
+  env_get("ITYR_CRITPATH", o.critpath);
+  env_get("ITYR_HIST_BUCKETS", o.hist_buckets);
   env_get("ITYR_STATS_JSON", o.stats_json_path);
   env_get("ITYR_METRICS_SAMPLE_INTERVAL", o.metrics_sample_interval);
   env_get("ITYR_SEED", o.seed);
@@ -195,6 +197,7 @@ options options::from_env() {
   validate_cache_geometry(o.block_size, o.sub_block_size);
   validate_topology(o.n_nodes, o.ranks_per_node, o.topology);
   validate_sim_core(o.ult_stack_size);
+  validate_observability(o.hist_buckets);
   return o;
 }
 
@@ -231,6 +234,13 @@ void validate_sim_core(std::size_t ult_stack_size) {
     throw error("invalid ULT stack size (ITYR_ULT_STACK_SIZE = " +
                 std::to_string(ult_stack_size) +
                 "): must be at least 16 KiB or the guard page fires on the first fork");
+  }
+}
+
+void validate_observability(std::size_t hist_buckets) {
+  if (hist_buckets < 4 || hist_buckets > 512) {
+    throw error("invalid histogram bucket count (ITYR_HIST_BUCKETS = " +
+                std::to_string(hist_buckets) + "): must be in [4, 512]");
   }
 }
 

@@ -232,6 +232,18 @@ struct options {
   /// issues (ITYR_TRACE_FLOW_SAMPLE). 1 = every message (historic
   /// behaviour), 0 = none; sampling keeps O(1000)-rank traces writable.
   std::uint64_t trace_flow_sample = 1;
+  /// Online critical-path (work/span) profiler (ITYR_CRITPATH): every task
+  /// carries a running work/span accumulator, joins take the max over child
+  /// spans, and span time is attributed into compute / fetch-stall /
+  /// release-stall / steal-wait / acquire-fence buckets plus per-distance-
+  /// class network shares for the what-if projection. Off by default; the
+  /// hooks charge nothing to the virtual clock, so enabling it never
+  /// changes a run's schedule or timing.
+  bool critpath = false;
+  /// Bucket count of the mergeable log2 histograms (task execution time,
+  /// steal latency, fence time, RMA message size) exported with p50/p90/p99
+  /// in the stats JSON (ITYR_HIST_BUCKETS). Valid range [4, 512].
+  std::size_t hist_buckets = 48;
 
   std::uint64_t seed = 42;
 
@@ -258,5 +270,11 @@ void validate_cache_geometry(std::size_t block_size, std::size_t sub_block_size)
 /// options::from_env() and the engine constructor (covering programmatically
 /// built options).
 void validate_sim_core(std::size_t ult_stack_size);
+
+/// Check the observability knobs: the histogram bucket count must land in
+/// [4, 512] — fewer buckets cannot resolve percentiles, more is a typo'd
+/// byte size. Throws common::error with the offending value otherwise.
+/// Called by options::from_env().
+void validate_observability(std::size_t hist_buckets);
 
 }  // namespace ityr::common

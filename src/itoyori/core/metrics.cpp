@@ -14,6 +14,13 @@ const metric_series* metrics_snapshot::find(const std::string& name) const {
   return nullptr;
 }
 
+const metric_histogram* metrics_snapshot::find_histogram(const std::string& name) const {
+  for (const metric_histogram& h : histograms_) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
 metrics_snapshot metrics_snapshot::delta(const metrics_snapshot& base) const {
   metrics_snapshot out;
   for (const metric_series& s : series_) {
@@ -24,6 +31,12 @@ metrics_snapshot metrics_snapshot::delta(const metrics_snapshot& base) const {
       for (std::size_t i = 0; i < n; i++) d.per_rank[i] -= b->per_rank[i];
     }
     out.series_.push_back(std::move(d));
+  }
+  for (const metric_histogram& h : histograms_) {
+    metric_histogram d = h;
+    const metric_histogram* b = base.find_histogram(h.name);
+    if (b != nullptr && b->hist.n_buckets() == d.hist.n_buckets()) d.hist.subtract(b->hist);
+    out.histograms_.push_back(std::move(d));
   }
   return out;
 }
@@ -59,9 +72,9 @@ void append_value(std::string& out, double v, bool integral) {
 
 std::string metrics_snapshot::to_json() const {
   std::string out;
-  out.reserve(256 + series_.size() * 128);
+  out.reserve(256 + series_.size() * 128 + histograms_.size() * 256);
   const std::size_t n_ranks = series_.empty() ? 0 : series_.front().per_rank.size();
-  out += "{\n\"schema\": \"itoyori.metrics.v1\",\n\"n_ranks\": ";
+  out += "{\n\"schema\": \"itoyori.metrics.v2\",\n\"schema_version\": 2,\n\"n_ranks\": ";
   out += std::to_string(n_ranks);
   out += ",\n\"metrics\": [\n";
   for (std::size_t i = 0; i < series_.size(); i++) {
@@ -77,6 +90,34 @@ std::string metrics_snapshot::to_json() const {
     }
     out += "]}";
     out += i + 1 < series_.size() ? ",\n" : "\n";
+  }
+  out += "],\n\"histograms\": [\n";
+  for (std::size_t i = 0; i < histograms_.size(); i++) {
+    const common::log_histogram& h = histograms_[i].hist;
+    out += "  {\"name\": \"";
+    append_escaped(out, histograms_[i].name);
+    out += "\", \"count\": ";
+    append_value(out, static_cast<double>(h.count()), true);
+    out += ", \"min_value\": ";
+    append_value(out, h.min_value(), false);
+    out += ", \"p50\": ";
+    append_value(out, h.percentile(50), false);
+    out += ", \"p90\": ";
+    append_value(out, h.percentile(90), false);
+    out += ", \"p99\": ";
+    append_value(out, h.percentile(99), false);
+    out += ", \"buckets\": [";
+    bool first = true;
+    // Sparse encoding: [index, count] pairs of the nonzero buckets only
+    // (512-bucket geometries would otherwise dominate the file).
+    for (std::size_t b = 0; b < h.n_buckets(); b++) {
+      if (h.bucket_count(b) == 0) continue;
+      if (!first) out += ", ";
+      first = false;
+      out += "[" + std::to_string(b) + ", " + std::to_string(h.bucket_count(b)) + "]";
+    }
+    out += "]}";
+    out += i + 1 < histograms_.size() ? ",\n" : "\n";
   }
   out += "]\n}\n";
   return out;
@@ -136,11 +177,23 @@ metrics_snapshot collect_metrics(runtime& rt) {
       [&](int r) { return u64(cst(r).prefetch_wasted_bytes); });
   add("cache.prefetch_late", true, [&](int r) { return u64(cst(r).prefetch_late); });
   add("cache.fetch_stall_s", false, [&](int r) { return cst(r).fetch_stall_s; });
+  // Stall time split by topology distance class (per-class entries sum to
+  // the total above; classes past the topology's depth are always zero).
+  const int n_stall_cls =
+      std::min(rt.rma().net().n_classes(), pgas::cache_stats::max_stall_classes);
+  for (int c = 0; c < n_stall_cls; c++) {
+    add(("cache.fetch_stall.class" + std::to_string(c) + "_s").c_str(), false,
+        [&](int r) { return cst(r).fetch_stall_class_s[c]; });
+  }
   add("cache.releases_noop", true, [&](int r) { return u64(cst(r).releases_noop); });
   add("cache.async_wb_rounds", true, [&](int r) { return u64(cst(r).async_wb_rounds); });
   add("cache.idle_flush_bytes", true, [&](int r) { return u64(cst(r).idle_flush_bytes); });
   add("cache.epochs_in_flight", true, [&](int r) { return u64(cst(r).epochs_in_flight); });
   add("cache.release_stall_s", false, [&](int r) { return cst(r).release_stall_s; });
+  for (int c = 0; c < n_stall_cls; c++) {
+    add(("cache.release_stall.class" + std::to_string(c) + "_s").c_str(), false,
+        [&](int r) { return cst(r).release_stall_class_s[c]; });
+  }
 
   // --- work-stealing scheduler (sched::scheduler::stats) ---
   const auto sst = [&](int r) -> const sched::scheduler::stats& {
@@ -210,6 +263,56 @@ metrics_snapshot collect_metrics(runtime& rt) {
     add((base + ".count").c_str(), true, [&](int r) { return u64(rt.prof().count_of(r, ev)); });
     add((base + ".max_s").c_str(), false,
         [&](int r) { return rt.prof().max_duration_of(r, ev); });
+  }
+
+  // --- tracer health (tools/trace_lint warns when nonzero) ---
+  add("trace.dropped_events", true, [&](int r) { return u64(rt.trace().dropped(r)); });
+
+  // --- per-rank histograms, merged cluster-wide (elementwise count add:
+  //     associative and deterministic across rank orders) ---
+  const auto merge_hists = [&](const char* name,
+                               const std::function<const common::log_histogram&(int)>& of) {
+    common::log_histogram m = of(0);
+    for (int r = 1; r < n; r++) m.merge(of(r));
+    snap.add_histogram(name, std::move(m));
+  };
+  merge_hists("hist.task_exec_s",
+              [&](int r) -> const common::log_histogram& { return rt.sched().task_hist_of(r); });
+  merge_hists("hist.steal_latency_s",
+              [&](int r) -> const common::log_histogram& { return rt.sched().steal_hist_of(r); });
+  merge_hists("hist.fence_s",
+              [&](int r) -> const common::log_histogram& { return rt.sched().fence_hist_of(r); });
+  merge_hists("hist.rma_msg_bytes",
+              [&](int r) -> const common::log_histogram& { return net.msg_hist_of(r); });
+
+  // --- online critical-path profiler (ITYR_CRITPATH; docs/observability.md).
+  //     Whole-run scalars, attributed to rank 0 like the fiber-pool counters.
+  if (rt.sched().critpath_enabled()) {
+    const auto d_at0 = [&](double v) {
+      return [v](int r) { return r == 0 ? v : 0.0; };
+    };
+    const double work = rt.sched().cp_work();
+    const sched::cp_path& span = rt.sched().cp_span();
+    const double span_s = span.total();
+    add("critpath.work_s", false, d_at0(work));
+    add("critpath.span_s", false, d_at0(span_s));
+    add("critpath.parallelism", false, d_at0(span_s > 0 ? work / span_s : 0.0));
+    for (int b = 0; b < sched::n_cp_buckets; b++) {
+      const auto k = static_cast<sched::cp_bucket>(b);
+      add((std::string("critpath.span.") + sched::to_string(k) + "_s").c_str(), false,
+          d_at0(span.of(k)));
+    }
+    const int n_cp_cls = std::min(rt.rma().net().n_classes(), sched::cp_max_classes);
+    for (int c = 0; c < n_cp_cls; c++) {
+      add(("critpath.net.class" + std::to_string(c) + "_s").c_str(), false, d_at0(span.net[c]));
+    }
+    // What-if projection: replay the recorded path with all inter-node
+    // (class >= 1) network latency zeroed; class 0 is shared memory and
+    // stays. "How much faster if the network were free."
+    const double net_free = std::max(span_s - span.net_inter(), 0.0);
+    add("critpath.whatif.network_free_span_s", false, d_at0(net_free));
+    add("critpath.whatif.network_free_speedup", false,
+        d_at0(net_free > 0 ? span_s / net_free : 1.0));
   }
 
   return snap;

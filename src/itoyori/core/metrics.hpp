@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "itoyori/common/histogram.hpp"
+
 namespace ityr {
 
 class runtime;
@@ -25,6 +27,14 @@ struct metric_series {
   }
 };
 
+/// One named distribution: per-rank log-histograms merged into a single
+/// cluster-wide histogram at collection time (the merge is an elementwise
+/// count add, so the result is independent of rank order).
+struct metric_histogram {
+  std::string name;
+  common::log_histogram hist;
+};
+
 /// Unified snapshot of every runtime counter — cache, scheduler, network,
 /// VM, engine, timeline, and profiler — under one naming scheme
 /// (docs/observability.md). Snapshots are plain data: diff two of them with
@@ -34,9 +44,15 @@ public:
   void add(std::string name, bool integral, std::vector<double> per_rank) {
     series_.push_back({std::move(name), integral, std::move(per_rank)});
   }
+  void add_histogram(std::string name, common::log_histogram hist) {
+    histograms_.push_back({std::move(name), std::move(hist)});
+  }
 
   const std::vector<metric_series>& all() const { return series_; }
   std::size_t size() const { return series_.size(); }
+  const std::vector<metric_histogram>& histograms() const { return histograms_; }
+  /// nullptr when no histogram has that name.
+  const metric_histogram* find_histogram(const std::string& name) const;
 
   /// nullptr when no series has that name.
   const metric_series* find(const std::string& name) const;
@@ -54,17 +70,21 @@ public:
 
   /// Elementwise `this - base`, matched by series name: the counter growth
   /// across a region. Series missing from `base` pass through unchanged;
-  /// series only in `base` are dropped.
+  /// series only in `base` are dropped. Histograms subtract counts the same
+  /// way (they are monotone between snapshots).
   metrics_snapshot delta(const metrics_snapshot& base) const;
 
-  /// Deterministic JSON: {"schema": "itoyori.metrics.v1", "n_ranks": N,
-  /// "metrics": [{"name", "total", "per_rank"}...]} in insertion order.
+  /// Deterministic JSON: {"schema": "itoyori.metrics.v2", "schema_version":
+  /// 2, "n_ranks": N, "metrics": [{"name", "total", "per_rank"}...],
+  /// "histograms": [{"name", "count", "p50", "p90", "p99", ...}...]} in
+  /// insertion order. tools/stats_diff compares two such files.
   std::string to_json() const;
   /// Write to_json() to `path`; false (with a stderr note) on I/O failure.
   bool write_json(const std::string& path) const;
 
 private:
   std::vector<metric_series> series_;
+  std::vector<metric_histogram> histograms_;
 };
 
 /// Snapshot every counter of the running cluster. Callable between regions

@@ -34,6 +34,13 @@ struct cache_stats {
   /// targeted wait at the end of the block walk). Accounted identically
   /// with prefetching off, so on/off stall times are directly comparable.
   double fetch_stall_s = 0;
+  /// The same stall time split by topology distance class (class 0 =
+  /// intra-node; see common::topology). A round touching several homes is
+  /// attributed to its *max* class — the farthest home bounds the wait.
+  /// Deeper topologies than this are clamped into the last slot. Invariant:
+  /// the per-class entries sum to fetch_stall_s (resp. release_stall_s).
+  static constexpr int max_stall_classes = 8;
+  double fetch_stall_class_s[max_stall_classes] = {};
   // release pipeline (counted in both modes unless noted)
   std::uint64_t releases_noop = 0;   ///< release fences with nothing dirty
   std::uint64_t async_wb_rounds = 0; ///< nonblocking write-back rounds (async only)
@@ -43,6 +50,10 @@ struct cache_stats {
   /// mode, the over-budget stall in async mode. Accounted identically in
   /// both modes, so blocking/async stall times are directly comparable.
   double release_stall_s = 0;
+  /// release_stall_s split by distance class (same convention as
+  /// fetch_stall_class_s; over-budget async stalls are attributed to the
+  /// class of the most recently collected round).
+  double release_stall_class_s[max_stall_classes] = {};
 };
 
 }  // namespace ityr::pgas

@@ -22,11 +22,19 @@ fetch_engine::fetch_engine(sim::engine& eng, rma::channel& ch, block_directory& 
 void fetch_engine::queue_demand(mem_block& mb, common::interval padded) {
   // Fetch at sub-block granularity for spatial locality, skipping
   // already-valid (possibly dirty!) byte ranges (Fig. 4 lines 18-21).
+  bool queued = false;
   for (const auto& miss : mb.valid.missing(padded)) {
     batch_.add(mb.home.win, mb.home.rank, mb.home.pool_off + miss.begin,
                dir_.slot_ptr(mb) + miss.begin, miss.size());
     st_.fetched_bytes += miss.size();
     mb.valid.add(miss);
+    queued = true;
+  }
+  if (queued) {
+    // The round's stall is attributed to the farthest home it waits on.
+    const int cls = std::min(eng_.topo().class_of(rank_, mb.home.rank),
+                             cache_stats::max_stall_classes - 1);
+    if (cls > round_cls_) round_cls_ = cls;
   }
   mb.update_fully_valid(block_size_);
 }
@@ -42,7 +50,9 @@ void fetch_engine::wait_round(double round_done) {
   } else {
     ch_.flush();
   }
-  st_.fetch_stall_s += eng_.now() - stall_from;
+  const double stalled = eng_.now() - stall_from;
+  st_.fetch_stall_s += stalled;
+  st_.fetch_stall_class_s[round_cls_] += stalled;
 }
 
 // ---------------------------------------------------------------------------

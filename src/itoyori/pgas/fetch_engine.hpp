@@ -56,6 +56,7 @@ public:
   // ---- demand round ----
   void begin_round() {
     pf_wait_ = 0.0;
+    round_cls_ = 0;
   }
   /// Queue the not-yet-valid sub-block ranges of `padded` for fetch and
   /// claim them valid (Fig. 4 lines 18-21); gaps ride the round's batch so
@@ -134,6 +135,7 @@ private:
   std::size_t inflight_head_ = 0;
   std::size_t inflight_bytes_ = 0;
   double pf_wait_ = 0;               ///< per-round: latest in-flight completion hit
+  int round_cls_ = 0;                ///< per-round: max distance class queued
 
   common::tracer* trace_ = nullptr;
 };

@@ -29,16 +29,22 @@ void writeback_engine::mark_dirty(mem_block& mb, common::interval iv) {
 }
 
 void writeback_engine::collect_dirty() {
+  int cls = 0;
   for (mem_block* mb : dirty_blocks_) {
     for (const auto& iv : mb->dirty.to_vector()) {
       batch_.add(mb->home.win, mb->home.rank, mb->home.pool_off + iv.begin,
                  dir_.slot_ptr(*mb) + iv.begin, iv.size());
       st_.written_back_bytes += iv.size();
     }
+    // Stall attribution: the round waits on its farthest home.
+    const int c = std::min(eng_.topo().class_of(rank_, mb->home.rank),
+                           cache_stats::max_stall_classes - 1);
+    if (c > cls) cls = c;
     mb->dirty.clear();
     mb->in_dirty_list = false;
   }
   dirty_blocks_.clear();
+  wb_cls_ = cls;
 }
 
 void writeback_engine::writeback_all() {
@@ -55,7 +61,9 @@ void writeback_engine::writeback_all() {
   batch_.issue(/*is_put=*/true);
   const double stall_from = eng_.now();
   ch_.flush();
-  st_.release_stall_s += eng_.now() - stall_from;
+  const double stalled = eng_.now() - stall_from;
+  st_.release_stall_s += stalled;
+  st_.release_stall_class_s[wb_cls_] += stalled;
   // Completing a write-back round advances this process's epoch, releasing
   // any acquirer waiting on a handler from before this round (Fig. 6).
   epoch_words()[0]++;
@@ -107,7 +115,11 @@ bool writeback_engine::async_writeback_round(bool opportunistic) {
       ch_.wait_until(wb_inflight_[wb_inflight_head_].ready_at);
       drain_wb_inflight();
     }
-    st_.release_stall_s += eng_.now() - stall_from;
+    // The budget stall waits on earlier rounds; attribute it to the class of
+    // the most recently collected one (conservative, sums stay consistent).
+    const double stalled = eng_.now() - stall_from;
+    st_.release_stall_s += stalled;
+    st_.release_stall_class_s[wb_cls_] += stalled;
   }
 
   const double t_issue = eng_.now_precise();

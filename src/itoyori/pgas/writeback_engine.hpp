@@ -113,6 +113,7 @@ private:
 
   std::vector<mem_block*> dirty_blocks_;
   xfer_batch batch_;  ///< write-back runs (separate from the fetch batch)
+  int wb_cls_ = 0;    ///< max distance class of the last collected round
 
   // The epoch ring maps epoch -> cumulative-max completion time of the round
   // that advanced to it; overwritten (too-old) entries are superseded by

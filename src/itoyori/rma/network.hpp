@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "itoyori/common/histogram.hpp"
 #include "itoyori/common/options.hpp"
 #include "itoyori/common/trace.hpp"
 #include "itoyori/sim/engine.hpp"
@@ -34,6 +35,8 @@ public:
     for (auto& s : state_) {
       s.class_messages.assign(nc, 0);
       s.class_bytes.assign(nc, 0);
+      // Message sizes start at 1 byte (min_value 1.0), not at 1 ns.
+      s.msg_hist.configure(eng.opts().hist_buckets, 1.0);
     }
   }
 
@@ -62,6 +65,7 @@ public:
     if (done > s.pending_until) s.pending_until = done;
     s.class_messages[static_cast<std::size_t>(cls)]++;
     s.class_bytes[static_cast<std::size_t>(cls)] += bytes;
+    s.msg_hist.record(static_cast<double>(bytes));
     if (trace_ != nullptr && target != me && flow_sample_ != 0 &&
         s.issued_since_flow++ % flow_sample_ == 0) {
       trace_->flow(me, now, target, done, "rma");
@@ -157,12 +161,18 @@ public:
   }
   std::uint64_t bytes_of(int rank) const { return intra_bytes_of(rank) + inter_bytes_of(rank); }
 
+  /// Per-rank RMA message-size histogram (bytes; merged at metrics export).
+  const common::log_histogram& msg_hist_of(int rank) const {
+    return state_[static_cast<std::size_t>(rank)].msg_hist;
+  }
+
 private:
   struct per_rank {
     double channel_busy_until = 0.0;
     double pending_until = 0.0;
     std::vector<std::uint64_t> class_messages;  ///< indexed by distance class
     std::vector<std::uint64_t> class_bytes;
+    common::log_histogram msg_hist;       ///< message sizes in bytes
     std::uint64_t issued_since_flow = 0;  ///< flow-sampling counter
   };
 

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstddef>
+
+namespace ityr::sched {
+
+/// Where span (critical-path) time was spent (docs/observability.md):
+///  * compute       — task execution net of every modelled stall below
+///  * fetch_stall   — checkout waits on remote demand-fetch completion
+///  * release_stall — release fences blocked on write-back traffic
+///  * steal_wait    — steal mechanics (probe + CAS + descriptor fetch +
+///                    stack migration + Acquire #2) on the resumed path
+///  * acquire_fence — join-side Acquire #1 visibility waits
+enum class cp_bucket : int {
+  compute = 0,
+  fetch_stall,
+  release_stall,
+  steal_wait,
+  acquire_fence,
+};
+
+inline constexpr int n_cp_buckets = 5;
+
+inline const char* to_string(cp_bucket b) {
+  switch (b) {
+    case cp_bucket::compute:       return "compute";
+    case cp_bucket::fetch_stall:   return "fetch_stall";
+    case cp_bucket::release_stall: return "release_stall";
+    case cp_bucket::steal_wait:    return "steal_wait";
+    case cp_bucket::acquire_fence: return "acquire_fence";
+  }
+  return "?";
+}
+
+/// Distance classes tracked along the critical path (clamped; matches
+/// cache_stats::max_stall_classes — even a deep fat tree stays below this).
+inline constexpr int cp_max_classes = 8;
+
+/// One path through the DAG: per-bucket seconds plus the network-latency
+/// share per topology distance class (class 0 = intra-node shared memory).
+/// The net[] classes are *contained in* the bucket totals — they are the
+/// what-if projector's view of the same time, not additional time.
+struct cp_path {
+  double b[n_cp_buckets] = {};
+  double net[cp_max_classes] = {};
+
+  double total() const {
+    double s = 0;
+    for (int i = 0; i < n_cp_buckets; i++) s += b[i];
+    return s;
+  }
+  double net_inter() const {  // classes >= 1: what zeroing the network removes
+    double s = 0;
+    for (int c = 1; c < cp_max_classes; c++) s += net[c];
+    return s;
+  }
+  void add(const cp_path& o) {
+    for (int i = 0; i < n_cp_buckets; i++) b[i] += o.b[i];
+    for (int c = 0; c < cp_max_classes; c++) net[c] += o.net[c];
+  }
+  double of(cp_bucket k) const { return b[static_cast<int>(k)]; }
+};
+
+/// Per-task work/span accumulator (Cilkview-style, online). Each task frame
+/// carries the total work of its completed subtree and the bucketed span of
+/// the longest path from the task's start; `base` snapshots the parent's
+/// span at fork so join can compare "parent continuation path" against
+/// "base + child path" and keep the elementwise record of whichever is
+/// longer. `self_s` (own strand segments only) feeds the task-exec-time
+/// histogram.
+struct cp_frame {
+  double work = 0;    ///< subtree total: own segments + joined children
+  double self_s = 0;  ///< own strand segments only (histogram sample)
+  cp_path span;       ///< longest path from this task's start, bucketed
+  cp_path base;       ///< parent's span at fork (prefix shared by both paths)
+};
+
+/// Per-rank segment-accounting state of the online profiler. A *segment* is
+/// one uninterrupted run of a task strand on one rank: opened at every
+/// resume, closed at every suspension, charged by differencing the rank's
+/// stall counters so the split into buckets costs no virtual time.
+struct cp_rank_state {
+  cp_frame* cur = nullptr;  ///< frame of the strand running on this rank
+  double t0 = 0;            ///< virtual time the current segment opened
+  double acq_s = 0;         ///< explicitly measured acquire-fence time within
+  double fetch_base = 0;    ///< cache_stats baselines at segment open
+  double release_base = 0;
+  double fetch_cls_base[cp_max_classes] = {};
+  double release_cls_base[cp_max_classes] = {};
+  // Pending steal note: set by a successful steal, consumed by the very next
+  // taken_over resume on this rank (local pops carry no note).
+  int steal_cls = -1;
+  double steal_cost = 0;
+};
+
+}  // namespace ityr::sched

@@ -1,10 +1,18 @@
 #include "itoyori/sched/scheduler.hpp"
 
+#include <algorithm>
+
 namespace ityr::sched {
 
 scheduler::scheduler(sim::engine& eng, pgas::pgas_space& pgas) : eng_(eng), pgas_(pgas) {
   ranks_.resize(static_cast<std::size_t>(eng_.n_ranks()));
   timeline_.configure(eng_.n_ranks());
+  cp_on_ = eng_.opts().critpath;
+  for (auto& rs : ranks_) {
+    rs.hist_task.configure(eng_.opts().hist_buckets, 1.0e-9);
+    rs.hist_steal.configure(eng_.opts().hist_buckets, 1.0e-9);
+    rs.hist_fence.configure(eng_.opts().hist_buckets, 1.0e-9);
+  }
 }
 
 scheduler::stats scheduler::get_stats() const {
@@ -42,6 +50,84 @@ void scheduler::charge_ts_touch(const thread_state* ts) {
   if (ts->owner_rank != eng_.my_rank()) {
     eng_.advance(eng_.opts().net.inter_latency);
   }
+}
+
+// ---------------------------------------------------------------------------
+// online critical-path profiler (ITYR_CRITPATH)
+// ---------------------------------------------------------------------------
+// A segment is one uninterrupted strand run on one rank. Buckets come from
+// differencing this rank's stall counters across the segment, so attribution
+// never charges the virtual clock: with ITYR_CRITPATH=0 the run is
+// bit-identical (the cross-mode differential test pins this down).
+
+void scheduler::cp_open(cp_frame* f) {
+  if (!cp_on_) return;
+  cp_rank_state& c = self().cp;
+  ITYR_CHECK(c.cur == nullptr);
+  const pgas::cache_stats& st = pgas_.cache().get_stats();
+  c.cur = f;
+  c.t0 = eng_.now_precise();
+  c.acq_s = 0;
+  c.fetch_base = st.fetch_stall_s;
+  c.release_base = st.release_stall_s;
+  for (int k = 0; k < cp_max_classes; k++) {
+    c.fetch_cls_base[k] = st.fetch_stall_class_s[k];
+    c.release_cls_base[k] = st.release_stall_class_s[k];
+  }
+}
+
+cp_frame* scheduler::cp_close() {
+  if (!cp_on_) return nullptr;
+  cp_rank_state& c = self().cp;
+  cp_frame* f = c.cur;
+  ITYR_CHECK(f != nullptr);
+  c.cur = nullptr;
+  const pgas::cache_stats& st = pgas_.cache().get_stats();
+  const double elapsed = eng_.now_precise() - c.t0;
+  const double df = st.fetch_stall_s - c.fetch_base;
+  const double dr = st.release_stall_s - c.release_base;
+  // Everything the segment did not observably stall on counts as compute
+  // (clamped: stall counters advance in committed time, the segment edges in
+  // precise time, so tiny negatives can appear in non-deterministic mode).
+  const double comp = std::max(0.0, elapsed - df - dr - c.acq_s);
+  f->span.b[static_cast<int>(cp_bucket::compute)] += comp;
+  f->span.b[static_cast<int>(cp_bucket::fetch_stall)] += df;
+  f->span.b[static_cast<int>(cp_bucket::release_stall)] += dr;
+  f->span.b[static_cast<int>(cp_bucket::acquire_fence)] += c.acq_s;
+  for (int k = 0; k < cp_max_classes; k++) {
+    f->span.net[k] += (st.fetch_stall_class_s[k] - c.fetch_cls_base[k]) +
+                      (st.release_stall_class_s[k] - c.release_cls_base[k]);
+  }
+  f->work += elapsed;
+  f->self_s += elapsed;
+  return f;
+}
+
+void scheduler::cp_resume(cp_frame* f, bool taken_over) {
+  if (!cp_on_) return;
+  cp_rank_state& c = self().cp;
+  if (taken_over && c.steal_cls >= 0) {
+    // The continuation reached this rank through a steal: its modelled
+    // mechanics (probe + CAS + descriptor fetch + migration + Acquire #2)
+    // burden the resumed path. Deque residence time is NOT charged — a
+    // 1-rank run's child executions would otherwise masquerade as span.
+    f->span.b[static_cast<int>(cp_bucket::steal_wait)] += c.steal_cost;
+    f->span.net[c.steal_cls] += c.steal_cost;
+    c.steal_cls = -1;
+    c.steal_cost = 0;
+  }
+  cp_open(f);
+}
+
+void scheduler::cp_on_join(cp_frame* p, thread_state* ts) {
+  if (!cp_on_) return;
+  p->work += ts->cp.work;
+  // Candidate path through the child: the parent's span at fork (the shared
+  // prefix) plus the child's own span. Keep whichever full path is longer,
+  // with its bucket/class decomposition intact.
+  cp_path cand = ts->cp.base;
+  cand.add(ts->cp.span);
+  if (cand.total() > p->span.total()) p->span = cand;
 }
 
 void scheduler::busy_begin() {
@@ -119,6 +205,15 @@ thread_handle scheduler::fork(std::function<void(thread_state*)> child_fn) {
   sim::fiber* child_fib = eng_.spawn_fiber(
       [this, fn = std::move(child_fn), ts, serial] { child_body(fn, ts, serial); });
 
+  // Critical path: the parent's segment ends at the fork point; the child's
+  // path shares the parent's span so far as its prefix. (parent_frame lives
+  // on this fiber's stack, so it survives migration with the continuation.)
+  cp_frame* parent_frame = nullptr;
+  if (cp_on_) {
+    parent_frame = cp_close();
+    ts->cp.base = parent_frame->span;
+  }
+
   rs.deque.push_back({parent_fib, rh, serial});
   // Child-first: run the child immediately; the parent's continuation is now
   // stealable. Acquire #3 is skipped because the child starts on this rank.
@@ -127,6 +222,7 @@ thread_handle scheduler::fork(std::function<void(thread_state*)> child_fn) {
   // --- the parent continuation resumes here, on some rank ---
   reap();
   const resume_kind k = consume_note();
+  cp_resume(parent_frame, k == resume_kind::taken_over);
   if (k == resume_kind::child_done) {
     self().st.serialized_joins++;
     return {ts, true};
@@ -137,6 +233,7 @@ thread_handle scheduler::fork(std::function<void(thread_state*)> child_fn) {
 
 void scheduler::child_body(const std::function<void(thread_state*)>& fn, thread_state* ts,
                            std::uint64_t parent_serial) {
+  cp_open(&ts->cp);
   try {
     fn(ts);
   } catch (...) {
@@ -151,6 +248,10 @@ void scheduler::child_body(const std::function<void(thread_state*)>& fn, thread_
     rs.deque.pop_back();
     ts->finished = true;
     rs.note = resume_kind::child_done;
+    if (cp_on_) {
+      cp_close();
+      rs.hist_task.record(ts->cp.self_s);
+    }
     rs.dead.push_back(eng_.current_fiber());
     eng_.exit_to(e.fib);
   }
@@ -160,13 +261,21 @@ void scheduler::child_body(const std::function<void(thread_state*)>& fn, thread_
   // updates (Release #2) before signalling completion.
   {
     common::profiler::maybe_scope sc(prof_, common::prof_event::release);
+    const double f0 = eng_.now_precise();
     pgas_.release();
+    rs.hist_fence.record(eng_.now_precise() - f0);
   }
   // Async release: the Release #2 round above was only *issued*; tell the
   // joiner when it becomes visible (0 in synchronous mode).
   ts->release_watermark = pgas_.cache().visibility_watermark();
   charge_ts_touch(ts);
   ts->finished = true;
+  if (cp_on_) {
+    // The child's strand ends here; the migration advance below (if any)
+    // belongs to the *parent's* resumed path and is priced into no segment.
+    cp_close();
+    rs.hist_task.record(ts->cp.self_s);
+  }
 
   if (ts->parent_waiting) {
     // The parent suspended at join; the last finisher resumes it here
@@ -207,6 +316,14 @@ void scheduler::join(thread_handle& h) {
   if (h.serialized) {
     // Fast path: child already completed on this rank with no steal in
     // between; its effects are in our cache. No fences (Section 5.1).
+    if (cp_on_) {
+      // Split the segment at the join so the span comparison sees the
+      // parent's up-to-date path (in a deterministic serial chain the split
+      // segment is exactly empty, preserving span == work to the bit).
+      cp_frame* f = cp_close();
+      cp_on_join(f, ts);
+      cp_open(f);
+    }
     if (ts->error) {
       auto err = ts->error;
       recycle(h);
@@ -222,7 +339,9 @@ void scheduler::join(thread_handle& h) {
   // runs without yielding, so no wakeup can be lost).
   {
     common::profiler::maybe_scope sc(prof_, common::prof_event::release);
+    const double f0 = eng_.now_precise();
     pgas_.release();
+    self().hist_fence.record(eng_.now_precise() - f0);
   }
   charge_ts_touch(ts);
 
@@ -232,6 +351,7 @@ void scheduler::join(thread_handle& h) {
     ts->parent_waiting = true;
     ts->parent_fiber = eng_.current_fiber();
     ts->parent_wait_rank = eng_.my_rank();
+    cp_frame* self_frame = cp_close();  // segment ends at the suspension
     busy_end();
     eng_.switch_to(rs.sched_fiber);
     // Resumed by the finishing child (maybe on another rank).
@@ -239,6 +359,9 @@ void scheduler::join(thread_handle& h) {
     reap();
     const resume_kind k = consume_note();
     ITYR_CHECK(k == resume_kind::join_done);
+    // Blocked-at-join time is the child's execution, not path length; the
+    // resumed segment starts fresh here (join_done carries no steal note).
+    cp_resume(self_frame, /*taken_over=*/false);
   }
 
   // Acquire #1: observe the child's (and our own released) writes. The
@@ -246,7 +369,17 @@ void scheduler::join(thread_handle& h) {
   // stamped watermark tells us how long (no-op when 0).
   {
     common::profiler::maybe_scope sc(prof_, common::prof_event::acquire);
+    const double f0 = eng_.now_precise();
     pgas_.acquire_watermark(ts->release_watermark);
+    const double d = eng_.now_precise() - f0;
+    self().hist_fence.record(d);
+    if (cp_on_) self().cp.acq_s += d;
+  }
+
+  if (cp_on_) {
+    cp_frame* f = cp_close();
+    cp_on_join(f, ts);
+    cp_open(f);
   }
 
   if (ts->error) {
@@ -271,6 +404,7 @@ bool scheduler::try_steal() {
   const int n = eng_.n_ranks();
   if (n == 1) return false;
   common::profiler::maybe_scope steal_sc(prof_, common::prof_event::steal);
+  const double t0 = eng_.now_precise();  // steal-latency histogram start
 
   const auto& opt = eng_.opts();
   const int me = eng_.my_rank();
@@ -328,12 +462,23 @@ bool scheduler::try_steal() {
   // traffic above; it is conservative — at least the push-time value.
   {
     common::profiler::maybe_scope sc(prof_, common::prof_event::acquire);
+    const double f0 = eng_.now_precise();
     pgas_.acquire(e.rh);
     pgas_.cache().wait_visibility(pgas_.cache_of(victim).visibility_watermark());
+    rs.hist_fence.record(eng_.now_precise() - f0);
   }
   // Thief<-victim pairing as a trace flow arrow: starts where the entry was
   // claimed on the victim's track, lands when the migrated task is runnable.
   if (trace_ != nullptr) trace_->flow(victim, t_claim, me, eng_.now_precise(), "steal");
+  const double steal_cost = eng_.now_precise() - t0;
+  rs.hist_steal.record(steal_cost);
+  if (cp_on_) {
+    // Pending note for the taken_over resume: the steal's modelled mechanics
+    // burden the stolen continuation's path, classed by thief<->victim
+    // distance (intra-node steals land in net[0], which what-if keeps).
+    rs.cp.steal_cls = std::min(eng_.topo().class_of(me, victim), cp_max_classes - 1);
+    rs.cp.steal_cost = steal_cost;
+  }
   return_to_task_ = e.fib;
   return true;
 }
@@ -407,6 +552,10 @@ void scheduler::root_exec(std::function<void()> root_fn) {
     active_ = true;
     root_error_ = nullptr;
     sim::fiber* root_fib = eng_.spawn_fiber([this, fn = std::move(root_fn)] {
+      if (cp_on_) {
+        cp_root_ = {};
+        cp_open(&cp_root_);
+      }
       try {
         fn();
       } catch (...) {
@@ -416,6 +565,13 @@ void scheduler::root_exec(std::function<void()> root_fn) {
       // the cluster.
       pgas_.release();
       rank_state& cur = self();
+      if (cp_on_) {
+        cp_close();
+        cur.hist_task.record(cp_root_.self_s);
+        // Sequential fork-join regions extend the same critical path.
+        cp_work_ += cp_root_.work;
+        cp_span_.add(cp_root_.span);
+      }
       busy_end();
       done_ = true;
       cur.dead.push_back(eng_.current_fiber());

@@ -7,9 +7,11 @@
 #include <memory>
 #include <vector>
 
+#include "itoyori/common/histogram.hpp"
 #include "itoyori/common/profiler.hpp"
 #include "itoyori/common/trace.hpp"
 #include "itoyori/pgas/pgas_space.hpp"
+#include "itoyori/sched/critpath.hpp"
 #include "itoyori/sim/engine.hpp"
 
 namespace ityr::sched {
@@ -29,6 +31,7 @@ struct thread_state {
   double release_watermark = 0;        ///< async release: child's Release #2
                                        ///< visibility time (0 = synchronous)
   std::exception_ptr error;
+  cp_frame cp;  ///< work/span accumulator (ITYR_CRITPATH; unused otherwise)
   alignas(16) unsigned char result[result_capacity]{};  ///< type-erased slot
 
   void reset() {
@@ -39,6 +42,7 @@ struct thread_state {
     owner_rank = -1;
     release_watermark = 0;
     error = nullptr;
+    cp = {};
   }
 };
 
@@ -137,6 +141,29 @@ public:
     return ranks_[static_cast<std::size_t>(rank)].deque.size();
   }
 
+  // ---- online critical-path profiler (ITYR_CRITPATH) ----
+  bool critpath_enabled() const { return cp_on_; }
+  /// Total work (sum of all strand segments) across every completed
+  /// root_exec region so far; 0 unless ITYR_CRITPATH.
+  double cp_work() const { return cp_work_; }
+  /// Bucketed span (critical path). Sequential regions add their spans.
+  const cp_path& cp_span() const { return cp_span_; }
+
+  // ---- per-rank histograms (merged at metrics-collection time) ----
+  /// Task execution time (own strand segments; populated only with
+  /// ITYR_CRITPATH, which is what measures self time).
+  const common::log_histogram& task_hist_of(int rank) const {
+    return ranks_[static_cast<std::size_t>(rank)].hist_task;
+  }
+  /// Successful-steal latency (probe to runnable task), always on.
+  const common::log_histogram& steal_hist_of(int rank) const {
+    return ranks_[static_cast<std::size_t>(rank)].hist_steal;
+  }
+  /// Fence time (Release #2/#3, Acquire #1/#2), always on.
+  const common::log_histogram& fence_hist_of(int rank) const {
+    return ranks_[static_cast<std::size_t>(rank)].hist_fence;
+  }
+
 private:
   struct cont_entry {
     sim::fiber* fib = nullptr;
@@ -157,6 +184,10 @@ private:
     resume_kind note = resume_kind::none;
     std::vector<sim::fiber*> dead;      ///< fibers to recycle
     stats st;
+    cp_rank_state cp;                   ///< segment accounting (ITYR_CRITPATH)
+    common::log_histogram hist_task;    ///< task exec time (ITYR_CRITPATH only)
+    common::log_histogram hist_steal;   ///< successful-steal latency
+    common::log_histogram hist_fence;   ///< fence (release/acquire) time
   };
 
   rank_state& self() { return ranks_[static_cast<std::size_t>(eng_.my_rank())]; }
@@ -168,6 +199,21 @@ private:
                   std::uint64_t parent_serial);
   resume_kind consume_note();
   void charge_ts_touch(const thread_state* ts);
+
+  // Segment accounting (no-ops unless cp_on_; none of these charge virtual
+  // time, so ITYR_CRITPATH=0 and =1 run bit-identical virtual clocks).
+  /// Open a segment for `f` on the current rank: snapshot the rank's stall
+  /// counters and the clock.
+  void cp_open(cp_frame* f);
+  /// Close the current segment: charge its elapsed time into `f`'s span
+  /// buckets (compute = elapsed - stall deltas) and work. Returns the frame.
+  cp_frame* cp_close();
+  /// Reopen `f` after a suspension resume; a taken_over resume consumes the
+  /// rank's pending steal note into steal_wait first.
+  void cp_resume(cp_frame* f, bool taken_over);
+  /// Join-time span fold: parent.work += child.work; parent.span = the
+  /// longer path of {parent.span, child.base + child.span} (kept bucketed).
+  void cp_on_join(cp_frame* parent, thread_state* ts);
   thread_state* acquire_ts();
   void release_ts(thread_state* ts);
   void busy_begin();
@@ -186,6 +232,11 @@ private:
   bool done_ = true;
   bool active_ = false;
   std::exception_ptr root_error_;
+
+  bool cp_on_ = false;      ///< ITYR_CRITPATH
+  cp_frame cp_root_;        ///< the root task's frame (one region at a time)
+  double cp_work_ = 0;      ///< accumulated across sequential regions
+  cp_path cp_span_;
 };
 
 }  // namespace ityr::sched

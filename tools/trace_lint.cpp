@@ -114,6 +114,16 @@ int lint(const std::string& json, const char* what, unsigned modes) {
               what, r.n_events, r.n_spans, r.n_flows, r.n_counters, r.n_prefetch_flows,
               r.n_wb_async_spans, r.n_wb_acquire_flows);
 
+  if (r.dropped_events != 0) {
+    // Non-fatal: an evicted ring is a valid (truncated) trace, but pairing
+    // rules are skipped below and analyses on it will be partial. The same
+    // number is exported as the trace.dropped_events metric.
+    std::fprintf(stderr,
+                 "trace_lint: %s: WARNING: %llu events were dropped by the ring buffer; "
+                 "raise ITYR_TRACE_CAP for a complete trace\n",
+                 what, static_cast<unsigned long long>(r.dropped_events));
+  }
+
   if (r.dropped_events == 0) {
     for (const pairing_rule& p : kPairingRules) {
       if (p.issued(r) != p.terminators(r)) {
