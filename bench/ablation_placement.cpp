@@ -1,0 +1,456 @@
+/// Dynamic data-placement ablation (ITYR_MIGRATION / ITYR_REPLICATION),
+/// emitted as BENCH_placement.json so the inter-node traffic trajectory is
+/// tracked across PRs (CI compares the --smoke variant against
+/// bench/baseline_placement.json via tools/stats_diff).
+///
+/// Two skewed-ownership workloads, each run with placement off and on at
+/// {4x8, 16x8} ranks over {flat, fat_tree} topologies:
+///
+///  * owner_skew — every rank repeatedly read-modify-writes a slice that is
+///    homed one node over (allocation-time homes never match the access
+///    pattern). The migration pass must move each slice to its dominant
+///    consumer and cut inter-node bytes by >= 30% at an identical final
+///    checksum.
+///
+///  * hot_table — a fork-join tree whose leaves all read a table homed on
+///    rank 0 (the hot home) and write disjoint output chunks, under
+///    ITYR_CRITPATH. The replication pass must serve the table from per-node
+///    read-only copies: inter-node fetch bytes drop, the readers' fetch
+///    stall on the hot home (the NIC-queueing proxy of the LogGP model)
+///    drops, and the critical path's inter-node network share — hence the
+///    network-free what-if delta — strictly shrinks, again at an identical
+///    checksum.
+///
+/// Usage: ./build/bench/ablation_placement [--smoke] [output.json]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "itoyori/core/ityr.hpp"
+#include "itoyori/core/runtime.hpp"
+
+namespace ic = ityr::common;
+
+namespace {
+
+struct placement_cfg {
+  std::string name;
+  int nodes = 0;
+  int rpn = 0;
+  std::string topo;
+};
+
+struct run_point {
+  double time = 0;  ///< virtual seconds of the whole run
+  std::uint64_t inter_bytes = 0;
+  std::uint64_t intra_bytes = 0;
+  std::uint64_t fetched_bytes = 0;
+  std::uint64_t written_back_bytes = 0;
+  double fetch_stall_s = 0;  ///< hot-home queueing proxy: reader-side stall
+  std::uint64_t migrations = 0;
+  std::uint64_t replicas = 0;
+  std::uint64_t replica_invalidations = 0;
+  std::uint64_t forward_retries = 0;
+  std::uint64_t bytes_saved = 0;  ///< inter-node bytes replicas absorbed
+  std::uint64_t checksum = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t intra_node_steals = 0;
+  // hot_table only (ITYR_CRITPATH):
+  double cp_work_s = 0;
+  double cp_span_s = 0;
+  double cp_net_inter_s = 0;       ///< sum of critpath.net.class>=1
+  double cp_whatif_free_span_s = 0;  ///< span with inter-node latency zeroed
+  double cp_bucket_s[ityr::sched::n_cp_buckets] = {};
+};
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; i++) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+ic::options make_opts(const placement_cfg& c, bool on) {
+  ic::options o;
+  o.n_nodes = c.nodes;
+  o.ranks_per_node = c.rpn;
+  o.deterministic = true;
+  o.topology = ic::topology_spec::parse(c.topo);
+  o.block_size = 4 * ic::KiB;
+  o.sub_block_size = 1 * ic::KiB;
+  o.cache_size = 256 * ic::KiB;
+  o.coll_heap_per_rank = 1 * ic::MiB;
+  o.noncoll_heap_per_rank = 512 * ic::KiB;
+  o.policy = ic::cache_policy::write_back_lazy;
+  if (on) {
+    o.migration = true;
+    o.replication = true;
+    o.placement_interval = 1.0e-4;
+    o.migration_min_bytes = 1;
+    o.migration_share = 0.5;
+    o.migration_pool_blocks = 16;
+    o.replication_min_bytes = 1;
+    o.replication_min_readers = 2;
+    o.replication_pool_blocks = 64;
+  }
+  return o;
+}
+
+void harvest_common(ityr::runtime& rt, run_point& p) {
+  p.inter_bytes = rt.rma().net().total_inter_bytes();
+  p.intra_bytes = rt.rma().net().total_intra_bytes();
+  p.steals = rt.sched().get_stats().steals;
+  p.intra_node_steals = rt.sched().get_stats().intra_node_steals;
+  const auto cst = rt.pgas().aggregate_stats();
+  p.fetched_bytes = cst.fetched_bytes;
+  p.written_back_bytes = cst.written_back_bytes;
+  p.fetch_stall_s = cst.fetch_stall_s;
+  p.forward_retries = cst.forward_retries;
+  if (const ityr::pgas::placement_engine* pl = rt.pgas().placement(); pl != nullptr) {
+    p.migrations = pl->stats().migrations;
+    p.replicas = pl->stats().replicas;
+    p.replica_invalidations = pl->stats().replica_invalidations;
+    for (int r = 0; r < rt.eng().n_ranks(); r++) {
+      for (int cls = 0; cls < rt.rma().net().n_classes() &&
+                        cls < ityr::pgas::cache_stats::max_stall_classes;
+           cls++) {
+        p.bytes_saved += pl->bytes_saved_of(r, cls);
+      }
+    }
+  }
+}
+
+// ---- workload 1: owner_skew (migration) ----------------------------------
+//
+// SPMD phases over a block-distributed array: rank r's working slice is the
+// one homed on rank (r + ranks_per_node) % n_ranks — always one node over,
+// so without migration every iteration refetches and writes back across the
+// interconnect. A placement heartbeat (advance + poll, identical in both
+// modes) stands in for the scheduler's idle-loop polling, which SPMD phases
+// never reach.
+
+constexpr std::size_t kSliceElems = 2048;  // 4 blocks of 4 KiB per rank
+constexpr int kSkewIters = 12;
+
+run_point run_owner_skew(const placement_cfg& c, bool on) {
+  const auto o = make_opts(c, on);
+  const auto nr = static_cast<std::size_t>(c.nodes * c.rpn);
+  const std::size_t n = nr * kSliceElems;
+
+  run_point p;
+  ityr::runtime rt(o);
+  double elapsed = 0;
+  std::uint64_t sum = 0;
+  rt.spmd([&] {
+    auto a = ityr::coll_new<std::uint64_t>(n, ic::dist_policy::block);
+    const auto r = static_cast<std::size_t>(ityr::my_rank());
+    const std::size_t slice = ((r + static_cast<std::size_t>(c.rpn)) % nr) * kSliceElems;
+    for (int iter = 0; iter < kSkewIters; iter++) {
+      ityr::with_checkout(a + static_cast<std::ptrdiff_t>(slice), kSliceElems,
+                          ityr::access_mode::read_write, [&](std::uint64_t* v) {
+                            for (std::size_t i = 0; i < kSliceElems; i++) {
+                              v[i] += (slice + i) * 0x2545f4914f6cdd1dull +
+                                      static_cast<std::uint64_t>(iter) + 1;
+                            }
+                          });
+      ityr::barrier();
+      rt.eng().advance(5.0e-5);
+      rt.pgas().poll();
+      ityr::barrier();
+    }
+    if (ityr::my_rank() == 0) {
+      std::uint64_t h = 0xcbf29ce484222325ull;
+      constexpr std::size_t kChunk = 2048;
+      for (std::size_t lo = 0; lo < n; lo += kChunk) {
+        ityr::with_checkout(a + static_cast<std::ptrdiff_t>(lo), kChunk,
+                            ityr::access_mode::read, [&](const std::uint64_t* v) {
+                              for (std::size_t i = 0; i < kChunk; i++) h = fnv1a(h, v[i]);
+                            });
+      }
+      sum = h;
+      elapsed = rt.eng().now();
+    }
+    ityr::barrier();
+    ityr::coll_delete(a, n);
+  });
+  p.time = elapsed;
+  p.checksum = sum;
+  harvest_common(rt, p);
+  return p;
+}
+
+// ---- workload 2: hot_table (replication, under ITYR_CRITPATH) ------------
+
+constexpr std::size_t kTblElems = 8192;     // 16 blocks of 4 KiB, homed rank 0
+constexpr std::size_t kChunkElems = 512;    // one block per output chunk
+constexpr std::size_t kLeavesPerRank = 4;   // keep thieves fed at 128 ranks
+constexpr int kTblIters = 8;
+constexpr int kReadsPerLeaf = 8;
+
+ityr::global_ptr<std::uint64_t> g_tbl;  // shared via the simulated-process statics
+
+void leaf_task(ityr::global_ptr<std::uint64_t> out, std::size_t l, int iter) {
+  std::uint64_t acc = 0;
+  for (int k = 0; k < kReadsPerLeaf; k++) {
+    const std::size_t off =
+        ((l * 131 + static_cast<std::size_t>(k) * 37) % (kTblElems / kChunkElems)) * kChunkElems;
+    ityr::with_checkout(g_tbl + static_cast<std::ptrdiff_t>(off), kChunkElems,
+                        ityr::access_mode::read, [&](const std::uint64_t* t) {
+                          for (std::size_t i = 0; i < kChunkElems; i++) acc += t[i];
+                        });
+  }
+  ityr::with_checkout(out + static_cast<std::ptrdiff_t>(l * kChunkElems), kChunkElems,
+                      ityr::access_mode::write, [&](std::uint64_t* v) {
+                        for (std::size_t i = 0; i < kChunkElems; i++) {
+                          v[i] = acc + i + static_cast<std::uint64_t>(iter) * 0x9e3779b9ull;
+                        }
+                      });
+}
+
+void tree_exec(ityr::global_ptr<std::uint64_t> out, std::size_t lo, std::size_t hi, int iter) {
+  if (hi - lo == 1) {
+    leaf_task(out, lo, iter);
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  ityr::parallel_invoke([=] { tree_exec(out, lo, mid, iter); },
+                        [=] { tree_exec(out, mid, hi, iter); });
+}
+
+run_point run_hot_table(const placement_cfg& c, bool on) {
+  auto o = make_opts(c, on);
+  o.critpath = true;
+  // The hot home is read-shared, which is replication's case; a low migration
+  // threshold would instead let the transiently-owned output blocks churn
+  // homes after every pass window. Demand real volume before migrating.
+  o.migration_min_bytes = 64 * ic::KiB;
+  const auto nr = static_cast<std::size_t>(c.nodes * c.rpn);
+  const std::size_t n_leaves = nr * kLeavesPerRank;
+  const std::size_t out_elems = n_leaves * kChunkElems;
+
+  run_point p;
+  ityr::runtime rt(o);
+  double elapsed = 0;
+  std::uint64_t sum = 0;
+  rt.spmd([&] {
+    if (ityr::my_rank() == 0) {
+      g_tbl = ityr::noncoll_new<std::uint64_t>(kTblElems);
+      for (std::size_t lo = 0; lo < kTblElems; lo += kChunkElems) {
+        ityr::with_checkout(g_tbl + static_cast<std::ptrdiff_t>(lo), kChunkElems,
+                            ityr::access_mode::write, [&](std::uint64_t* t) {
+                              for (std::size_t i = 0; i < kChunkElems; i++) {
+                                t[i] = (lo + i) * 0x9e3779b97f4a7c15ull + 1;
+                              }
+                            });
+      }
+    }
+    ityr::barrier();
+    auto out = ityr::coll_new<std::uint64_t>(out_elems, ic::dist_policy::block);
+    for (int iter = 0; iter < kTblIters; iter++) {
+      ityr::root_exec([=] { tree_exec(out, 0, n_leaves, iter); });
+      ityr::barrier();
+    }
+    if (ityr::my_rank() == 0) {
+      std::uint64_t h = 0xcbf29ce484222325ull;
+      for (std::size_t lo = 0; lo < out_elems; lo += kChunkElems) {
+        ityr::with_checkout(out + static_cast<std::ptrdiff_t>(lo), kChunkElems,
+                            ityr::access_mode::read, [&](const std::uint64_t* v) {
+                              for (std::size_t i = 0; i < kChunkElems; i++) h = fnv1a(h, v[i]);
+                            });
+      }
+      sum = h;
+      elapsed = rt.eng().now();
+    }
+    ityr::barrier();
+    ityr::coll_delete(out, out_elems);
+    if (ityr::my_rank() == 0) ityr::noncoll_delete(g_tbl, kTblElems);
+  });
+  p.time = elapsed;
+  p.checksum = sum;
+  harvest_common(rt, p);
+  p.cp_work_s = rt.sched().cp_work();
+  const ityr::sched::cp_path& span = rt.sched().cp_span();
+  p.cp_span_s = span.total();
+  p.cp_net_inter_s = span.net_inter();
+  p.cp_whatif_free_span_s = std::max(p.cp_span_s - p.cp_net_inter_s, 0.0);
+  for (int b = 0; b < ityr::sched::n_cp_buckets; b++) p.cp_bucket_s[b] = span.b[b];
+  return p;
+}
+
+// ---- emission + self-validation ------------------------------------------
+
+void emit_point(std::FILE* f, const char* key, const run_point& p, bool critpath) {
+  std::fprintf(f,
+               "        \"%s\": {\n"
+               "          \"virtual_time_s\": %.9f,\n"
+               "          \"inter_bytes\": %llu,\n"
+               "          \"intra_bytes\": %llu,\n"
+               "          \"fetched_bytes\": %llu,\n"
+               "          \"written_back_bytes\": %llu,\n"
+               "          \"fetch_stall_s\": %.9f,\n"
+               "          \"migrations\": %llu,\n"
+               "          \"replicas\": %llu,\n"
+               "          \"replica_invalidations\": %llu,\n"
+               "          \"forward_retries\": %llu,\n"
+               "          \"bytes_saved\": %llu,\n"
+               "          \"checksum\": %llu",
+               key, p.time, static_cast<unsigned long long>(p.inter_bytes),
+               static_cast<unsigned long long>(p.intra_bytes),
+               static_cast<unsigned long long>(p.fetched_bytes),
+               static_cast<unsigned long long>(p.written_back_bytes), p.fetch_stall_s,
+               static_cast<unsigned long long>(p.migrations),
+               static_cast<unsigned long long>(p.replicas),
+               static_cast<unsigned long long>(p.replica_invalidations),
+               static_cast<unsigned long long>(p.forward_retries),
+               static_cast<unsigned long long>(p.bytes_saved),
+               static_cast<unsigned long long>(p.checksum));
+  std::fprintf(f,
+               ",\n          \"steals\": %llu,\n"
+               "          \"intra_node_steals\": %llu",
+               static_cast<unsigned long long>(p.steals),
+               static_cast<unsigned long long>(p.intra_node_steals));
+  if (critpath) {
+    std::fprintf(f,
+                 ",\n"
+                 "          \"critpath_work_s\": %.9f,\n"
+                 "          \"critpath_span_s\": %.9f,\n"
+                 "          \"critpath_net_inter_s\": %.9f,\n"
+                 "          \"critpath_whatif_network_free_span_s\": %.9f",
+                 p.cp_work_s, p.cp_span_s, p.cp_net_inter_s, p.cp_whatif_free_span_s);
+    for (int b = 0; b < ityr::sched::n_cp_buckets; b++) {
+      std::fprintf(f, ",\n          \"critpath_span_%s_s\": %.9f",
+                   ityr::sched::to_string(static_cast<ityr::sched::cp_bucket>(b)),
+                   p.cp_bucket_s[b]);
+    }
+  }
+  std::fprintf(f, "\n        }");
+}
+
+double reduction_pct(std::uint64_t off, std::uint64_t on) {
+  return off > 0 ? 100.0 * (1.0 - static_cast<double>(on) / static_cast<double>(off)) : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* out_path = "BENCH_placement.json";
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  std::vector<placement_cfg> cfgs = {
+      {"4x8_flat", 4, 8, "flat"},
+      {"4x8_fat_tree", 4, 8, "fat_tree:2,2"},
+  };
+  if (!smoke) {
+    cfgs.push_back({"16x8_flat", 16, 8, "flat"});
+    cfgs.push_back({"16x8_fat_tree", 16, 8, "fat_tree:4,2"});
+  }
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"benchmark\": \"placement_ablation\",\n"
+               "  \"smoke\": %s,\n"
+               "  \"workload\": \"owner_skew (per-rank RMW of a next-node-homed slice, 12 "
+               "iters) + hot_table (fork-join leaves reading a rank-0-homed 64 KiB table, 4 "
+               "iters, ITYR_CRITPATH), deterministic=1\",\n"
+               "  \"configs\": [\n",
+               smoke ? "true" : "false");
+
+  int rc = 0;
+  for (std::size_t ci = 0; ci < cfgs.size(); ci++) {
+    const placement_cfg& c = cfgs[ci];
+    std::printf("== %s ==\n", c.name.c_str());
+    const run_point so = run_owner_skew(c, /*on=*/false);
+    const run_point sn = run_owner_skew(c, /*on=*/true);
+    const run_point ho = run_hot_table(c, /*on=*/false);
+    const run_point hn = run_hot_table(c, /*on=*/true);
+
+    const double s_red = reduction_pct(so.inter_bytes, sn.inter_bytes);
+    const double h_red = reduction_pct(ho.inter_bytes, hn.inter_bytes);
+    std::printf("  owner_skew: inter %llu -> %llu bytes (%.1f%% reduction), %llu migrations\n",
+                static_cast<unsigned long long>(so.inter_bytes),
+                static_cast<unsigned long long>(sn.inter_bytes), s_red,
+                static_cast<unsigned long long>(sn.migrations));
+    std::printf(
+        "  hot_table:  inter %llu -> %llu bytes (%.1f%% reduction), %llu replicas, "
+        "critpath net %.6fs -> %.6fs\n",
+        static_cast<unsigned long long>(ho.inter_bytes),
+        static_cast<unsigned long long>(hn.inter_bytes), h_red,
+        static_cast<unsigned long long>(hn.replicas), ho.cp_net_inter_s, hn.cp_net_inter_s);
+
+    std::fprintf(f,
+                 "    {\n"
+                 "      \"name\": \"%s\",\n"
+                 "      \"nodes\": %d,\n"
+                 "      \"ranks_per_node\": %d,\n"
+                 "      \"topology\": \"%s\",\n"
+                 "      \"owner_skew\": {\n",
+                 c.name.c_str(), c.nodes, c.rpn, c.topo.c_str());
+    emit_point(f, "off", so, false);
+    std::fprintf(f, ",\n");
+    emit_point(f, "on", sn, false);
+    std::fprintf(f, ",\n        \"inter_bytes_reduction_pct\": %.3f\n      },\n", s_red);
+    std::fprintf(f, "      \"hot_table\": {\n");
+    emit_point(f, "off", ho, true);
+    std::fprintf(f, ",\n");
+    emit_point(f, "on", hn, true);
+    std::fprintf(f,
+                 ",\n        \"inter_bytes_reduction_pct\": %.3f,\n"
+                 "        \"critpath_whatif_delta_s\": %.9f\n      }\n    }%s\n",
+                 h_red, ho.cp_whatif_free_span_s - hn.cp_whatif_free_span_s,
+                 ci + 1 == cfgs.size() ? "" : ",");
+
+    // Self-validation: placement must pay for itself on its target workload
+    // and must never change results.
+    if (so.checksum != sn.checksum) {
+      std::fprintf(stderr, "FAIL: %s owner_skew checksum diverged off/on\n", c.name.c_str());
+      rc = 1;
+    }
+    if (ho.checksum != hn.checksum) {
+      std::fprintf(stderr, "FAIL: %s hot_table checksum diverged off/on\n", c.name.c_str());
+      rc = 1;
+    }
+    if (sn.migrations == 0) {
+      std::fprintf(stderr, "FAIL: %s owner_skew never migrated\n", c.name.c_str());
+      rc = 1;
+    }
+    if (s_red < 30.0) {
+      std::fprintf(stderr, "FAIL: %s owner_skew needs >=30%% inter-byte reduction (got %.1f%%)\n",
+                   c.name.c_str(), s_red);
+      rc = 1;
+    }
+    if (hn.replicas == 0) {
+      std::fprintf(stderr, "FAIL: %s hot_table never replicated\n", c.name.c_str());
+      rc = 1;
+    }
+    if (hn.inter_bytes >= ho.inter_bytes) {
+      std::fprintf(stderr, "FAIL: %s hot_table inter bytes did not drop\n", c.name.c_str());
+      rc = 1;
+    }
+    if (hn.cp_net_inter_s >= ho.cp_net_inter_s) {
+      std::fprintf(stderr,
+                   "FAIL: %s hot_table critpath inter-node network share did not shrink "
+                   "(%.9fs -> %.9fs)\n",
+                   c.name.c_str(), ho.cp_net_inter_s, hn.cp_net_inter_s);
+      rc = 1;
+    }
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return rc;
+}

@@ -2,8 +2,19 @@
 /// selection for work stealing. The paper's Section 8 names locality-aware
 /// scheduling as its top future-work item; node-first stealing keeps most
 /// migrations intra-node and improves reuse of intra-node home blocks.
+///
+/// Sweeps `random` plus `node_first` at ITYR_NODE_FIRST_PROB 0.5 / 0.9 / 1.0
+/// (how often a thief prefers an intra-node victim before falling back to a
+/// uniform draw) and emits BENCH_steal_policy.json so the locality/balance
+/// trade-off is tracked across PRs: higher probabilities raise the intra-node
+/// steal share and cut inter-node bytes, while prob 1.0 risks load imbalance
+/// whenever a whole node runs dry.
+///
+/// Usage: ./build/bench/ablation_steal_policy [output.json]
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "support/bench_common.hpp"
 
@@ -12,67 +23,120 @@ using ityr::common::steal_policy;
 
 namespace {
 
+struct sweep_point {
+  std::string policy;  ///< "random" or "node_first_p<prob>"
+  double node_first_prob = 0;
+  std::string workload;
+  ib::run_metrics m;
+};
+
 ib::result_table g_table("Ablation: steal victim selection, 6 nodes x 4 ranks",
-                         {"policy", "workload", "time[s]", "steals", "fetch[MB]"});
+                         {"policy", "workload", "time[s]", "steals", "intra%", "inter[MB]"});
+
+std::string pct(std::uint64_t part, std::uint64_t whole) {
+  return ib::result_table::fmt(whole > 0 ? 100.0 * static_cast<double>(part) /
+                                               static_cast<double>(whole)
+                                         : 0.0, 1);
+}
+
+void record(std::vector<sweep_point>& out, const std::string& policy, double prob,
+            const char* workload, const ib::run_metrics& m) {
+  g_table.add_row({policy, workload, ib::result_table::fmt(m.time), std::to_string(m.steals),
+                   pct(m.intra_node_steals, m.steals),
+                   ib::result_table::fmt(static_cast<double>(m.inter_bytes) / 1e6, 1)});
+  out.push_back({policy, prob, workload, m});
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_steal_policy.json";
 
   ityr::apps::uts_params uts;
   uts.b0 = 4.0;
   uts.gen_mx = 13;
   uts.root_seed = 19;
 
-  ityr::apps::fmm::fmm_config fmm_cfg;
-  fmm_cfg.theta = 0.5;
-  fmm_cfg.ncrit = 32;
-  fmm_cfg.nspawn = 1000;
+  struct policy_cfg {
+    std::string name;
+    steal_policy sp;
+    double prob;  ///< node_first only
+  };
+  std::vector<policy_cfg> policies = {{"random", steal_policy::random, 0.0},
+                                      {"node_first_p0.5", steal_policy::node_first, 0.5},
+                                      {"node_first_p0.9", steal_policy::node_first, 0.9},
+                                      {"node_first_p1.0", steal_policy::node_first, 1.0}};
 
-  for (steal_policy sp : {steal_policy::random, steal_policy::node_first}) {
-    const char* spn = ityr::common::to_string(sp);
-    ib::register_sim_benchmark(std::string("ablation_steal/cilksort/") + spn,
-                               [sp, spn](benchmark::State&) {
-                                 auto opt = ib::cluster_opts(6, 4);
-                                 opt.steal = sp;
-                                 auto m = ib::run_cilksort(opt, 1 << 21, 16384);
-                                 g_table.add_row(
-                                     {spn, "cilksort", ib::result_table::fmt(m.time),
-                                      std::to_string(m.steals),
-                                      ib::result_table::fmt(
-                                          static_cast<double>(m.fetched_bytes) / 1e6, 1)});
-                                 return m.time;
-                               });
-    ib::register_sim_benchmark(std::string("ablation_steal/uts_mem/") + spn,
-                               [sp, spn, uts](benchmark::State&) {
-                                 auto opt = ib::cluster_opts(6, 4);
-                                 opt.steal = sp;
-                                 auto m = ib::run_uts_mem(opt, uts);
-                                 g_table.add_row(
-                                     {spn, "uts-mem", ib::result_table::fmt(m.traverse.time),
-                                      std::to_string(m.traverse.steals),
-                                      ib::result_table::fmt(
-                                          static_cast<double>(m.traverse.fetched_bytes) / 1e6,
-                                          1)});
-                                 return m.traverse.time;
-                               });
-    ib::register_sim_benchmark(std::string("ablation_steal/fmm/") + spn,
-                               [sp, spn, fmm_cfg](benchmark::State&) {
-                                 auto opt = ib::cluster_opts(6, 4);
-                                 opt.steal = sp;
-                                 auto m = ib::run_fmm(opt, 20000, fmm_cfg, false);
-                                 g_table.add_row(
-                                     {spn, "fmm", ib::result_table::fmt(m.solve.time),
-                                      std::to_string(m.solve.steals),
-                                      ib::result_table::fmt(
-                                          static_cast<double>(m.solve.fetched_bytes) / 1e6, 1)});
-                                 return m.solve.time;
-                               });
+  std::vector<sweep_point> points;
+  for (const policy_cfg& pc : policies) {
+    std::printf("== %s ==\n", pc.name.c_str());
+    auto opt = ib::cluster_opts(6, 4);
+    opt.steal = pc.sp;
+    if (pc.sp == steal_policy::node_first) opt.node_first_prob = pc.prob;
+    record(points, pc.name, pc.prob, "cilksort", ib::run_cilksort(opt, 1 << 21, 16384));
+    record(points, pc.name, pc.prob, "uts_mem", ib::run_uts_mem(opt, uts).traverse);
   }
 
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
   g_table.print();
-  return 0;
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"benchmark\": \"steal_policy_ablation\",\n"
+               "  \"workload\": \"cilksort n=2Mi u32 cutoff=16Ki + uts-mem b0=4 gen_mx=13, 6 "
+               "nodes x 4 ranks\",\n"
+               "  \"runs\": [\n");
+  for (std::size_t i = 0; i < points.size(); i++) {
+    const sweep_point& p = points[i];
+    std::fprintf(f,
+                 "    {\n"
+                 "      \"name\": \"%s/%s\",\n"
+                 "      \"policy\": \"%s\",\n"
+                 "      \"node_first_prob\": %.2f,\n"
+                 "      \"workload\": \"%s\",\n"
+                 "      \"virtual_time_s\": %.9f,\n"
+                 "      \"steals\": %llu,\n"
+                 "      \"intra_node_steals\": %llu,\n"
+                 "      \"fetched_bytes\": %llu,\n"
+                 "      \"inter_bytes\": %llu,\n"
+                 "      \"ok\": %s\n"
+                 "    }%s\n",
+                 p.policy.c_str(), p.workload.c_str(), p.policy.c_str(), p.node_first_prob,
+                 p.workload.c_str(), p.m.time, static_cast<unsigned long long>(p.m.steals),
+                 static_cast<unsigned long long>(p.m.intra_node_steals),
+                 static_cast<unsigned long long>(p.m.fetched_bytes),
+                 static_cast<unsigned long long>(p.m.inter_bytes), p.m.ok ? "true" : "false",
+                 i + 1 == points.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+
+  // Self-validation: every run must pass application checks, and raising the
+  // node-first probability must not *lower* the intra-node steal share on the
+  // steal-heavy UTS traversal (the locality knob has to actually steer).
+  int rc = 0;
+  double prev_share = -1.0;
+  for (const sweep_point& p : points) {
+    if (!p.m.ok) {
+      std::fprintf(stderr, "FAIL: %s/%s failed application validation\n", p.policy.c_str(),
+                   p.workload.c_str());
+      rc = 1;
+    }
+    if (p.workload == std::string("uts_mem") && p.policy != "random" && p.m.steals > 0) {
+      const double share =
+          static_cast<double>(p.m.intra_node_steals) / static_cast<double>(p.m.steals);
+      if (prev_share >= 0 && share + 0.05 < prev_share) {
+        std::fprintf(stderr, "FAIL: intra-node steal share fell from %.2f to %.2f at %s\n",
+                     prev_share, share, p.policy.c_str());
+        rc = 1;
+      }
+      prev_share = share;
+    }
+  }
+  return rc;
 }

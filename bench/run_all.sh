@@ -13,7 +13,7 @@ set -e
 for b in table1_environment fig7_cilksort_cutoff fig8_cilksort_scaling \
          fig9_cilksort_breakdown fig10_uts_mem fig11_fmm table2_idleness \
          ablation_subblock ablation_cache_size ablation_block_dist \
-         ablation_steal_policy micro_primitives; do
+         micro_primitives; do
   echo "#### bench/$b"
   ./build/bench/$b
   echo
@@ -60,4 +60,21 @@ echo
 # --smoke variant against bench/baseline_critpath.json via tools/stats_diff.
 echo "#### bench/critical_path"
 ./build/bench/critical_path BENCH_critpath.json
+echo
+
+# Steal victim-selection ablation (random vs node_first at
+# ITYR_NODE_FIRST_PROB 0.5/0.9/1.0 on cilksort + UTS-Mem: intra-node steal
+# share, inter-node bytes) -> BENCH_steal_policy.json.
+echo "#### bench/ablation_steal_policy"
+./build/bench/ablation_steal_policy BENCH_steal_policy.json
+echo
+
+# Dynamic data-placement ablation (ITYR_MIGRATION / ITYR_REPLICATION off vs
+# on for a skewed-ownership RMW workload and a hot read-shared table at
+# {4x8, 16x8} ranks over flat/fat_tree: inter-node bytes, hot-home fetch
+# stall, critical-path what-if delta, cross-mode checksums)
+# -> BENCH_placement.json. CI compares the --smoke variant against
+# bench/baseline_placement.json via tools/stats_diff.
+echo "#### bench/ablation_placement"
+./build/bench/ablation_placement BENCH_placement.json
 echo

@@ -23,12 +23,14 @@ run_metrics collect(runtime& rt, double time, bool ok) {
   m.ok = ok;
   const auto sst = rt.sched().get_stats();
   m.steals = sst.steals;
+  m.intra_node_steals = sst.intra_node_steals;
   m.forks = sst.forks;
   const auto cst = rt.pgas().aggregate_stats();
   m.fetched_bytes = cst.fetched_bytes;
   m.written_back_bytes = cst.written_back_bytes + cst.write_through_bytes;
   m.messages = rt.rma().net().total_messages();
   m.bytes = rt.rma().net().total_bytes();
+  m.inter_bytes = rt.rma().net().total_inter_bytes();
   return m;
 }
 

@@ -33,11 +33,13 @@ common::options cluster_opts(int n_nodes, int ranks_per_node);
 struct run_metrics {
   double time = 0;  ///< virtual seconds of the measured phase
   std::uint64_t steals = 0;
+  std::uint64_t intra_node_steals = 0;
   std::uint64_t forks = 0;
   std::uint64_t fetched_bytes = 0;
   std::uint64_t written_back_bytes = 0;
-  std::uint64_t messages = 0;  ///< RMA messages over the whole run
-  std::uint64_t bytes = 0;     ///< RMA payload bytes over the whole run
+  std::uint64_t messages = 0;     ///< RMA messages over the whole run
+  std::uint64_t bytes = 0;        ///< RMA payload bytes over the whole run
+  std::uint64_t inter_bytes = 0;  ///< the inter-node share of `bytes`
   bool ok = true;  ///< application-level validation passed
 };
 

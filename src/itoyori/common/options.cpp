@@ -175,6 +175,16 @@ options options::from_env() {
   env_get("ITYR_PREFETCH_MAX_INFLIGHT", o.prefetch_max_inflight);
   env_get("ITYR_ASYNC_RELEASE", o.async_release);
   env_get("ITYR_ASYNC_WB_MAX_INFLIGHT", o.async_wb_max_inflight);
+  env_get("ITYR_MIGRATION", o.migration);
+  env_get("ITYR_MIGRATION_INTERVAL", o.placement_interval);
+  env_get("ITYR_MIGRATION_MIN_BYTES", o.migration_min_bytes);
+  env_get("ITYR_MIGRATION_SHARE", o.migration_share);
+  env_get("ITYR_MIGRATION_POOL_BLOCKS", o.migration_pool_blocks);
+  env_get("ITYR_REPLICATION", o.replication);
+  env_get("ITYR_REPLICATION_MIN_BYTES", o.replication_min_bytes);
+  env_get("ITYR_REPLICATION_MIN_READERS", o.replication_min_readers);
+  env_get("ITYR_REPLICATION_POOL_BLOCKS", o.replication_pool_blocks);
+  env_get("ITYR_HOT_BLOCKS_TOPN", o.hot_blocks_topn);
   env_get("ITYR_ULT_STACK_SIZE", o.ult_stack_size);
   env_get("ITYR_FIBER_BACKEND", o.fiber_backend);
   env_get("ITYR_SIM_SCHEDULER", o.sim_sched);
@@ -198,6 +208,9 @@ options options::from_env() {
   validate_topology(o.n_nodes, o.ranks_per_node, o.topology);
   validate_sim_core(o.ult_stack_size);
   validate_observability(o.hist_buckets);
+  validate_placement(o.migration, o.replication, o.placement_interval, o.migration_share,
+                     o.migration_pool_blocks, o.replication_pool_blocks,
+                     o.replication_min_readers, o.hot_blocks_topn);
   return o;
 }
 
@@ -241,6 +254,40 @@ void validate_observability(std::size_t hist_buckets) {
   if (hist_buckets < 4 || hist_buckets > 512) {
     throw error("invalid histogram bucket count (ITYR_HIST_BUCKETS = " +
                 std::to_string(hist_buckets) + "): must be in [4, 512]");
+  }
+}
+
+void validate_placement(bool migration, bool replication, double placement_interval,
+                        double migration_share, std::size_t migration_pool_blocks,
+                        std::size_t replication_pool_blocks, int replication_min_readers,
+                        std::size_t hot_blocks_topn) {
+  if (!(placement_interval > 0)) {
+    throw error("invalid placement pass interval (ITYR_MIGRATION_INTERVAL = " +
+                std::to_string(placement_interval) +
+                "): must be a positive number of virtual seconds");
+  }
+  if (!(migration_share > 0) || migration_share > 1.0) {
+    throw error("invalid migration dominance share (ITYR_MIGRATION_SHARE = " +
+                std::to_string(migration_share) + "): must be in (0, 1]");
+  }
+  if (migration && migration_pool_blocks == 0) {
+    throw error("invalid migration pool size (ITYR_MIGRATION_POOL_BLOCKS = 0): "
+                "ITYR_MIGRATION needs at least one per-rank pool block to move homes into");
+  }
+  if (replication && replication_pool_blocks == 0) {
+    throw error("invalid replication pool size (ITYR_REPLICATION_POOL_BLOCKS = 0): "
+                "ITYR_REPLICATION needs at least one per-node pool block for read-only copies");
+  }
+  if (replication_min_readers < 2) {
+    throw error("invalid replication reader threshold (ITYR_REPLICATION_MIN_READERS = " +
+                std::to_string(replication_min_readers) +
+                "): must be >= 2 — a single-reader block is a migration candidate, "
+                "not a replication one");
+  }
+  if (hot_blocks_topn > 65536) {
+    throw error("invalid hot-block export count (ITYR_HOT_BLOCKS_TOPN = " +
+                std::to_string(hot_blocks_topn) +
+                "): must be <= 65536 (this is a top-N list length, not a byte size)");
   }
 }
 

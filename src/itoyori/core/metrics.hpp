@@ -35,6 +35,16 @@ struct metric_histogram {
   common::log_histogram hist;
 };
 
+/// One entry of the pgas.hot_blocks export (ITYR_HOT_BLOCKS_TOPN): the
+/// cumulative traffic profile of one home block, hottest first.
+struct metric_hot_block {
+  std::string name;                ///< "block<id>"
+  int owner = -1;                  ///< current owner rank (-1 = allocation freed)
+  std::uint64_t reader_mask = 0;   ///< reader ranks (clamped to the first 64)
+  std::uint64_t fetch_bytes = 0;
+  std::uint64_t writeback_bytes = 0;
+};
+
 /// Unified snapshot of every runtime counter — cache, scheduler, network,
 /// VM, engine, timeline, and profiler — under one naming scheme
 /// (docs/observability.md). Snapshots are plain data: diff two of them with
@@ -47,12 +57,15 @@ public:
   void add_histogram(std::string name, common::log_histogram hist) {
     histograms_.push_back({std::move(name), std::move(hist)});
   }
+  void add_hot_block(metric_hot_block hb) { hot_blocks_.push_back(std::move(hb)); }
 
   const std::vector<metric_series>& all() const { return series_; }
   std::size_t size() const { return series_.size(); }
   const std::vector<metric_histogram>& histograms() const { return histograms_; }
   /// nullptr when no histogram has that name.
   const metric_histogram* find_histogram(const std::string& name) const;
+  /// Hottest home blocks (empty unless ITYR_HOT_BLOCKS_TOPN > 0).
+  const std::vector<metric_hot_block>& hot_blocks() const { return hot_blocks_; }
 
   /// nullptr when no series has that name.
   const metric_series* find(const std::string& name) const;
@@ -77,7 +90,9 @@ public:
   /// Deterministic JSON: {"schema": "itoyori.metrics.v2", "schema_version":
   /// 2, "n_ranks": N, "metrics": [{"name", "total", "per_rank"}...],
   /// "histograms": [{"name", "count", "p50", "p90", "p99", ...}...]} in
-  /// insertion order. tools/stats_diff compares two such files.
+  /// insertion order, plus a "hot_blocks" section only when non-empty (so
+  /// files written with placement off are byte-identical to older ones).
+  /// tools/stats_diff compares two such files.
   std::string to_json() const;
   /// Write to_json() to `path`; false (with a stderr note) on I/O failure.
   bool write_json(const std::string& path) const;
@@ -85,6 +100,7 @@ public:
 private:
   std::vector<metric_series> series_;
   std::vector<metric_histogram> histograms_;
+  std::vector<metric_hot_block> hot_blocks_;
 };
 
 /// Snapshot every counter of the running cluster. Callable between regions

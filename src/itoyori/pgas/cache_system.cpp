@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "itoyori/common/error.hpp"
+#include "itoyori/pgas/placement.hpp"
 
 namespace ityr::pgas {
 
@@ -16,26 +17,27 @@ std::size_t checked_block_size(const common::options& o) {
 }  // namespace
 
 cache_system::cache_system(sim::engine& eng, rma::context& rma, global_heap& heap,
-                           rma::window& ctrl_win, int rank)
+                           rma::window& ctrl_win, int rank, placement_engine* pl)
     : eng_(eng),
       ch_(rma),
       heap_(heap),
       rank_(rank),
       block_size_(checked_block_size(eng.opts())),
       sub_block_size_(eng.opts().sub_block_size),
+      pl_(pl),
       evict_(make_eviction_policy(eng.opts().eviction)),
       dir_(eng, *evict_, *this, st_, block_size_, heap.total_size(), eng.opts().cache_size, rank),
       wb_(eng, ch_, dir_, ctrl_win, st_,
           {eng.opts().coalesce_rma, eng.opts().async_release, eng.opts().async_wb_max_inflight,
-           rank}),
-      write_policy_(make_write_policy(eng.opts().policy, ch_, dir_, wb_, st_)),
+           rank, pl_}),
+      write_policy_(make_write_policy(eng.opts().policy, ch_, dir_, wb_, st_, pl_, rank)),
       fetch_(eng, ch_, dir_, heap, st_,
              {block_size_, sub_block_size_, eng.opts().coalesce_rma,
               eng.opts().prefetch && eng.opts().prefetch_depth > 0 &&
                   eng.opts().prefetch_max_inflight > 0,
-              eng.opts().prefetch_depth, eng.opts().prefetch_max_inflight, rank}),
+              eng.opts().prefetch_depth, eng.opts().prefetch_max_inflight, rank, pl_}),
       front_(eng, heap, dir_, *write_policy_, ch_, st_, checked_out_bytes_,
-             eng.opts().front_table_size, block_size_, rank) {}
+             eng.opts().front_table_size, block_size_, rank, pl_) {}
 
 void cache_system::on_block_evicted(mem_block& mb) {
   // Unread prefetches die with the block; the front table must never hold a
@@ -77,10 +79,21 @@ void* cache_system::checkout(gaddr_t g, std::size_t size, access_mode mode) {
       const std::uint64_t block_base = mb_id * block_size_;
       const auto home = heap_.locate_block(mb_id);
       st_.block_visits++;
+      // Write intent (write or read_write) invalidates replicas up front:
+      // replica bytes must never be fetchable once a writer holds the block.
+      if (pl_ != nullptr && mode != access_mode::read) pl_->note_write_intent(mb_id);
 
       if (home.rank == rank_ || eng_.same_node(home.rank, rank_)) {
         mem_block& mb = dir_.get_home_block(mb_id, home);
+        ITYR_CHECK(mb.home.gen == home.gen);
         st_.block_hits++;  // home data is authoritative; nothing to fetch
+        if (pl_ != nullptr && home.gen != 0) {
+          // Migrated-to-us block: feed the traffic window (and bytes-saved
+          // accounting) so a later pass can judge whether to keep it here.
+          const std::uint64_t r0 = std::max(off0, block_base);
+          const std::uint64_t r1 = std::min(off1, block_base + block_size_);
+          pl_->note_local_home_visit(mb_id, rank_, r1 - r0, home);
+        }
         if (!mb.mapped) blocks_to_map_.push_back(&mb);
         mb.ref_count++;
         pinned_.push_back({&mb, {}});
@@ -98,6 +111,15 @@ void* cache_system::checkout(gaddr_t g, std::size_t size, access_mode mode) {
       }
 
       mem_block& mb = dir_.get_cache_block(mb_id, home);
+      if (pl_ != nullptr && mb.home.gen != home.gen) {
+        // A cached record survived a home migration (defensive: migration
+        // purges every rank's record first, so this should be unreachable,
+        // but a forwarding retry is cheap insurance against future reorders).
+        st_.forward_retries++;
+        fetch_.drop_prefetched(mb);
+        front_.purge(mb.mb_id);
+        mb.home = home;
+      }
       // Requested region, block-relative.
       const common::interval req{std::max(off0, block_base) - block_base,
                                  std::min(off1, block_base + block_size_) - block_base};
@@ -120,7 +142,16 @@ void* cache_system::checkout(gaddr_t g, std::size_t size, access_mode mode) {
         was_miss = true;
         // Fetch at sub-block granularity for spatial locality, skipping
         // already-valid (possibly dirty!) byte ranges (Fig. 4 lines 18-21).
-        fetch_.queue_demand(mb, fetch_.pad_to_sub_blocks(req));
+        if (pl_ != nullptr && pl_->has_replicas()) {
+          // Resolve the read source right before queueing: replica reads are
+          // issued eagerly inside queue_demand, with no yield in between, so
+          // the slot cannot be invalidated under us.
+          bool from_replica = false;
+          const auto src = pl_->read_source(mb_id, home, rank_, from_replica);
+          fetch_.queue_demand(mb, fetch_.pad_to_sub_blocks(req), src, from_replica);
+        } else {
+          fetch_.queue_demand(mb, fetch_.pad_to_sub_blocks(req));
+        }
       }
       if (!mb.mapped) blocks_to_map_.push_back(&mb);
       mb.ref_count++;

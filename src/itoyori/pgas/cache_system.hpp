@@ -25,6 +25,8 @@
 
 namespace ityr::pgas {
 
+class placement_engine;
+
 /// Per-rank software cache and coherence engine (paper Sections 4 and 5.2):
 /// the orchestrating facade of a layered stack.
 ///
@@ -60,9 +62,12 @@ public:
   using stats = cache_stats;
 
   /// `ctrl_win` must expose, at offsets 0 and 8 of each rank's region, the
-  /// current-epoch and request-epoch words of that rank.
+  /// current-epoch and request-epoch words of that rank. `pl` (optional) is
+  /// the dynamic placement engine: fetches route through its read sources,
+  /// writes invalidate its replicas, and stale cached homes are fixed up via
+  /// the forwarding generation.
   cache_system(sim::engine& eng, rma::context& rma, global_heap& heap, rma::window& ctrl_win,
-               int rank);
+               int rank, placement_engine* pl = nullptr);
 
   // ---- checkout/checkin (Section 3.3 / Fig. 4) ----
   void* checkout(gaddr_t g, std::size_t size, access_mode mode);
@@ -144,6 +149,14 @@ public:
   /// Raw view pointer for a gaddr (valid only while checked out).
   std::byte* view_ptr(gaddr_t g) { return dir_.view().at(heap_.view_off(g)); }
 
+  // ---- dynamic placement hooks (placement_engine only) ----
+  /// True iff the block is pinned or dirty in this rank's directory (its
+  /// home must not migrate).
+  bool placement_block_busy(std::uint64_t mb_id) const { return dir_.block_busy(mb_id); }
+  /// Drop this rank's directory record of the block ahead of a home
+  /// migration; true iff a record existed.
+  bool placement_purge(std::uint64_t mb_id) { return dir_.purge_block(mb_id); }
+
 private:
   // block_directory::client: a block is about to die / eviction needs clean
   // victims.
@@ -158,6 +171,7 @@ private:
   const int rank_;
   const std::size_t block_size_;
   const std::size_t sub_block_size_;
+  placement_engine* pl_;  ///< dynamic placement (null when off)
 
   cache_stats st_;
   std::size_t checked_out_bytes_ = 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "itoyori/pgas/placement.hpp"
+
 namespace ityr::pgas {
 
 fetch_engine::fetch_engine(sim::engine& eng, rma::channel& ch, block_directory& dir,
@@ -17,26 +19,42 @@ fetch_engine::fetch_engine(sim::engine& eng, rma::channel& ch, block_directory& 
       prefetch_on_(cfg.prefetch),
       prefetch_depth_(cfg.prefetch_depth),
       prefetch_max_inflight_(cfg.prefetch_max_inflight),
-      batch_(ch, cfg.coalesce, st.coalesced_messages) {}
+      batch_(ch, cfg.coalesce, st.coalesced_messages),
+      pl_(cfg.placement) {}
 
-void fetch_engine::queue_demand(mem_block& mb, common::interval padded) {
+void fetch_engine::queue_demand(mem_block& mb, common::interval padded, const home_loc& src,
+                                bool from_replica) {
   // Fetch at sub-block granularity for spatial locality, skipping
   // already-valid (possibly dirty!) byte ranges (Fig. 4 lines 18-21).
   bool queued = false;
+  std::uint64_t bytes = 0;
   for (const auto& miss : mb.valid.missing(padded)) {
-    batch_.add(mb.home.win, mb.home.rank, mb.home.pool_off + miss.begin,
-               dir_.slot_ptr(mb) + miss.begin, miss.size());
+    if (from_replica) {
+      // Eager issue: the rma layer copies at issue time, so the data is
+      // taken while the replica is provably live (no yield since the
+      // read_source lookup); the completion joins the round wait below.
+      const double done = ch_.get_nb(*src.win, src.rank, src.pool_off + miss.begin,
+                                     dir_.slot_ptr(mb) + miss.begin, miss.size());
+      extra_wait_ = std::max(extra_wait_, done);
+      st_.replica_fetch_bytes += miss.size();
+    } else {
+      batch_.add(src.win, src.rank, src.pool_off + miss.begin, dir_.slot_ptr(mb) + miss.begin,
+                 miss.size());
+    }
     st_.fetched_bytes += miss.size();
+    bytes += miss.size();
     mb.valid.add(miss);
     queued = true;
   }
   if (queued) {
-    // The round's stall is attributed to the farthest home it waits on.
-    const int cls = std::min(eng_.topo().class_of(rank_, mb.home.rank),
+    // The round's stall is attributed to the farthest source it waits on (a
+    // replica read is class 0: the reader's own node hosts the copy).
+    const int cls = std::min(eng_.topo().class_of(rank_, src.rank),
                              cache_stats::max_stall_classes - 1);
     if (cls > round_cls_) round_cls_ = cls;
   }
   mb.update_fully_valid(block_size_);
+  if (pl_ != nullptr && bytes > 0) pl_->note_fetch(mb.mb_id, rank_, bytes, src, mb.home);
 }
 
 void fetch_engine::wait_round(double round_done) {
@@ -45,7 +63,7 @@ void fetch_engine::wait_round(double round_done) {
     // Wait only for this round's demand fetches plus any in-flight prefetch
     // the round consumed; untouched prefetches stay pending instead of
     // serializing the checkout behind them.
-    ch_.wait_until(std::max(round_done, pf_wait_));
+    ch_.wait_until(std::max({round_done, pf_wait_, extra_wait_}));
     if (pf_wait_ > round_done && pf_wait_ > stall_from) st_.prefetch_late++;
   } else {
     ch_.flush();

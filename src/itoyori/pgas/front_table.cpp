@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "itoyori/pgas/placement.hpp"
+
 namespace ityr::pgas {
 
 namespace {
@@ -16,7 +18,7 @@ std::size_t round_up_pow2(std::size_t n) {
 front_table::front_table(sim::engine& eng, global_heap& heap, block_directory& dir,
                          write_policy& wp, rma::channel& ch, cache_stats& st,
                          std::size_t& checked_out_bytes, std::size_t n_entries,
-                         std::size_t block_size, int rank)
+                         std::size_t block_size, int rank, placement_engine* pl)
     : eng_(eng),
       heap_(heap),
       dir_(dir),
@@ -25,7 +27,8 @@ front_table::front_table(sim::engine& eng, global_heap& heap, block_directory& d
       st_(st),
       checked_out_bytes_(checked_out_bytes),
       block_size_(block_size),
-      rank_(rank) {
+      rank_(rank),
+      pl_(pl) {
   if (n_entries > 0) {
     // Clamped: a garbage ITYR_FRONT_TABLE_SIZE (e.g. "-5" read as 2^64-5)
     // must not wedge startup in round_up_pow2 or exhaust memory.
@@ -63,6 +66,10 @@ void* front_table::checkout_fast(gaddr_t g, std::size_t size, access_mode mode) 
   if (mb->k == mem_block::kind::cache && !mb->pf_segs.empty()) return nullptr;
 
   const std::uint64_t off0 = heap_.view_off(g);
+  // Write intent must invalidate replicas even on the fast path: a home
+  // block's writes land in the authoritative bytes with no checkin hook to
+  // catch them (cache blocks are caught again, harmlessly, at checkin).
+  if (pl_ != nullptr && mode != access_mode::read) pl_->note_write_intent(mb->mb_id);
   st_.checkouts++;
   st_.fast_path_hits++;
   st_.block_visits++;
@@ -128,6 +135,7 @@ bool front_table::put_fast(gaddr_t g, std::size_t size, const void* in) {
   if (mb->k == mem_block::kind::cache && !mb->pf_segs.empty()) return false;
 
   const std::uint64_t off0 = heap_.view_off(g);
+  if (pl_ != nullptr) pl_->note_write_intent(mb->mb_id);
   std::memcpy(dir_.view().at(off0), in, size);
   st_.checkouts++;
   st_.checkins++;

@@ -15,6 +15,8 @@
 
 namespace ityr::pgas {
 
+class placement_engine;
+
 /// Fast-path layer of the coherence stack: a small direct-mapped memo of
 /// recently touched blocks, and the four entry points served from it. A
 /// single-block checkout whose block is memoized, mapped and fully valid (or
@@ -30,7 +32,8 @@ class front_table {
 public:
   front_table(sim::engine& eng, global_heap& heap, block_directory& dir, write_policy& wp,
               rma::channel& ch, cache_stats& st, std::size_t& checked_out_bytes,
-              std::size_t n_entries, std::size_t block_size, int rank);
+              std::size_t n_entries, std::size_t block_size, int rank,
+              placement_engine* pl = nullptr);
 
   std::size_t entries() const { return table_.size(); }
 
@@ -78,6 +81,8 @@ private:
   std::size_t& checked_out_bytes_;
   const std::size_t block_size_;
   const int rank_;
+
+  placement_engine* pl_;  ///< dynamic placement (null when off)
 
   std::vector<entry> table_;  ///< size is a power of two (or empty)
   std::uint64_t mask_ = 0;

@@ -6,6 +6,7 @@
 
 #include "itoyori/pgas/cache_system.hpp"
 #include "itoyori/pgas/global_heap.hpp"
+#include "itoyori/pgas/placement.hpp"
 #include "itoyori/pgas/types.hpp"
 
 namespace ityr::pgas {
@@ -47,6 +48,18 @@ public:
   void poll() {
     cache().poll();
     heap_.poll();
+    if (placement_) placement_->poll();
+  }
+
+  // ---- dynamic placement (ITYR_MIGRATION / ITYR_REPLICATION) ----
+  /// The placement engine, or nullptr when every placement feature is off
+  /// (metrics gate their pgas.* series on this, like the critpath profiler).
+  placement_engine* placement() { return placement_.get(); }
+  const placement_engine* placement() const { return placement_.get(); }
+  /// Deadline check from the worker loop's idle branch: an idle rank is the
+  /// cheapest place to charge a placement pass.
+  void placement_poll() {
+    if (placement_) placement_->poll();
   }
 
   // ---- GET/PUT baseline (uncached, copies into user memory) ----
@@ -87,6 +100,11 @@ private:
   // thieves can poll/request write-backs remotely (Fig. 6).
   std::vector<std::array<std::uint64_t, 2>> epochs_;
   rma::window* ctrl_win_ = nullptr;
+
+  // Constructed before the caches (its pool windows must get their creation-
+  // order ids ahead of nothing — but the caches hold a pointer to it), null
+  // unless migration, replication or the hot-block export is enabled.
+  std::unique_ptr<placement_engine> placement_;
 
   std::vector<std::unique_ptr<cache_system>> caches_;
 

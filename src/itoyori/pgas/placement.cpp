@@ -1,0 +1,437 @@
+#include "itoyori/pgas/placement.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "itoyori/pgas/cache_system.hpp"
+#include "itoyori/rma/window.hpp"
+
+namespace ityr::pgas {
+
+namespace {
+// Modelled cost of one placement pass: a fixed directory-scan overhead plus a
+// per-candidate decision term, charged (no yield) to whichever rank's poll
+// crossed the pass deadline — the directory-service work has to be paid by
+// somebody, and the poller is the rank that would host it.
+constexpr double kPassBaseCost = 0.5e-6;
+constexpr double kPerCandidateCost = 5.0e-8;
+}  // namespace
+
+placement_engine::placement_engine(sim::engine& eng, rma::context& rma, global_heap& heap,
+                                   const config& cfg)
+    : eng_(eng),
+      rma_(rma),
+      heap_(heap),
+      mig_(cfg.migration),
+      repl_(cfg.replication),
+      interval_(cfg.interval),
+      mig_min_bytes_(cfg.migration_min_bytes),
+      mig_share_(cfg.migration_share),
+      repl_min_bytes_(cfg.replication_min_bytes),
+      repl_min_readers_(cfg.replication_min_readers),
+      topn_(cfg.hot_blocks_topn),
+      block_size_(eng.opts().block_size),
+      n_nodes_((eng.n_ranks() + eng.opts().ranks_per_node - 1) / eng.opts().ranks_per_node),
+      ranks_per_node_(eng.opts().ranks_per_node) {
+  const auto n = static_cast<std::size_t>(eng_.n_ranks());
+  saved_.assign(n, {});
+  next_pass_ = interval_;
+  scratch_.resize(block_size_);
+
+  if (mig_) {
+    std::vector<rma::window::region> regions;
+    regions.reserve(n);
+    mig_pools_.reserve(n);
+    mig_free_.resize(n);
+    for (std::size_t r = 0; r < n; r++) {
+      mig_pools_.push_back(std::make_unique<vm::physical_pool>(
+          block_size_, cfg.migration_pool_blocks, "ityr-mig-home"));
+      regions.push_back({mig_pools_.back()->base(), block_size_ * cfg.migration_pool_blocks});
+      auto& fl = mig_free_[r];
+      fl.reserve(cfg.migration_pool_blocks);
+      for (std::size_t s = cfg.migration_pool_blocks; s-- > 0;)
+        fl.push_back(static_cast<std::uint32_t>(s));
+    }
+    mig_win_ = rma_.create_window(std::move(regions));
+  }
+
+  if (repl_) {
+    // One pool per *node*; the window's region for rank r aliases r's node
+    // pool, so a reader fetching from its node replica targets itself —
+    // class-0 (intra-node) traffic by construction.
+    repl_pools_.reserve(static_cast<std::size_t>(n_nodes_));
+    repl_free_.resize(static_cast<std::size_t>(n_nodes_));
+    for (int nd = 0; nd < n_nodes_; nd++) {
+      repl_pools_.push_back(std::make_unique<vm::physical_pool>(
+          block_size_, cfg.replication_pool_blocks, "ityr-replica"));
+      auto& fl = repl_free_[static_cast<std::size_t>(nd)];
+      fl.reserve(cfg.replication_pool_blocks);
+      for (std::size_t s = cfg.replication_pool_blocks; s-- > 0;)
+        fl.push_back(static_cast<std::uint32_t>(s));
+    }
+    std::vector<rma::window::region> regions;
+    regions.reserve(n);
+    for (std::size_t r = 0; r < n; r++) {
+      auto& pool = *repl_pools_[static_cast<std::size_t>(eng_.node_of(static_cast<int>(r)))];
+      regions.push_back({pool.base(), block_size_ * cfg.replication_pool_blocks});
+    }
+    repl_win_ = rma_.create_window(std::move(regions));
+  }
+}
+
+void placement_engine::apply_override(std::uint64_t mb_id, home_loc& h) const {
+  if (gen_.empty()) return;  // hot path: placement exists but never migrated
+  const auto g = gen_.find(mb_id);
+  if (g == gen_.end()) return;
+  h.gen = g->second;
+  const auto it = overrides_.find(mb_id);
+  if (it == overrides_.end()) return;  // un-migrated: base home, bumped gen
+  const override_rec& o = it->second;
+  h.rank = o.rank;
+  h.pool = mig_pools_[static_cast<std::size_t>(o.rank)].get();
+  h.pool_off = static_cast<std::uint64_t>(o.slot) * block_size_;
+  h.win = mig_win_;
+}
+
+home_loc placement_engine::read_source(std::uint64_t mb_id, const home_loc& owner, int reader,
+                                       bool& from_replica) const {
+  from_replica = false;
+  const auto it = replicas_.find(mb_id);
+  if (it == replicas_.end()) return owner;
+  if (eng_.same_node(owner.rank, reader)) return owner;  // owner is already close
+  const auto nd = static_cast<std::size_t>(eng_.node_of(reader));
+  const std::int32_t slot = it->second.node_slot[nd];
+  if (slot < 0) return owner;
+  home_loc h = owner;  // keep the owner's gen: this is a source, not a home
+  h.rank = reader;     // the reader's region of repl_win_ is its node's pool
+  h.pool = repl_pools_[nd].get();
+  h.pool_off = static_cast<std::uint64_t>(slot) * block_size_;
+  h.win = repl_win_;
+  from_replica = true;
+  return h;
+}
+
+void placement_engine::bump_candidate(block_traffic& t, int rank, std::uint64_t bytes) {
+  // Misra-Gries with k=1: if the final margin is m, the candidate's true
+  // byte weight exceeds every other consumer's combined weight by >= m.
+  const auto w = static_cast<std::int64_t>(bytes);
+  if (t.cand_rank == rank) {
+    t.cand_margin += w;
+  } else if (t.cand_margin >= w) {
+    t.cand_margin -= w;
+  } else {
+    t.cand_rank = rank;
+    t.cand_margin = w - t.cand_margin;
+  }
+}
+
+void placement_engine::note_fetch(std::uint64_t mb_id, int reader, std::uint64_t bytes,
+                                  const home_loc& src, const home_loc& owner) {
+  if (mig_ || repl_) {
+    block_traffic& t = window_[mb_id];
+    t.fetch_bytes += bytes;
+    const int nd = eng_.node_of(reader);
+    if (nd < 64) t.node_mask |= std::uint64_t{1} << nd;
+    bump_candidate(t, reader, bytes);
+  }
+  if (topn_ > 0) {
+    cum_traffic& c = cum_[mb_id];
+    c.fetch_bytes += bytes;
+    if (reader < 64) c.reader_mask |= std::uint64_t{1} << reader;
+  }
+  // Bytes-saved accounting vs the allocation-time home. Skip the base locate
+  // when the source provably *is* the base home (never migrated, no replica).
+  if (owner.gen == 0 && src.rank == owner.rank) return;
+  const home_loc base = heap_.locate_block_base(mb_id);
+  const int cls_src = clamp_class(reader, src.rank);
+  const int cls_base = clamp_class(reader, base.rank);
+  if (cls_src < cls_base)
+    saved_[static_cast<std::size_t>(reader)][static_cast<std::size_t>(cls_base)] += bytes;
+}
+
+void placement_engine::note_local_home_visit(std::uint64_t mb_id, int reader, std::uint64_t bytes,
+                                             const home_loc& home) {
+  if (bytes == 0) return;
+  if (mig_ || repl_) {
+    // Home-path visits keep feeding dominance so a migrated-in block is not
+    // immediately dragged elsewhere by the remaining remote readers.
+    block_traffic& t = window_[mb_id];
+    const int nd = eng_.node_of(reader);
+    if (nd < 64) t.node_mask |= std::uint64_t{1} << nd;
+    bump_candidate(t, reader, bytes);
+  }
+  if (topn_ > 0) {
+    cum_traffic& c = cum_[mb_id];
+    if (reader < 64) c.reader_mask |= std::uint64_t{1} << reader;
+  }
+  if (home.gen == 0) return;  // never migrated: nothing was saved
+  const home_loc base = heap_.locate_block_base(mb_id);
+  const int cls_home = clamp_class(reader, home.rank);
+  const int cls_base = clamp_class(reader, base.rank);
+  if (cls_home < cls_base)
+    saved_[static_cast<std::size_t>(reader)][static_cast<std::size_t>(cls_base)] += bytes;
+}
+
+void placement_engine::note_writeback(std::uint64_t mb_id, int writer, std::uint64_t bytes) {
+  if (mig_ || repl_) {
+    block_traffic& t = window_[mb_id];
+    t.wb_bytes += bytes;
+    const int nd = eng_.node_of(writer);
+    if (nd < 64) t.node_mask |= std::uint64_t{1} << nd;
+    bump_candidate(t, writer, bytes);
+  }
+  if (topn_ > 0) {
+    cum_traffic& c = cum_[mb_id];
+    c.wb_bytes += bytes;
+    if (writer < 64) c.reader_mask |= std::uint64_t{1} << writer;
+  }
+  invalidate_replicas(mb_id);
+}
+
+void placement_engine::invalidate_replicas(std::uint64_t mb_id) {
+  if (replicas_.empty()) return;
+  const auto it = replicas_.find(mb_id);
+  if (it == replicas_.end()) return;
+  for (std::size_t nd = 0; nd < it->second.node_slot.size(); nd++) {
+    const std::int32_t s = it->second.node_slot[nd];
+    if (s >= 0) {
+      repl_free_[nd].push_back(static_cast<std::uint32_t>(s));
+      st_.replica_invalidations++;
+    }
+  }
+  replicas_.erase(it);
+}
+
+int placement_engine::clamp_class(int reader, int target) const {
+  return std::min(eng_.topo().class_of(reader, target), cache_stats::max_stall_classes - 1);
+}
+
+bool placement_engine::block_busy_anywhere(std::uint64_t mb_id) const {
+  for (cache_system* c : caches_) {
+    if (c->placement_block_busy(mb_id)) return true;
+  }
+  return false;
+}
+
+void placement_engine::purge_everywhere(std::uint64_t mb_id) {
+  for (cache_system* c : caches_) {
+    if (c->placement_purge(mb_id)) st_.purged_blocks++;
+  }
+}
+
+void placement_engine::bump_gen(std::uint64_t mb_id) { gen_[mb_id]++; }
+
+void placement_engine::migrate_block(std::uint64_t mb_id, int target, const home_loc& cur) {
+  // Two-phase commit, with no yield between the busy check (caller) and the
+  // directory purges: every rank's record of the old home dies first, so no
+  // fetch or write-back can be routed by a stale location afterwards.
+  purge_everywhere(mb_id);
+
+  // The rma layer moves data at issue time, so get-into-scratch-then-put is
+  // a complete copy even though the modelled completions are only waited for
+  // at the end of the pass.
+  double done = rma_.get_nb(*cur.win, cur.rank, cur.pool_off, scratch_.data(), block_size_);
+  pass_done_ = std::max(pass_done_, done);
+
+  if (const auto it = overrides_.find(mb_id); it != overrides_.end()) {
+    mig_free_[static_cast<std::size_t>(it->second.rank)].push_back(it->second.slot);
+    overrides_.erase(it);
+  }
+
+  const home_loc base = heap_.locate_block_base(mb_id);
+  if (target == base.rank) {
+    // Un-migration: the dominant consumer is the allocation-time owner again;
+    // restore the base home and release the pool slot.
+    done = rma_.put_nb(*base.win, base.rank, base.pool_off, scratch_.data(), block_size_);
+  } else {
+    auto& fl = mig_free_[static_cast<std::size_t>(target)];
+    ITYR_CHECK(!fl.empty());  // caller checked pool space
+    const std::uint32_t slot = fl.back();
+    fl.pop_back();
+    done = rma_.put_nb(*mig_win_, target, static_cast<std::uint64_t>(slot) * block_size_,
+                       scratch_.data(), block_size_);
+    overrides_.emplace(mb_id, override_rec{target, slot});
+  }
+  pass_done_ = std::max(pass_done_, done);
+
+  bump_gen(mb_id);
+  st_.migrations++;
+  st_.migration_bytes += block_size_;
+}
+
+void placement_engine::replicate_block(std::uint64_t mb_id, const home_loc& cur,
+                                       std::uint64_t node_mask) {
+  replica_rec& rec = replicas_[mb_id];
+  if (rec.node_slot.empty()) rec.node_slot.assign(static_cast<std::size_t>(n_nodes_), -1);
+  bool fetched = false;
+  bool any = false;
+  for (int nd = 0; nd < n_nodes_ && nd < 64; nd++) {
+    if ((node_mask >> nd & 1) == 0) continue;
+    if (nd == eng_.node_of(cur.rank)) continue;  // the owner's node is served by the home
+    auto& slot_ref = rec.node_slot[static_cast<std::size_t>(nd)];
+    if (slot_ref >= 0) {
+      any = true;  // already replicated there
+      continue;
+    }
+    auto& fl = repl_free_[static_cast<std::size_t>(nd)];
+    if (fl.empty()) {
+      st_.pool_full_skips++;
+      continue;
+    }
+    if (!fetched) {
+      pass_done_ = std::max(
+          pass_done_, rma_.get_nb(*cur.win, cur.rank, cur.pool_off, scratch_.data(), block_size_));
+      fetched = true;
+    }
+    const std::uint32_t slot = fl.back();
+    fl.pop_back();
+    // Charge the copy as a message to the target node's first rank.
+    pass_done_ = std::max(pass_done_, rma_.put_nb(*repl_win_, nd * ranks_per_node_,
+                                                  static_cast<std::uint64_t>(slot) * block_size_,
+                                                  scratch_.data(), block_size_));
+    slot_ref = static_cast<std::int32_t>(slot);
+    st_.replicas++;
+    st_.replica_bytes += block_size_;
+    any = true;
+  }
+  if (!any) replicas_.erase(mb_id);  // nothing materialized; keep the map lean
+}
+
+void placement_engine::gc_dead_blocks() {
+  // A freed-then-reused gaddr range must not inherit stale placement, and a
+  // dead override would leak its pool slot forever.
+  pass_ids_.clear();
+  for (const auto& [id, rec] : overrides_) {
+    home_loc h;
+    if (!heap_.try_locate_block(id, h)) pass_ids_.push_back(id);
+  }
+  for (const std::uint64_t id : pass_ids_) {
+    if (block_busy_anywhere(id)) continue;  // freed while checked out; retry
+    purge_everywhere(id);
+    const auto it = overrides_.find(id);
+    mig_free_[static_cast<std::size_t>(it->second.rank)].push_back(it->second.slot);
+    overrides_.erase(it);
+    bump_gen(id);
+  }
+  pass_ids_.clear();
+  for (const auto& [id, rec] : replicas_) {
+    home_loc h;
+    if (!heap_.try_locate_block(id, h)) pass_ids_.push_back(id);
+  }
+  for (const std::uint64_t id : pass_ids_) invalidate_replicas(id);
+}
+
+void placement_engine::run_pass() {
+  in_pass_ = true;
+  st_.passes++;
+  pass_done_ = 0;
+  gc_dead_blocks();
+
+  eng_.charge(kPassBaseCost + kPerCandidateCost * static_cast<double>(window_.size()));
+
+  // Deterministic decision order regardless of hash-map iteration.
+  pass_ids_.clear();
+  pass_ids_.reserve(window_.size());
+  for (const auto& [id, t] : window_) pass_ids_.push_back(id);
+  std::sort(pass_ids_.begin(), pass_ids_.end());
+
+  for (const std::uint64_t id : pass_ids_) {
+    const block_traffic& t = window_[id];
+    home_loc cur;
+    if (!heap_.try_locate_block(id, cur)) continue;  // allocation died mid-window
+
+    if (repl_ && t.wb_bytes == 0 && t.fetch_bytes >= repl_min_bytes_ &&
+        std::popcount(t.node_mask) >= repl_min_readers_) {
+      // Read-mostly and node-shared: replicate. Replication and migration
+      // are mutually exclusive per block — a replicated block's home stays
+      // put (un-replication happens via write invalidation).
+      replicate_block(id, cur, t.node_mask);
+      continue;
+    }
+
+    if (!mig_) continue;
+    if (replicas_.count(id) != 0) continue;
+    const std::uint64_t vol = t.fetch_bytes + t.wb_bytes;
+    if (vol < mig_min_bytes_) continue;
+    if (t.cand_rank < 0 || t.cand_rank == cur.rank) continue;
+    if (static_cast<double>(t.cand_margin) < mig_share_ * static_cast<double>(vol)) continue;
+    // A block that is pinned (checked out) or dirty in any rank's cache must
+    // not move: a pinned block's view mapping is live, and a dirty writer on
+    // the new home's node would flip to the home path and read its own
+    // un-written-back bytes as stale.
+    if (block_busy_anywhere(id)) {
+      st_.migrations_skipped++;
+      continue;
+    }
+    const home_loc base = heap_.locate_block_base(id);
+    if (t.cand_rank != base.rank && mig_free_[static_cast<std::size_t>(t.cand_rank)].empty()) {
+      st_.pool_full_skips++;
+      continue;
+    }
+    migrate_block(id, t.cand_rank, cur);
+  }
+
+  window_.clear();
+  next_pass_ = eng_.now() + interval_;
+  // One targeted wait for every copy the pass issued (this may yield; the
+  // in_pass_ guard keeps a reentrant poll from running a nested pass).
+  if (pass_done_ > 0) rma_.wait_until(pass_done_);
+  in_pass_ = false;
+}
+
+bool placement_engine::request_migration(std::uint64_t mb_id, int target_rank) {
+  if (!mig_) return false;
+  if (target_rank < 0 || target_rank >= eng_.n_ranks()) return false;
+  home_loc cur;
+  if (!heap_.try_locate_block(mb_id, cur)) return false;
+  if (target_rank == cur.rank) return false;
+  if (replicas_.count(mb_id) != 0) return false;
+  if (block_busy_anywhere(mb_id)) {
+    st_.migrations_skipped++;
+    return false;
+  }
+  const home_loc base = heap_.locate_block_base(mb_id);
+  if (target_rank != base.rank && mig_free_[static_cast<std::size_t>(target_rank)].empty()) {
+    st_.pool_full_skips++;
+    return false;
+  }
+  const double prev = pass_done_;
+  pass_done_ = 0;
+  migrate_block(mb_id, target_rank, cur);
+  if (pass_done_ > 0) rma_.wait_until(pass_done_);
+  pass_done_ = prev;
+  return true;
+}
+
+std::vector<hot_block> placement_engine::hottest(std::size_t n) const {
+  std::vector<hot_block> v;
+  v.reserve(cum_.size());
+  for (const auto& [id, c] : cum_) {
+    hot_block hb;
+    hb.mb_id = id;
+    hb.reader_mask = c.reader_mask;
+    hb.fetch_bytes = c.fetch_bytes;
+    hb.writeback_bytes = c.wb_bytes;
+    home_loc h;
+    hb.owner = heap_.try_locate_block(id, h) ? h.rank : -1;
+    v.push_back(hb);
+  }
+  std::sort(v.begin(), v.end(), [](const hot_block& a, const hot_block& b) {
+    if (a.fetch_bytes != b.fetch_bytes) return a.fetch_bytes > b.fetch_bytes;
+    return a.mb_id < b.mb_id;
+  });
+  if (v.size() > n) v.resize(n);
+  return v;
+}
+
+std::size_t placement_engine::n_replica_copies() const {
+  std::size_t n = 0;
+  for (const auto& [id, rec] : replicas_) {
+    for (const std::int32_t s : rec.node_slot) {
+      if (s >= 0) n++;
+    }
+  }
+  return n;
+}
+
+}  // namespace ityr::pgas

@@ -12,6 +12,8 @@
 
 namespace ityr::pgas {
 
+class placement_engine;
+
 /// Dirty-byte handling seam of the checkin paths (paper Section 4.4): what
 /// happens to a written range when its checkout ends. Expressed as an object
 /// instead of per-call-site policy branches so the facade and the front
@@ -32,8 +34,9 @@ public:
 /// write_through: every checkin pushes its bytes to the home right away.
 class write_through_policy final : public write_policy {
 public:
-  write_through_policy(rma::channel& ch, block_directory& dir, cache_stats& st)
-      : ch_(ch), dir_(dir), st_(st) {}
+  write_through_policy(rma::channel& ch, block_directory& dir, cache_stats& st,
+                       placement_engine* pl, int rank)
+      : ch_(ch), dir_(dir), st_(st), pl_(pl), rank_(rank) {}
 
   const char* name() const override { return "write_through"; }
   bool on_dirty(mem_block& mb, common::interval iv) override;
@@ -42,6 +45,8 @@ private:
   rma::channel& ch_;
   block_directory& dir_;
   cache_stats& st_;
+  placement_engine* pl_;  ///< dynamic placement (null when off)
+  const int rank_;
 };
 
 /// write_back (and write_back_lazy): dirty ranges accumulate until a release
@@ -65,6 +70,6 @@ private:
 /// the write-back engine (laziness lives in the fence protocol, not here).
 std::unique_ptr<write_policy> make_write_policy(common::cache_policy p, rma::channel& ch,
                                                 block_directory& dir, writeback_engine& wb,
-                                                cache_stats& st);
+                                                cache_stats& st, placement_engine* pl, int rank);
 
 }  // namespace ityr::pgas

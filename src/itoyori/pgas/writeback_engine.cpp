@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "itoyori/pgas/placement.hpp"
+
 namespace ityr::pgas {
 
 writeback_engine::writeback_engine(sim::engine& eng, rma::channel& ch, block_directory& dir,
@@ -14,13 +16,18 @@ writeback_engine::writeback_engine(sim::engine& eng, rma::channel& ch, block_dir
       rank_(cfg.rank),
       async_(cfg.async),
       wb_max_inflight_(cfg.wb_max_inflight),
-      batch_(ch, cfg.coalesce, st.coalesced_messages) {}
+      batch_(ch, cfg.coalesce, st.coalesced_messages),
+      pl_(cfg.placement) {}
 
 std::uint64_t* writeback_engine::epoch_words() const {
   return reinterpret_cast<std::uint64_t*>(ctrl_win_.addr(rank_, 0, 2 * sizeof(std::uint64_t)));
 }
 
 void writeback_engine::mark_dirty(mem_block& mb, common::interval iv) {
+  // Stale replicas must die no later than the write becomes fetchable; being
+  // earlier (at dirty marking instead of write-back issue) is always legal —
+  // a reader just falls back to the owner.
+  if (pl_ != nullptr) pl_->note_write_intent(mb.mb_id);
   mb.dirty.add(iv);
   if (!mb.in_dirty_list) {
     mb.in_dirty_list = true;
@@ -31,6 +38,18 @@ void writeback_engine::mark_dirty(mem_block& mb, common::interval iv) {
 void writeback_engine::collect_dirty() {
   int cls = 0;
   for (mem_block* mb : dirty_blocks_) {
+    if (pl_ != nullptr) {
+      // Defensive forward fix-up: a dirty block's home cannot migrate (the
+      // placement pass skips dirty blocks), so this should never fire — but
+      // re-resolving here makes the no-lost-update invariant locally
+      // checkable and keeps any future relaxation of the skip rule safe.
+      home_loc cur;
+      if (pl_->current_owner(mb->mb_id, cur) && cur.gen != mb->home.gen) {
+        st_.forward_retries++;
+        mb->home = cur;
+      }
+      pl_->note_writeback(mb->mb_id, rank_, mb->dirty.size());
+    }
     for (const auto& iv : mb->dirty.to_vector()) {
       batch_.add(mb->home.win, mb->home.rank, mb->home.pool_off + iv.begin,
                  dir_.slot_ptr(*mb) + iv.begin, iv.size());

@@ -17,6 +17,8 @@
 
 namespace ityr::pgas {
 
+class placement_engine;
+
 /// Dirty-data layer of the coherence stack: the dirty-block list, blocking
 /// write-back rounds, the epoch words of the lazy-release protocol (Fig. 6),
 /// and the asynchronous epoch-pipelined release (ITYR_ASYNC_RELEASE) with
@@ -34,6 +36,7 @@ public:
     bool async = false;
     std::size_t wb_max_inflight = 0;  ///< in-flight write-back byte cap
     int rank = -1;
+    placement_engine* placement = nullptr;  ///< dynamic placement (may be null)
   };
 
   writeback_engine(sim::engine& eng, rma::channel& ch, block_directory& dir,
@@ -114,6 +117,7 @@ private:
   std::vector<mem_block*> dirty_blocks_;
   xfer_batch batch_;  ///< write-back runs (separate from the fetch batch)
   int wb_cls_ = 0;    ///< max distance class of the last collected round
+  placement_engine* pl_ = nullptr;  ///< dynamic placement (null when off)
 
   // The epoch ring maps epoch -> cumulative-max completion time of the round
   // that advanced to it; overwritten (too-old) entries are superseded by

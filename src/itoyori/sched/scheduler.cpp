@@ -524,6 +524,9 @@ void scheduler::worker_loop() {
       // without stalling if the in-flight budget is full (ITYR_ASYNC_RELEASE
       // off: no-op).
       pgas_.idle_flush();
+      // Idle ranks are also the cheapest place to charge a due placement
+      // pass (ITYR_MIGRATION / ITYR_REPLICATION off: no-op).
+      pgas_.placement_poll();
       const int shift = failed_rounds < 5 ? failed_rounds : 5;
       eng_.advance(eng_.opts().steal_backoff * static_cast<double>(1 << shift));
       failed_rounds++;
