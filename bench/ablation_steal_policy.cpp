@@ -5,10 +5,13 @@
 ///
 /// Sweeps `random` plus `node_first` at ITYR_NODE_FIRST_PROB 0.5 / 0.9 / 1.0
 /// (how often a thief prefers an intra-node victim before falling back to a
-/// uniform draw) and emits BENCH_steal_policy.json so the locality/balance
-/// trade-off is tracked across PRs: higher probabilities raise the intra-node
-/// steal share and cut inter-node bytes, while prob 1.0 risks load imbalance
-/// whenever a whole node runs dry.
+/// uniform draw) plus the `hierarchical` escalation ladder, and emits
+/// BENCH_steal_policy.json so the locality/balance trade-off is tracked
+/// across PRs: higher probabilities raise the intra-node steal share and cut
+/// inter-node bytes, while prob 1.0 risks load imbalance whenever a whole
+/// node runs dry. Hierarchical is not part of the monotonicity check (its
+/// intra share is emergent, not a probability knob); see
+/// ablation_steal_batch for its dedicated acceptance gates.
 ///
 /// Usage: ./build/bench/ablation_steal_policy [output.json]
 
@@ -65,7 +68,8 @@ int main(int argc, char** argv) {
   std::vector<policy_cfg> policies = {{"random", steal_policy::random, 0.0},
                                       {"node_first_p0.5", steal_policy::node_first, 0.5},
                                       {"node_first_p0.9", steal_policy::node_first, 0.9},
-                                      {"node_first_p1.0", steal_policy::node_first, 1.0}};
+                                      {"node_first_p1.0", steal_policy::node_first, 1.0},
+                                      {"hierarchical", steal_policy::hierarchical, 0.0}};
 
   std::vector<sweep_point> points;
   for (const policy_cfg& pc : policies) {
@@ -127,7 +131,8 @@ int main(int argc, char** argv) {
                    p.workload.c_str());
       rc = 1;
     }
-    if (p.workload == std::string("uts_mem") && p.policy != "random" && p.m.steals > 0) {
+    if (p.workload == std::string("uts_mem") && p.policy.rfind("node_first", 0) == 0 &&
+        p.m.steals > 0) {
       const double share =
           static_cast<double>(p.m.intra_node_steals) / static_cast<double>(p.m.steals);
       if (prev_share >= 0 && share + 0.05 < prev_share) {

@@ -97,7 +97,8 @@ void emit(std::FILE* f, const point& p, bool last) {
                "      \"block_hits\": %llu,\n"
                "      \"block_misses\": %llu,\n"
                "      \"write_skips\": %llu,\n"
-               "      \"coalesced_messages\": %llu\n"
+               "      \"coalesced_messages\": %llu,\n"
+               "      \"front_table_conflicts\": %llu\n"
                "    }%s\n",
                p.name.c_str(), p.m.ok ? "true" : "false", p.m.time,
                static_cast<unsigned long long>(p.m.messages),
@@ -110,7 +111,47 @@ void emit(std::FILE* f, const point& p, bool last) {
                static_cast<unsigned long long>(p.cst.block_hits),
                static_cast<unsigned long long>(p.cst.block_misses),
                static_cast<unsigned long long>(p.cst.write_skips),
-               static_cast<unsigned long long>(p.cst.coalesced_messages), last ? "" : ",");
+               static_cast<unsigned long long>(p.cst.coalesced_messages),
+               static_cast<unsigned long long>(p.cst.front_table_conflicts), last ? "" : ",");
+}
+
+/// Front-table conflict isolation: one rank alternates checkouts between two
+/// home blocks whose ids collide in a 16-entry direct-mapped table (block 0
+/// and block 16) but map to distinct slots at 64+ entries. Every probe after
+/// the first then finds the *other* block memoized — the pure conflict-miss
+/// pattern a 2-way table would absorb.
+point run_conflict_pair(const std::string& name, std::size_t front_table) {
+  ic::options o;
+  o.n_nodes = 1;
+  o.ranks_per_node = 1;
+  o.coll_heap_per_rank = 8 * ic::MiB;
+  o.noncoll_heap_per_rank = 8 * ic::MiB;
+  o.cache_size = 4 * ic::MiB;
+  o.policy = ic::cache_policy::write_back_lazy;
+  o.default_dist = ic::dist_policy::block;
+  o.deterministic = true;
+  o.front_table_size = front_table;
+  constexpr std::size_t kRounds = 64;
+  constexpr std::size_t kBlockElems = (64 * ic::KiB) / sizeof(std::uint64_t);
+  point p;
+  p.name = name;
+  ityr::runtime rt(o);
+  double elapsed = 0;
+  rt.spmd([&] {
+    auto a = ityr::coll_new<std::uint64_t>(17 * kBlockElems);
+    for (std::size_t r = 0; r < kRounds; r++) {
+      for (std::size_t blk : {std::size_t{0}, std::size_t{16}}) {
+        auto ptr = a + static_cast<std::ptrdiff_t>(blk * kBlockElems);
+        ityr::with_checkout(ptr, 8, ityr::access_mode::read, [](const std::uint64_t*) {});
+      }
+    }
+    elapsed = rt.eng().now();
+    ityr::coll_delete(a, 17 * kBlockElems);
+  });
+  p.m.ok = true;
+  p.m.time = elapsed;
+  p.cst = rt.pgas().aggregate_stats();
+  return p;
 }
 
 }  // namespace
@@ -131,6 +172,16 @@ int main(int argc, char** argv) {
   point mb_coal = run_multiblock("multiblock_span_coalesced", true);
   point mb_base = run_multiblock("multiblock_span_uncoalesced", false);
 
+  // Front-table sizing study: the direct-mapped memo's conflict-miss count
+  // at 16 / 64 / 256 entries (64 is the default). Conflicts are probes that
+  // found a *different* block memoized in the slot — the signal that decides
+  // whether a bigger table or 2-way associativity would pay.
+  point ft16 = run_point("front_table_16", true, 16, n, cutoff);
+  point ft256 = run_point("front_table_256", true, 256, n, cutoff);
+  point cp16 = run_conflict_pair("conflict_pair_ft16", 16);
+  point cp64 = run_conflict_pair("conflict_pair_ft64", 64);
+  point cp256 = run_conflict_pair("conflict_pair_ft256", 256);
+
   std::FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", out_path);
@@ -147,7 +198,12 @@ int main(int argc, char** argv) {
   emit(f, uncoalesced, false);
   emit(f, baseline, false);
   emit(f, mb_coal, false);
-  emit(f, mb_base, true);
+  emit(f, mb_base, false);
+  emit(f, ft16, false);
+  emit(f, ft256, false);
+  emit(f, cp16, false);
+  emit(f, cp64, false);
+  emit(f, cp256, true);
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
 
@@ -170,6 +226,31 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(mb_coal.m.messages),
               static_cast<unsigned long long>(mb_base.m.messages),
               pct(mb_coal.m.messages, mb_base.m.messages));
-  return optimized.m.ok && uncoalesced.m.ok && baseline.m.ok && mb_coal.m.ok && mb_base.m.ok ? 0
-                                                                                             : 1;
+  std::printf("  fig8 front-table conflicts at 16/64/256 entries: %llu / %llu / %llu\n",
+              static_cast<unsigned long long>(ft16.cst.front_table_conflicts),
+              static_cast<unsigned long long>(optimized.cst.front_table_conflicts),
+              static_cast<unsigned long long>(ft256.cst.front_table_conflicts));
+  std::printf("  conflict-pair conflicts at 16/64/256 entries: %llu / %llu / %llu\n",
+              static_cast<unsigned long long>(cp16.cst.front_table_conflicts),
+              static_cast<unsigned long long>(cp64.cst.front_table_conflicts),
+              static_cast<unsigned long long>(cp256.cst.front_table_conflicts));
+  // Direct-mapped conflicts cannot increase with table size (same workload,
+  // and any pair colliding at 2^k slots also collides at 2^(k-1)); the
+  // conflict-pair pattern must show nonzero conflicts at 16 entries and
+  // none once the two blocks get distinct slots.
+  int rc = 0;
+  if (ft16.cst.front_table_conflicts < optimized.cst.front_table_conflicts ||
+      optimized.cst.front_table_conflicts < ft256.cst.front_table_conflicts) {
+    std::fprintf(stderr, "FAIL: fig8 front-table conflicts not monotone in table size\n");
+    rc = 1;
+  }
+  if (cp16.cst.front_table_conflicts == 0 || cp64.cst.front_table_conflicts != 0 ||
+      cp256.cst.front_table_conflicts != 0) {
+    std::fprintf(stderr, "FAIL: conflict-pair pattern not isolated by table size\n");
+    rc = 1;
+  }
+  return rc == 0 && optimized.m.ok && uncoalesced.m.ok && baseline.m.ok && mb_coal.m.ok &&
+                 mb_base.m.ok && ft16.m.ok && ft256.m.ok
+             ? 0
+             : 1;
 }

@@ -63,10 +63,19 @@ echo "#### bench/critical_path"
 echo
 
 # Steal victim-selection ablation (random vs node_first at
-# ITYR_NODE_FIRST_PROB 0.5/0.9/1.0 on cilksort + UTS-Mem: intra-node steal
-# share, inter-node bytes) -> BENCH_steal_policy.json.
+# ITYR_NODE_FIRST_PROB 0.5/0.9/1.0 vs hierarchical on cilksort + UTS-Mem:
+# intra-node steal share, inter-node bytes) -> BENCH_steal_policy.json.
 echo "#### bench/ablation_steal_policy"
 ./build/bench/ablation_steal_policy BENCH_steal_policy.json
+echo
+
+# Steal batching x victim policy ablation (uniform/node_first/hierarchical x
+# batch cap 1/2/half, plus adaptive backoff, up to 1024 ranks on a fat tree:
+# probes per steal, inter-node steal bytes, critical-path steal_wait share;
+# self-checks the PR-9 acceptance gate) -> BENCH_steal.json. CI compares the
+# --smoke variant against bench/baseline_steal.json via tools/stats_diff.
+echo "#### bench/ablation_steal_batch"
+./build/bench/ablation_steal_batch BENCH_steal.json
 echo
 
 # Dynamic data-placement ablation (ITYR_MIGRATION / ITYR_REPLICATION off vs

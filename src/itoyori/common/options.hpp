@@ -47,12 +47,19 @@ const char* to_string(dist_policy p);
 /// paper's Section 8 future-work direction (locality-aware scheduling):
 /// thieves prefer victims on their own node, making most migrations
 /// intra-node (cheap, shared-memory) and improving cache affinity.
+/// `hierarchical` generalizes the node-first coin flip into a per-distance-
+/// class escalation ladder over the topology's LCA classes: probe class-0
+/// peers first and escalate to farther classes only after
+/// steal_escalation_rounds consecutive failures, with last-successful-victim
+/// affinity (docs/internals.md "Steal protocol").
 enum class steal_policy {
   random,
   node_first,
+  hierarchical,
 };
 
 const char* to_string(steal_policy p);
+steal_policy steal_policy_from_string(const std::string& s);
 
 /// How fibers switch contexts (ITYR_FIBER_BACKEND). `asm_switch` is a
 /// minimal hand-rolled callee-saved-register switch (no signal-mask syscall,
@@ -228,8 +235,31 @@ struct options {
   std::size_t ult_stack_size = 256 * KiB;  ///< user-level thread stacks (ITYR_ULT_STACK_SIZE)
   double steal_backoff       = 2.0e-6;     ///< seconds between failed steal rounds
   double poll_interval       = 0.5e-6;     ///< epoch-poll spin granularity
+  /// Victim selection (ITYR_STEAL_POLICY: random | node_first | hierarchical).
+  /// The default `random` is the paper's protocol, bit-identical to every
+  /// pre-knob run.
   steal_policy steal         = steal_policy::random;
   double node_first_prob     = 0.75;       ///< node_first: P(choose intra-node victim)
+  /// Max deque entries one steal's probe+CAS round may claim
+  /// (ITYR_STEAL_BATCH). The thief takes min(steal_batch, ceil(depth/2))
+  /// contiguous top-of-deque entries — "steal half", capped. 1 (the default)
+  /// is the paper's single-entry steal, bit-identical to pre-batch runs; a
+  /// large value (e.g. 64) is effectively uncapped steal-half.
+  std::size_t steal_batch    = 1;
+  /// hierarchical only: consecutive failed probes at the current distance
+  /// class before the ladder escalates to the next farther class
+  /// (ITYR_STEAL_ESCALATION_ROUNDS); must be >= 1. The default of 3 is the
+  /// sweet spot measured at 1024 ranks on a fat tree: 2 gives up on near
+  /// victims too early and re-inflates far probe traffic, 4+ lingers on
+  /// drained classes.
+  int steal_escalation_rounds = 3;
+  /// Adaptive per-victim backoff (ITYR_STEAL_ADAPTIVE_BACKOFF): remember
+  /// recently-empty victims in a small per-rank table and suppress probes to
+  /// them for an exponentially growing window, so failed-probe traffic stops
+  /// growing linearly with rank count. Off by default (bit-identical probe
+  /// traffic to pre-backoff runs); the idle loop's idle_flush() keeps
+  /// running on every suppressed round.
+  bool steal_adaptive_backoff = false;
 
   // --- simulator core (docs/internals.md "simulator core") ---
   /// Context-switch backend for fibers (ITYR_FIBER_BACKEND). Defaults to
@@ -329,5 +359,16 @@ void validate_placement(bool migration, bool replication, double placement_inter
                         double migration_share, std::size_t migration_pool_blocks,
                         std::size_t replication_pool_blocks, int replication_min_readers,
                         std::size_t hot_blocks_topn);
+
+/// Check the work-stealing knobs (ITYR_STEAL_BATCH /
+/// ITYR_STEAL_ESCALATION_ROUNDS / ITYR_NODE_FIRST_PROB): the batch cap must
+/// be >= 1 entry (0, e.g. a malformed env value, would claim nothing and
+/// livelock the steal loop), the escalation round count must be >= 1, and
+/// the node-first probability must be a valid probability in [0, 1]. Throws
+/// common::error with the offending value otherwise. Called by
+/// options::from_env() and the scheduler's constructor (covering
+/// programmatically built options).
+void validate_steal(std::size_t steal_batch, int steal_escalation_rounds,
+                    double node_first_prob);
 
 }  // namespace ityr::common

@@ -185,6 +185,8 @@ metrics_snapshot collect_metrics(runtime& rt) {
   add("cache.block_misses", true, [&](int r) { return u64(cst(r).block_misses); });
   add("cache.write_skips", true, [&](int r) { return u64(cst(r).write_skips); });
   add("cache.fast_path_hits", true, [&](int r) { return u64(cst(r).fast_path_hits); });
+  add("cache.front_table_conflicts", true,
+      [&](int r) { return u64(cst(r).front_table_conflicts); });
   add("cache.coalesced_messages", true, [&](int r) { return u64(cst(r).coalesced_messages); });
   add("cache.fetched_bytes", true, [&](int r) { return u64(cst(r).fetched_bytes); });
   add("cache.written_back_bytes", true, [&](int r) { return u64(cst(r).written_back_bytes); });
@@ -235,6 +237,23 @@ metrics_snapshot collect_metrics(runtime& rt) {
   add("sched.migrations", true, [&](int r) { return u64(sst(r).migrations); });
   add("sched.migrated_stack_bytes", true,
       [&](int r) { return u64(sst(r).migrated_stack_bytes); });
+  // Steal-protocol detail (PR: hierarchical victim selection / steal-half
+  // batching / adaptive backoff; all zero at the default knobs except the
+  // per-class probe counts and the failed-probe accounting, which are
+  // always-on observability).
+  add("sched.steal.batch_steals", true, [&](int r) { return u64(sst(r).batch_steals); });
+  add("sched.steal.batch_extra_entries", true,
+      [&](int r) { return u64(sst(r).batch_extra_entries); });
+  add("sched.steal.inter_stack_bytes", true,
+      [&](int r) { return u64(sst(r).inter_steal_bytes); });
+  add("sched.steal.backoff_skips", true, [&](int r) { return u64(sst(r).backoff_skips); });
+  add("sched.steal.failed_probe_s", false, [&](int r) { return sst(r).failed_probe_s; });
+  const int n_probe_cls =
+      std::min(rt.rma().net().n_classes(), sched::cp_max_classes);
+  for (int c = 0; c < n_probe_cls; c++) {
+    add(("sched.steal.probes.class" + std::to_string(c)).c_str(), true,
+        [&](int r) { return u64(sst(r).steal_probes_class[c]); });
+  }
 
   // --- network, split by locality (intra-node shared memory vs interconnect) ---
   const auto& net = rt.rma().net();
@@ -306,6 +325,12 @@ metrics_snapshot collect_metrics(runtime& rt) {
               [&](int r) -> const common::log_histogram& { return rt.sched().task_hist_of(r); });
   merge_hists("hist.steal_latency_s",
               [&](int r) -> const common::log_histogram& { return rt.sched().steal_hist_of(r); });
+  merge_hists("hist.steal_fail_s", [&](int r) -> const common::log_histogram& {
+    return rt.sched().steal_fail_hist_of(r);
+  });
+  merge_hists("hist.steal_batch", [&](int r) -> const common::log_histogram& {
+    return rt.sched().steal_batch_hist_of(r);
+  });
   merge_hists("hist.fence_s",
               [&](int r) -> const common::log_histogram& { return rt.sched().fence_hist_of(r); });
   merge_hists("hist.rma_msg_bytes",
@@ -339,6 +364,18 @@ metrics_snapshot collect_metrics(runtime& rt) {
     add("critpath.whatif.network_free_span_s", false, d_at0(net_free));
     add("critpath.whatif.network_free_speedup", false,
         d_at0(net_free > 0 ? span_s / net_free : 1.0));
+    // Steal-mechanics projection: span with the steal_wait bucket zeroed
+    // ("how much faster if steals were free"), plus the cluster-wide time
+    // burned on failed probes — the idle-loop waste the steal overhaul
+    // targets, surfaced next to the span share it competes with.
+    const double steal_free =
+        std::max(span_s - span.of(sched::cp_bucket::steal_wait), 0.0);
+    add("critpath.whatif.steal_free_span_s", false, d_at0(steal_free));
+    add("critpath.whatif.steal_free_speedup", false,
+        d_at0(steal_free > 0 ? span_s / steal_free : 1.0));
+    double failed_probe_total = 0;
+    for (int r = 0; r < n; r++) failed_probe_total += sst(r).failed_probe_s;
+    add("critpath.whatif.failed_probe_total_s", false, d_at0(failed_probe_total));
   }
 
   // --- dynamic data placement (ITYR_MIGRATION / ITYR_REPLICATION /

@@ -15,6 +15,7 @@ struct cache_stats {
   std::uint64_t block_misses = 0;      ///< visits that fetched remote data
   std::uint64_t write_skips = 0;       ///< write-mode visits (fetch elided)
   std::uint64_t fast_path_hits = 0;    ///< checkouts served by the front table
+  std::uint64_t front_table_conflicts = 0;  ///< probes losing to a different block's memo
   std::uint64_t coalesced_messages = 0;  ///< RMA messages saved by coalescing
   std::uint64_t fetched_bytes = 0;
   std::uint64_t written_back_bytes = 0;

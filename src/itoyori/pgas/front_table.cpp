@@ -46,7 +46,14 @@ mem_block* front_table::probe(gaddr_t g, std::size_t size) {
   const std::uint64_t mb_id = off0 / block_size_;
   if ((off0 + size - 1) / block_size_ != mb_id) return nullptr;  // spans blocks
   const entry& fe = table_[mb_id & mask_];
-  if (fe.mb_id != mb_id) return nullptr;
+  if (fe.mb_id != mb_id) {
+    // Occupied by a different block: a direct-mapped conflict miss (as
+    // opposed to a cold/purged slot). This counter is what sizes the table
+    // and decides whether 2-way associativity would pay (BENCH_checkout.json
+    // reports it at 16/64/256 entries).
+    if (fe.mb_id != kNoBlock) st_.front_table_conflicts++;
+    return nullptr;
+  }
   ITYR_CHECK(fe.mb != nullptr);
   ITYR_CHECK(fe.mb->mapped);
   return fe.mb;

@@ -170,6 +170,7 @@ cache_system::stats pgas_space::aggregate_stats() const {
     agg.block_misses += s.block_misses;
     agg.write_skips += s.write_skips;
     agg.fast_path_hits += s.fast_path_hits;
+    agg.front_table_conflicts += s.front_table_conflicts;
     agg.coalesced_messages += s.coalesced_messages;
     agg.fetched_bytes += s.fetched_bytes;
     agg.written_back_bytes += s.written_back_bytes;

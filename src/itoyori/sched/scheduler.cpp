@@ -5,13 +5,41 @@
 namespace ityr::sched {
 
 scheduler::scheduler(sim::engine& eng, pgas::pgas_space& pgas) : eng_(eng), pgas_(pgas) {
+  const auto& opt = eng_.opts();
+  // Covers programmatically built options; from_env() already validated its
+  // own result.
+  common::validate_steal(opt.steal_batch, opt.steal_escalation_rounds, opt.node_first_prob);
   ranks_.resize(static_cast<std::size_t>(eng_.n_ranks()));
   timeline_.configure(eng_.n_ranks());
-  cp_on_ = eng_.opts().critpath;
+  cp_on_ = opt.critpath;
   for (auto& rs : ranks_) {
-    rs.hist_task.configure(eng_.opts().hist_buckets, 1.0e-9);
-    rs.hist_steal.configure(eng_.opts().hist_buckets, 1.0e-9);
-    rs.hist_fence.configure(eng_.opts().hist_buckets, 1.0e-9);
+    rs.hist_task.configure(opt.hist_buckets, 1.0e-9);
+    rs.hist_steal.configure(opt.hist_buckets, 1.0e-9);
+    rs.hist_fence.configure(opt.hist_buckets, 1.0e-9);
+    rs.hist_steal_fail.configure(opt.hist_buckets, 1.0e-9);
+    rs.hist_steal_batch.configure(opt.hist_buckets, 1.0);  // entry counts, not seconds
+  }
+  if (opt.steal == common::steal_policy::hierarchical) {
+    const int n_nodes = opt.n_nodes;
+    const int rpn = opt.ranks_per_node;
+    const int n_cls = eng_.topo().n_classes();
+    class_nodes_.assign(static_cast<std::size_t>(n_nodes),
+                        std::vector<std::vector<int>>(static_cast<std::size_t>(n_cls)));
+    hier_classes_.assign(static_cast<std::size_t>(n_nodes), {});
+    for (int s = 0; s < n_nodes; s++) {
+      auto& row = class_nodes_[static_cast<std::size_t>(s)];
+      for (int d = 0; d < n_nodes; d++) {
+        if (d == s) continue;
+        // Distance classes depend only on the node pair; probe any rank.
+        const int c = eng_.topo().class_of(s * rpn, d * rpn);
+        row[static_cast<std::size_t>(c)].push_back(d);
+      }
+      auto& classes = hier_classes_[static_cast<std::size_t>(s)];
+      if (rpn > 1) classes.push_back(0);
+      for (int c = 1; c < n_cls; c++) {
+        if (!row[static_cast<std::size_t>(c)].empty()) classes.push_back(c);
+      }
+    }
   }
 }
 
@@ -27,6 +55,14 @@ scheduler::stats scheduler::get_stats() const {
     agg.join_suspends += rs.st.join_suspends;
     agg.migrations += rs.st.migrations;
     agg.migrated_stack_bytes += rs.st.migrated_stack_bytes;
+    agg.batch_steals += rs.st.batch_steals;
+    agg.batch_extra_entries += rs.st.batch_extra_entries;
+    agg.inter_steal_bytes += rs.st.inter_steal_bytes;
+    agg.backoff_skips += rs.st.backoff_skips;
+    agg.failed_probe_s += rs.st.failed_probe_s;
+    for (int c = 0; c < cp_max_classes; c++) {
+      agg.steal_probes_class[c] += rs.st.steal_probes_class[c];
+    }
   }
   return agg;
 }
@@ -399,6 +435,92 @@ void scheduler::recycle(thread_handle& h) {
 // worker loop & stealing
 // ---------------------------------------------------------------------------
 
+int scheduler::pick_victim_hierarchical(rank_state& rs) {
+  const auto& opt = eng_.opts();
+  const int me = eng_.my_rank();
+  // Affinity: re-probe the last successful victim first — a deque we just
+  // took work from is the best predictor of more. The slot is consumed here
+  // and re-armed only by another success, so one failed affinity probe falls
+  // back to the ladder (it does count as a ladder failure; see
+  // note_steal_fail).
+  if (rs.hier_last >= 0) {
+    const int v = rs.hier_last;
+    rs.hier_last = -1;
+    return v;
+  }
+  const int my_node = eng_.node_of(me);
+  const auto& classes = hier_classes_[static_cast<std::size_t>(my_node)];
+  const int cls = classes[static_cast<std::size_t>(rs.hier_cls)];
+  const int rpn = opt.ranks_per_node;
+  if (cls == 0) {
+    // Same-node peers: draw among the rpn-1 others, as node_first does.
+    int v = my_node * rpn +
+            static_cast<int>(eng_.rng().below(static_cast<std::uint64_t>(rpn - 1)));
+    if (v >= me) v++;
+    return v;
+  }
+  const auto& nodes = class_nodes_[static_cast<std::size_t>(my_node)][static_cast<std::size_t>(cls)];
+  const int nd = nodes[eng_.rng().below(nodes.size())];
+  return nd * rpn + static_cast<int>(eng_.rng().below(static_cast<std::uint64_t>(rpn)));
+}
+
+void scheduler::note_steal_fail(rank_state& rs, int victim, double t0, bool probed) {
+  const auto& opt = eng_.opts();
+  if (probed) {
+    // hist_steal only sees successes; this is the always-on record of what
+    // the idle loop burned on empty/raced probes (stats only — no clock).
+    const double d = eng_.now_precise() - t0;
+    rs.st.failed_probe_s += d;
+    rs.hist_steal_fail.record(d);
+  }
+  if (opt.steal == common::steal_policy::hierarchical) {
+    const auto& classes = hier_classes_[static_cast<std::size_t>(eng_.node_of(eng_.my_rank()))];
+    rs.hier_fails++;
+    if (rs.hier_fails >= opt.steal_escalation_rounds) {
+      // Escalate to the next farther class; past the farthest, wrap back to
+      // the nearest so fresh class-0 work is rediscovered without a success.
+      rs.hier_fails = 0;
+      rs.hier_cls = (rs.hier_cls + 1) % static_cast<int>(classes.size());
+    }
+  }
+  if (probed && opt.steal_adaptive_backoff) {
+    backoff_entry& be = rs.backoff[static_cast<std::size_t>(victim) & (backoff_slots - 1)];
+    if (be.victim == victim) {
+      be.fails++;
+    } else {
+      be.victim = victim;
+      be.fails = 1;
+    }
+    // The suppression window must outlast the idle loop's own exponential
+    // pacing (up to 32x steal_backoff between rounds), or a re-draw of the
+    // same empty victim lands after the window expired and the table never
+    // skips anything — hence the x16 base on top of the per-victim growth.
+    const int shift = 4 + (be.fails < 6 ? be.fails : 6);
+    be.until = eng_.now_precise() + opt.steal_backoff * static_cast<double>(1 << shift);
+  }
+}
+
+void scheduler::note_steal_success(rank_state& rs, int victim) {
+  const auto& opt = eng_.opts();
+  if (opt.steal == common::steal_policy::hierarchical) {
+    rs.hier_fails = 0;
+    // Reset the ladder to the nearest class: locality is re-earned after
+    // every success (restarting at the successful distance instead turns one
+    // far steal into a persistent far bias and collapses the intra-node
+    // share on steal-heavy workloads).
+    rs.hier_cls = 0;
+    // Affinity is intra-node only: a neighbor's deque we just drained from
+    // is worth re-probing at shared-memory cost, but pinning to a *remote*
+    // victim would keep pulling work (and its stack bytes) over the same
+    // far link the ladder exists to avoid.
+    if (eng_.same_node(eng_.my_rank(), victim)) rs.hier_last = victim;
+  }
+  if (opt.steal_adaptive_backoff) {
+    backoff_entry& be = rs.backoff[static_cast<std::size_t>(victim) & (backoff_slots - 1)];
+    if (be.victim == victim) be = backoff_entry{};
+  }
+}
+
 bool scheduler::try_steal() {
   rank_state& rs = self();
   const int n = eng_.n_ranks();
@@ -409,21 +531,44 @@ bool scheduler::try_steal() {
   const auto& opt = eng_.opts();
   const int me = eng_.my_rank();
 
-  // Victim selection: uniformly random (paper Section 2.1), or node-first
-  // (a locality-aware extension; Section 8 future work).
+  // Victim selection: uniformly random (paper Section 2.1), node-first (a
+  // two-tier locality-aware extension; Section 8 future work), or the
+  // hierarchical escalation ladder over the topology's distance classes
+  // (docs/internals.md "Steal protocol").
+  //
+  // Adaptive backoff filters the selection: a victim found empty recently is
+  // suppressed for an exponentially growing window, and the round re-draws
+  // (up to a small cap) instead of probing it. A skip issues no probe
+  // traffic — no clock advance, no steal_attempt — but does count as a
+  // ladder failure, so a node whose peers are all suppressed escalates to a
+  // farther class within the same round instead of going idle on it.
   int victim;
   const int rpn = opt.ranks_per_node;
-  if (opt.steal == common::steal_policy::node_first && rpn > 1 &&
-      eng_.rng().uniform() < opt.node_first_prob) {
-    const int node_base = eng_.node_of(me) * rpn;
-    victim = node_base + static_cast<int>(eng_.rng().below(static_cast<std::uint64_t>(rpn - 1)));
-    if (victim >= me) victim++;
-  } else {
-    victim = static_cast<int>(eng_.rng().below(static_cast<std::uint64_t>(n - 1)));
-    if (victim >= me) victim++;
+  const int max_picks = opt.steal_adaptive_backoff ? 8 : 1;
+  for (int pick = 0;; pick++) {
+    if (opt.steal == common::steal_policy::hierarchical) {
+      victim = pick_victim_hierarchical(rs);
+    } else if (opt.steal == common::steal_policy::node_first && rpn > 1 &&
+               eng_.rng().uniform() < opt.node_first_prob) {
+      const int node_base = eng_.node_of(me) * rpn;
+      victim =
+          node_base + static_cast<int>(eng_.rng().below(static_cast<std::uint64_t>(rpn - 1)));
+      if (victim >= me) victim++;
+    } else {
+      victim = static_cast<int>(eng_.rng().below(static_cast<std::uint64_t>(n - 1)));
+      if (victim >= me) victim++;
+    }
+    if (!opt.steal_adaptive_backoff) break;
+    const backoff_entry& be = rs.backoff[static_cast<std::size_t>(victim) & (backoff_slots - 1)];
+    if (be.victim != victim || eng_.now_precise() >= be.until) break;
+    rs.st.backoff_skips++;
+    note_steal_fail(rs, victim, t0, /*probed=*/false);
+    if (pick + 1 >= max_picks) return false;  // everything drawn is cooling off
   }
   rank_state& vs = ranks_[static_cast<std::size_t>(victim)];
+
   rs.st.steal_attempts++;
+  rs.st.steal_probes_class[std::min(eng_.topo().class_of(me, victim), cp_max_classes - 1)]++;
 
   const bool same_node = eng_.same_node(me, victim);
   // Steal traffic is priced by the (me, victim) distance class: on a fat
@@ -434,14 +579,37 @@ bool scheduler::try_steal() {
 
   // Probe the victim's deque bounds: one small one-sided read.
   eng_.advance(latency);
-  if (vs.deque.empty()) return false;
+  if (vs.deque.empty()) {
+    note_steal_fail(rs, victim, t0, /*probed=*/true);
+    return false;
+  }
 
   // CAS to claim the top entry (fully one-sided steal; the victim's CPU is
   // not involved). The round trip yields, so the entry may be gone or
   // claimed by another thief when we land: re-check.
   pgas_.cache().poll();
   eng_.advance(opt.net.atomic_latency);
-  if (vs.deque.empty()) return false;
+  if (vs.deque.empty()) {
+    note_steal_fail(rs, victim, t0, /*probed=*/true);
+    return false;
+  }
+
+  // Claim the top entry — and, under ITYR_STEAL_BATCH, up to
+  // min(steal_batch, ceil(depth/2)) contiguous top entries in this same
+  // probe+CAS round ("steal half", capped). Claiming from the top leaves the
+  // victim its deepest entries, so its fast-path bottom entry survives
+  // whenever depth >= 2; the batch is exactly what the CAS observed as the
+  // contiguous top of the deque, so the one-sided claim invariant holds.
+  const std::size_t victim_before = vs.deque.size();
+  std::size_t claim = 1;
+  if (opt.steal_batch > 1) claim = std::min(opt.steal_batch, (victim_before + 1) / 2);
+  // Under the hierarchical policy, steal-half is intra-node only: batching
+  // amortizes the probe+CAS round where the stack bytes move at shared-memory
+  // cost, while a far steal claims a single continuation so migrated bytes
+  // over the thin core links stay bounded (the ladder makes far steals the
+  // rare balancing case, not the common path). Flat policies keep the plain
+  // cap — ITYR_STEAL_BATCH alone is distance-blind by design.
+  if (opt.steal == common::steal_policy::hierarchical && !same_node) claim = 1;
 
   cont_entry e = vs.deque.front();
   vs.deque.pop_front();
@@ -449,11 +617,37 @@ bool scheduler::try_steal() {
   if (same_node) rs.st.intra_node_steals++;
   const double t_claim = eng_.now_precise();  // victim-side claim (CAS landed)
 
-  // Fetch the continuation descriptor and migrate the thread's stack.
-  rs.st.migrations++;
-  const std::size_t stack_bytes = e.fib->live_stack_bytes();
-  rs.st.migrated_stack_bytes += stack_bytes;
-  eng_.advance(latency + static_cast<double>(stack_bytes) / bandwidth);
+  // Batch extras queue behind the triggering entry on the thief's own deque
+  // (empty here — a worker only steals when out of local work), preserving
+  // victim order: later local pops take the deepest first, keeping the
+  // child-first discipline. Each entry keeps its own release handler, so a
+  // re-steal from this rank re-synchronizes independently.
+  const std::size_t thief_before = rs.deque.size();
+  std::size_t total_stack = e.fib->live_stack_bytes();
+  pgas::release_handler rh = e.rh;
+  for (std::size_t i = 1; i < claim; i++) {
+    cont_entry ex = vs.deque.front();
+    vs.deque.pop_front();
+    total_stack += ex.fib->live_stack_bytes();
+    // Handler epochs grow with push order, so the last claimed (deepest)
+    // needed handler covers every earlier one: one Acquire #2 serves the
+    // whole batch.
+    if (ex.rh.needed()) rh = ex.rh;
+    rs.deque.push_back(ex);
+  }
+  if (claim > 1) {
+    rs.st.batch_steals++;
+    rs.st.batch_extra_entries += claim - 1;
+  }
+  rs.hist_steal_batch.record(static_cast<double>(claim));
+
+  // Fetch the continuation descriptor(s) and migrate the thread stacks: one
+  // latency for the round plus bandwidth for every byte — the latency
+  // amortization is what makes batching pay at far distance classes.
+  rs.st.migrations += claim;
+  rs.st.migrated_stack_bytes += total_stack;
+  if (!same_node) rs.st.inter_steal_bytes += total_stack;
+  eng_.advance(latency + static_cast<double>(total_stack) / bandwidth);
 
   // Acquire #2: synchronize with the victim's delayed Release #1, plus any
   // async rounds the victim had already issued when it pushed this entry
@@ -463,22 +657,40 @@ bool scheduler::try_steal() {
   {
     common::profiler::maybe_scope sc(prof_, common::prof_event::acquire);
     const double f0 = eng_.now_precise();
-    pgas_.acquire(e.rh);
+    pgas_.acquire(rh);
     pgas_.cache().wait_visibility(pgas_.cache_of(victim).visibility_watermark());
     rs.hist_fence.record(eng_.now_precise() - f0);
   }
   // Thief<-victim pairing as a trace flow arrow: starts where the entry was
   // claimed on the victim's track, lands when the migrated task is runnable.
-  if (trace_ != nullptr) trace_->flow(victim, t_claim, me, eng_.now_precise(), "steal");
+  // A batch travels as ONE flow, annotated with its size and both endpoints'
+  // deque-depth deltas (trace_lint cross-checks them); single-entry steals
+  // keep the plain unannotated flow so off-path traces stay byte-identical.
+  if (trace_ != nullptr) {
+    if (claim == 1) {
+      trace_->flow(victim, t_claim, me, eng_.now_precise(), "steal");
+    } else {
+      trace_->flow_batch(victim, t_claim, me, eng_.now_precise(), "steal",
+                         static_cast<std::uint32_t>(claim),
+                         static_cast<std::uint32_t>(victim_before),
+                         static_cast<std::uint32_t>(victim_before - claim),
+                         static_cast<std::uint32_t>(thief_before),
+                         static_cast<std::uint32_t>(thief_before + claim - 1));
+    }
+  }
   const double steal_cost = eng_.now_precise() - t0;
   rs.hist_steal.record(steal_cost);
   if (cp_on_) {
     // Pending note for the taken_over resume: the steal's modelled mechanics
     // burden the stolen continuation's path, classed by thief<->victim
-    // distance (intra-node steals land in net[0], which what-if keeps).
+    // distance (intra-node steals land in net[0], which what-if keeps). The
+    // note is consumed by the very next resume — the triggering entry `e` —
+    // so a batch's whole burden lands on the entry that caused the probe;
+    // the extras are later plain local pops and carry no steal charge.
     rs.cp.steal_cls = std::min(eng_.topo().class_of(me, victim), cp_max_classes - 1);
     rs.cp.steal_cost = steal_cost;
   }
+  note_steal_success(rs, victim);
   return_to_task_ = e.fib;
   return true;
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <exception>
@@ -85,6 +86,13 @@ public:
     std::uint64_t join_suspends = 0;
     std::uint64_t migrations = 0;         ///< cross-rank thread movements
     std::uint64_t migrated_stack_bytes = 0;
+    std::uint64_t batch_steals = 0;       ///< steals that claimed > 1 entry
+    std::uint64_t batch_extra_entries = 0;///< entries claimed beyond the first
+    std::uint64_t inter_steal_bytes = 0;  ///< stack bytes migrated by inter-node steals
+    std::uint64_t backoff_skips = 0;      ///< probes suppressed by adaptive backoff
+    double failed_probe_s = 0;            ///< virtual time burned in failed steal rounds
+    /// Probes issued per thief<->victim distance class (class_of, clamped).
+    std::uint64_t steal_probes_class[cp_max_classes] = {};
   };
 
   scheduler(sim::engine& eng, pgas::pgas_space& pgas);
@@ -159,6 +167,15 @@ public:
   const common::log_histogram& steal_hist_of(int rank) const {
     return ranks_[static_cast<std::size_t>(rank)].hist_steal;
   }
+  /// Failed-probe latency (probe start to empty/raced return), always on —
+  /// hist_steal only sees successes, so this is where idle-loop waste shows.
+  const common::log_histogram& steal_fail_hist_of(int rank) const {
+    return ranks_[static_cast<std::size_t>(rank)].hist_steal_fail;
+  }
+  /// Entries claimed per successful steal (1 unless ITYR_STEAL_BATCH > 1).
+  const common::log_histogram& steal_batch_hist_of(int rank) const {
+    return ranks_[static_cast<std::size_t>(rank)].hist_steal_batch;
+  }
   /// Fence time (Release #2/#3, Acquire #1/#2), always on.
   const common::log_histogram& fence_hist_of(int rank) const {
     return ranks_[static_cast<std::size_t>(rank)].hist_fence;
@@ -178,6 +195,16 @@ private:
     join_done,    ///< suspended joiner resumed by the finishing child
   };
 
+  /// Adaptive per-victim backoff slot (ITYR_STEAL_ADAPTIVE_BACKOFF):
+  /// direct-mapped by victim id; a victim found empty is suppressed until
+  /// `until`, doubling the window per consecutive empty probe.
+  struct backoff_entry {
+    int victim = -1;
+    int fails = 0;
+    double until = 0;
+  };
+  static constexpr std::size_t backoff_slots = 64;  // power of two (mask-indexed)
+
   struct rank_state {
     std::deque<cont_entry> deque;
     sim::fiber* sched_fiber = nullptr;  ///< this rank's worker-loop fiber
@@ -188,12 +215,25 @@ private:
     common::log_histogram hist_task;    ///< task exec time (ITYR_CRITPATH only)
     common::log_histogram hist_steal;   ///< successful-steal latency
     common::log_histogram hist_fence;   ///< fence (release/acquire) time
+    common::log_histogram hist_steal_fail;   ///< failed-probe latency
+    common::log_histogram hist_steal_batch;  ///< entries claimed per steal
+    // hierarchical escalation ladder (ITYR_STEAL_POLICY=hierarchical)
+    int hier_cls = 0;    ///< index into hier_classes_[my node]
+    int hier_fails = 0;  ///< consecutive failed probes at the current class
+    int hier_last = -1;  ///< last successful victim (affinity probe); -1 = none
+    std::array<backoff_entry, backoff_slots> backoff{};
   };
 
   rank_state& self() { return ranks_[static_cast<std::size_t>(eng_.my_rank())]; }
 
   void worker_loop();
   bool try_steal();
+  int pick_victim_hierarchical(rank_state& rs);
+  /// Bookkeeping for a steal round that yielded no work. `probed` is false
+  /// for adaptive-backoff skips (no traffic was issued, so no latency is
+  /// recorded and no backoff-window update happens — only the ladder moves).
+  void note_steal_fail(rank_state& rs, int victim, double t0, bool probed);
+  void note_steal_success(rank_state& rs, int victim);
   void reap();
   void child_body(const std::function<void(thread_state*)>& fn, thread_state* ts,
                   std::uint64_t parent_serial);
@@ -221,6 +261,14 @@ private:
 
   sim::engine& eng_;
   pgas::pgas_space& pgas_;
+  // Hierarchical-steal candidate tables, built once per scheduler when
+  // ITYR_STEAL_POLICY=hierarchical (node-granular: distance classes depend
+  // only on the node pair, and node-level tables are O(n_nodes^2) instead of
+  // O(n_ranks^2)). class_nodes_[src][c] lists the nodes at class c from src;
+  // hier_classes_[src] lists the classes with candidates, ascending (class 0
+  // only when ranks_per_node > 1).
+  std::vector<std::vector<std::vector<int>>> class_nodes_;
+  std::vector<std::vector<int>> hier_classes_;
   common::profiler* prof_ = nullptr;
   common::tracer* trace_ = nullptr;
   common::phase_timeline timeline_;

@@ -1,0 +1,166 @@
+// Batch steals x asynchronous release: when a thief claims several deque
+// entries in one probe+CAS round, every claimed continuation must observe
+// the victim's writes — the thief's acquire has to cover the release epochs
+// of ALL claimed entries (the max-epoch watermark), not just the top one.
+// A bug there shows up as a stale read in exactly the interleavings this
+// test sweeps: async release keeps victim epochs in flight while the batch
+// migrates.
+//
+// The check is differential: batch=3 and batch=1 runs over the same plan
+// must both match the sequential oracle, and the batch run must actually
+// claim multi-entry batches (else the test is vacuous).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "../support/fixture.hpp"
+#include "itoyori/common/rng.hpp"
+#include "itoyori/core/ityr.hpp"
+
+namespace {
+
+struct plan_node {
+  bool leaf = false;
+  std::size_t lo = 0, hi = 0;
+  std::uint32_t salt = 0;
+  int left = -1, right = -1;
+  int next = -1;
+};
+
+struct plan {
+  std::vector<plan_node> nodes;
+  int root = -1;
+  std::size_t array_size = 0;
+};
+
+int build_plan(plan& p, ityr::common::xoshiro256ss& rng, std::size_t lo, std::size_t hi,
+               int depth) {
+  const int id = static_cast<int>(p.nodes.size());
+  p.nodes.push_back({});
+  if (depth == 0 || hi - lo < 8) {
+    p.nodes[id] = {true, lo, hi, static_cast<std::uint32_t>(rng()), -1, -1, -1};
+    return id;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  const int l = build_plan(p, rng, lo, mid, depth - 1);
+  const int r = build_plan(p, rng, mid, hi, depth - 1);
+  const int f = static_cast<int>(p.nodes.size());
+  p.nodes.push_back({true, lo, hi, static_cast<std::uint32_t>(rng()), -1, -1, -1});
+  p.nodes[id] = {false, lo, hi, 0, l, r, f};
+  return id;
+}
+
+constexpr std::uint32_t mutate(std::uint32_t x, std::uint32_t salt, std::uint32_t idx) {
+  return x * 1664525u + salt + idx * 1013904223u;
+}
+
+void run_serial(const plan& p, int id, std::vector<std::uint32_t>& a) {
+  const plan_node& n = p.nodes[static_cast<std::size_t>(id)];
+  if (n.leaf) {
+    for (std::size_t i = n.lo; i < n.hi; i++) {
+      a[i] = mutate(a[i], n.salt, static_cast<std::uint32_t>(i));
+    }
+    return;
+  }
+  run_serial(p, n.left, a);
+  run_serial(p, n.right, a);
+  run_serial(p, n.next, a);
+}
+
+void run_parallel(const plan* p, int id, ityr::global_ptr<std::uint32_t> a) {
+  const plan_node& n = p->nodes[static_cast<std::size_t>(id)];
+  if (n.leaf) {
+    ityr::with_checkout(a + static_cast<std::ptrdiff_t>(n.lo), n.hi - n.lo,
+                        ityr::access_mode::read_write, [&](std::uint32_t* ptr) {
+                          for (std::size_t i = 0; i < n.hi - n.lo; i++) {
+                            ptr[i] = mutate(ptr[i], n.salt,
+                                            static_cast<std::uint32_t>(n.lo + i));
+                          }
+                        });
+    return;
+  }
+  const int l = n.left, r = n.right, f = n.next;
+  ityr::parallel_invoke([p, l, a] { run_parallel(p, l, a); },
+                        [p, r, a] { run_parallel(p, r, a); });
+  run_parallel(p, f, a);
+}
+
+struct run_result {
+  std::vector<std::uint32_t> final_state;
+  std::uint64_t batch_steals = 0;
+  std::uint64_t batch_extra_entries = 0;
+};
+
+run_result run_batched(const plan& p, unsigned seed, std::size_t steal_batch) {
+  run_result res;
+  auto o = ityr::test::tiny_opts(2, 2);
+  o.policy = ityr::cache_policy::write_back_lazy;
+  o.seed = seed;
+  o.async_release = true;  // keep victim release epochs in flight during steals
+  o.steal_batch = steal_batch;
+  ityr::runtime rt(o);
+  rt.spmd([&] {
+    auto a = ityr::coll_new<std::uint32_t>(p.array_size);
+    const plan* pp = &p;
+    ityr::root_exec([pp, a] {
+      ityr::parallel_fill(a, pp->array_size, 64, std::uint32_t{0});
+      run_parallel(pp, pp->root, a);
+    });
+    if (ityr::my_rank() == 0) {
+      res.final_state.resize(p.array_size);
+      ityr::with_checkout(a, p.array_size, ityr::access_mode::read,
+                          [&](const std::uint32_t* got) {
+                            for (std::size_t i = 0; i < p.array_size; i++) {
+                              res.final_state[i] = got[i];
+                            }
+                          });
+    }
+    ityr::barrier();
+    ityr::coll_delete(a, p.array_size);
+  });
+  const auto st = rt.sched().get_stats();
+  res.batch_steals = st.batch_steals;
+  res.batch_extra_entries = st.batch_extra_entries;
+  return res;
+}
+
+TEST(StealBatchWatermark, BatchedStealsSeeAllClaimedEpochs) {
+  std::uint64_t total_batch_steals = 0;
+  for (unsigned seed : {1u, 2u, 3u, 5u, 8u}) {
+    ityr::common::xoshiro256ss rng(seed);
+    plan p;
+    p.array_size = 8 * 1024 + rng.below(8 * 1024);
+    // Deep plan: deques grow several entries tall before a thief arrives, so
+    // 3-entry claims actually occur.
+    p.root = build_plan(p, rng, 0, p.array_size, 7);
+
+    std::vector<std::uint32_t> oracle(p.array_size, 0);
+    run_serial(p, p.root, oracle);
+
+    const run_result single = run_batched(p, seed, 1);
+    const run_result batched = run_batched(p, seed, 3);
+
+    EXPECT_EQ(single.batch_steals, 0u) << "seed " << seed;
+    total_batch_steals += batched.batch_steals;
+    if (batched.batch_steals > 0) {
+      // Every batch claimed at most 3 entries: the extras per batch are 1..2.
+      EXPECT_GE(batched.batch_extra_entries, batched.batch_steals) << "seed " << seed;
+      EXPECT_LE(batched.batch_extra_entries, 2 * batched.batch_steals) << "seed " << seed;
+    }
+
+    ASSERT_EQ(single.final_state.size(), oracle.size());
+    ASSERT_EQ(batched.final_state.size(), oracle.size());
+    for (std::size_t i = 0; i < oracle.size(); i++) {
+      ASSERT_EQ(single.final_state[i], oracle[i])
+          << "single-entry run diverged at " << i << " (seed " << seed << ")";
+      ASSERT_EQ(batched.final_state[i], oracle[i])
+          << "batched run diverged at " << i << " (seed " << seed << ")";
+    }
+  }
+  // Visibility is only proven if the multi-entry path actually ran.
+  EXPECT_GT(total_batch_steals, 0u) << "no seed ever claimed a multi-entry batch";
+}
+
+}  // namespace

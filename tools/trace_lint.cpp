@@ -31,6 +31,13 @@
 /// flow invariant (both halves of a flow are emitted by one tracer call, so
 /// sampling can never strand half an arrow).
 ///
+/// With `--self-check-steal-batch` (the `trace_lint_steal_batch` ctest) it
+/// runs the same workload with ITYR_STEAL_BATCH > 1 and a smaller serial
+/// cutoff (deeper deques) and requires at least one batch-annotated steal
+/// flow; the generic batch checks then verify every such flow carries
+/// matching deque-depth deltas on both endpoints (victim loses `batch`
+/// entries, thief gains `batch - 1`).
+///
 /// All subsystem-specific invariants live in the two rule tables below —
 /// adding a lifecycle or presence check for a new tracer feature means
 /// adding a table row, not a new code path.
@@ -56,6 +63,7 @@ enum lint_mode : unsigned {
   kContent = 1u << 0,   ///< plain self-check: generic content must exist
   kPrefetch = 1u << 1,  ///< --self-check-prefetch
   kRelease = 1u << 2,   ///< --self-check-release
+  kBatch = 1u << 3,     ///< --self-check-steal-batch
 };
 
 /// Lifecycle pairing: every issued event must be retired by exactly one
@@ -101,6 +109,10 @@ constexpr presence_rule kPresenceRules[] = {
      [](const trace_result& r) { return r.n_prefetch_flows; }},
     {kRelease, true, "async write-back span",
      [](const trace_result& r) { return r.n_wb_async_spans; }},
+    // The deque-delta cross-check in validate_trace_json is vacuous unless a
+    // multi-entry claim actually appears in the trace.
+    {kBatch, true, "batch-annotated steal flow",
+     [](const trace_result& r) { return r.n_batch_steal_flows; }},
 };
 
 int lint(const std::string& json, const char* what, unsigned modes) {
@@ -150,7 +162,7 @@ int lint(const std::string& json, const char* what, unsigned modes) {
 }
 
 int self_check(bool with_prefetch, bool with_async_release = false,
-               std::uint64_t flow_sample = 1) {
+               std::uint64_t flow_sample = 1, std::size_t steal_batch = 1) {
   ityr::common::options o;
   o.n_nodes = 2;
   o.ranks_per_node = 2;
@@ -164,6 +176,10 @@ int self_check(bool with_prefetch, bool with_async_release = false,
   if (with_prefetch) o.prefetch = true;
   if (with_async_release) o.async_release = true;
   o.trace_flow_sample = flow_sample;
+  o.steal_batch = steal_batch;
+  // Batch mode sorts with a smaller serial cutoff: deques grow tall enough
+  // that multi-entry claims actually occur at 4 ranks.
+  const std::size_t cutoff = steal_batch > 1 ? 512 : 2048;
 
   constexpr std::size_t n = 1 << 16;
   std::string json;
@@ -177,7 +193,7 @@ int self_check(bool with_prefetch, bool with_async_release = false,
       ityr::barrier();
       ityr::root_exec([=] {
         ityr::apps::cilksort(ityr::global_span<std::uint32_t>(a, n),
-                             ityr::global_span<std::uint32_t>(b, n), 2048);
+                             ityr::global_span<std::uint32_t>(b, n), cutoff);
       });
       ityr::barrier();
       ityr::coll_delete(a, n);
@@ -185,10 +201,11 @@ int self_check(bool with_prefetch, bool with_async_release = false,
     });
     json = rt.trace().to_json();
   }
-  const unsigned modes =
-      kContent | (with_prefetch ? kPrefetch : 0u) | (with_async_release ? kRelease : 0u);
+  const unsigned modes = kContent | (with_prefetch ? kPrefetch : 0u) |
+                         (with_async_release ? kRelease : 0u) | (steal_batch > 1 ? kBatch : 0u);
   return lint(json,
-              flow_sample > 1    ? "self-check (traced cilksort, sampled flows)"
+              steal_batch > 1    ? "self-check (traced cilksort, batch steals)"
+              : flow_sample > 1    ? "self-check (traced cilksort, sampled flows)"
               : with_async_release ? "self-check (traced cilksort, async release)"
               : with_prefetch    ? "self-check (traced cilksort, prefetch)"
                                  : "self-check (traced cilksort)",
@@ -208,6 +225,10 @@ int main(int argc, char** argv) {
   if (argc == 2 && std::strcmp(argv[1], "--self-check-flow-sample") == 0) {
     return self_check(/*with_prefetch=*/false, /*with_async_release=*/false,
                       /*flow_sample=*/7);
+  }
+  if (argc == 2 && std::strcmp(argv[1], "--self-check-steal-batch") == 0) {
+    return self_check(/*with_prefetch=*/false, /*with_async_release=*/false,
+                      /*flow_sample=*/1, /*steal_batch=*/3);
   }
 
   int rc = 0;
