@@ -244,6 +244,8 @@ metrics_snapshot collect_metrics(runtime& rt) {
   add("sched.steal.batch_steals", true, [&](int r) { return u64(sst(r).batch_steals); });
   add("sched.steal.batch_extra_entries", true,
       [&](int r) { return u64(sst(r).batch_extra_entries); });
+  add("sched.steal.batch_multi_origin", true,
+      [&](int r) { return u64(sst(r).batch_multi_origin); });
   add("sched.steal.inter_stack_bytes", true,
       [&](int r) { return u64(sst(r).inter_steal_bytes); });
   add("sched.steal.backoff_skips", true, [&](int r) { return u64(sst(r).backoff_skips); });

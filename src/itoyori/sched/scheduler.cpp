@@ -57,6 +57,7 @@ scheduler::stats scheduler::get_stats() const {
     agg.migrated_stack_bytes += rs.st.migrated_stack_bytes;
     agg.batch_steals += rs.st.batch_steals;
     agg.batch_extra_entries += rs.st.batch_extra_entries;
+    agg.batch_multi_origin += rs.st.batch_multi_origin;
     agg.inter_steal_bytes += rs.st.inter_steal_bytes;
     agg.backoff_skips += rs.st.backoff_skips;
     agg.failed_probe_s += rs.st.failed_probe_s;
@@ -494,7 +495,10 @@ void scheduler::note_steal_fail(rank_state& rs, int victim, double t0, bool prob
     // The suppression window must outlast the idle loop's own exponential
     // pacing (up to 32x steal_backoff between rounds), or a re-draw of the
     // same empty victim lands after the window expired and the table never
-    // skips anything — hence the x16 base on top of the per-victim growth.
+    // skips anything. With fails >= 1 the shift is at least 5, so the
+    // minimum window is 32x steal_backoff — matching the idle loop's
+    // longest inter-round gap — and it doubles per consecutive empty probe
+    // up to 1024x. Keep this floor >= the idle-loop cap when tuning either.
     const int shift = 4 + (be.fails < 6 ? be.fails : 6);
     be.until = eng_.now_precise() + opt.steal_backoff * static_cast<double>(1 << shift);
   }
@@ -624,17 +628,39 @@ bool scheduler::try_steal() {
   // re-steal from this rank re-synchronizes independently.
   const std::size_t thief_before = rs.deque.size();
   std::size_t total_stack = e.fib->live_stack_bytes();
+  // Acquire #2 must cover every claimed entry's release handler. Entries
+  // pushed by the same rank carry epochs that grow with deque order (front
+  // is the oldest push), so within one origin rank the last-seen needed
+  // handler covers all earlier ones. But a deque is NOT single-origin:
+  // batch extras parked here by a previous batch steal keep the handler of
+  // the rank that originally pushed them, so a claim can span mixed-origin
+  // runs. wait_handler targets a single rank's epoch — merging across ranks
+  // would silently skip the other ranks' releases — so we keep one
+  // max-epoch handler per distinct origin rank and acquire each.
   pgas::release_handler rh = e.rh;
+  std::vector<pgas::release_handler> extra_rhs;  // origins beyond rh.rank (rare)
   for (std::size_t i = 1; i < claim; i++) {
     cont_entry ex = vs.deque.front();
     vs.deque.pop_front();
     total_stack += ex.fib->live_stack_bytes();
-    // Handler epochs grow with push order, so the last claimed (deepest)
-    // needed handler covers every earlier one: one Acquire #2 serves the
-    // whole batch.
-    if (ex.rh.needed()) rh = ex.rh;
+    if (ex.rh.needed()) {
+      if (!rh.needed() || ex.rh.rank == rh.rank) {
+        rh = ex.rh;  // same origin: later deque position => epoch no smaller
+      } else {
+        bool found = false;
+        for (auto& h : extra_rhs) {
+          if (h.rank == ex.rh.rank) {
+            h = ex.rh;
+            found = true;
+            break;
+          }
+        }
+        if (!found) extra_rhs.push_back(ex.rh);
+      }
+    }
     rs.deque.push_back(ex);
   }
+  if (!extra_rhs.empty()) rs.st.batch_multi_origin++;
   if (claim > 1) {
     rs.st.batch_steals++;
     rs.st.batch_extra_entries += claim - 1;
@@ -649,15 +675,24 @@ bool scheduler::try_steal() {
   if (!same_node) rs.st.inter_steal_bytes += total_stack;
   eng_.advance(latency + static_cast<double>(total_stack) / bandwidth);
 
-  // Acquire #2: synchronize with the victim's delayed Release #1, plus any
-  // async rounds the victim had already issued when it pushed this entry
-  // (the lazy handler only covers data that was still dirty at the fork).
-  // Reading the victim's current watermark piggybacks on the one-sided steal
-  // traffic above; it is conservative — at least the push-time value.
+  // Acquire #2: synchronize with the pushing ranks' delayed Release #1,
+  // plus any async rounds the victim had already issued when it pushed each
+  // entry (the lazy handler only covers data that was still dirty at the
+  // fork). Reading the victim's current watermark piggybacks on the
+  // one-sided steal traffic above; it is conservative — at least the
+  // push-time value. Foreign-origin extras on the victim's deque need no
+  // extra watermark read: when the victim stole them, its wait_visibility
+  // folded their origin's watermark into its own, so the victim's watermark
+  // transitively covers them.
   {
     common::profiler::maybe_scope sc(prof_, common::prof_event::acquire);
     const double f0 = eng_.now_precise();
-    pgas_.acquire(rh);
+    if (extra_rhs.empty()) {
+      pgas_.acquire(rh);
+    } else {
+      extra_rhs.insert(extra_rhs.begin(), rh);
+      pgas_.acquire(extra_rhs.data(), extra_rhs.size());
+    }
     pgas_.cache().wait_visibility(pgas_.cache_of(victim).visibility_watermark());
     rs.hist_fence.record(eng_.now_precise() - f0);
   }

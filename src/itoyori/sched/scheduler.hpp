@@ -88,6 +88,7 @@ public:
     std::uint64_t migrated_stack_bytes = 0;
     std::uint64_t batch_steals = 0;       ///< steals that claimed > 1 entry
     std::uint64_t batch_extra_entries = 0;///< entries claimed beyond the first
+    std::uint64_t batch_multi_origin = 0; ///< batches spanning >1 pushing rank's handlers
     std::uint64_t inter_steal_bytes = 0;  ///< stack bytes migrated by inter-node steals
     std::uint64_t backoff_skips = 0;      ///< probes suppressed by adaptive backoff
     double failed_probe_s = 0;            ///< virtual time burned in failed steal rounds

@@ -25,6 +25,7 @@ struct plan_node {
   bool leaf = false;
   std::size_t lo = 0, hi = 0;
   std::uint32_t salt = 0;
+  std::uint32_t pre_salt = 0;  ///< internal nodes, plan.pre only
   int left = -1, right = -1;
   int next = -1;
 };
@@ -33,6 +34,12 @@ struct plan {
   std::vector<plan_node> nodes;
   int root = -1;
   std::size_t array_size = 0;
+  /// Mutate each internal node's whole range BEFORE forking its children
+  /// (ordered: happens-before the forks, so still race-free and
+  /// deterministic). This makes the forking rank dirty at push time, so the
+  /// pushed continuation carries a *needed* release handler — the
+  /// mixed-origin batch test requires needed handlers from several ranks.
+  bool pre = false;
 };
 
 int build_plan(plan& p, ityr::common::xoshiro256ss& rng, std::size_t lo, std::size_t hi,
@@ -40,15 +47,16 @@ int build_plan(plan& p, ityr::common::xoshiro256ss& rng, std::size_t lo, std::si
   const int id = static_cast<int>(p.nodes.size());
   p.nodes.push_back({});
   if (depth == 0 || hi - lo < 8) {
-    p.nodes[id] = {true, lo, hi, static_cast<std::uint32_t>(rng()), -1, -1, -1};
+    p.nodes[id] = {true, lo, hi, static_cast<std::uint32_t>(rng()), 0, -1, -1, -1};
     return id;
   }
+  const std::uint32_t pre_salt = p.pre ? static_cast<std::uint32_t>(rng()) : 0;
   const std::size_t mid = lo + (hi - lo) / 2;
   const int l = build_plan(p, rng, lo, mid, depth - 1);
   const int r = build_plan(p, rng, mid, hi, depth - 1);
   const int f = static_cast<int>(p.nodes.size());
-  p.nodes.push_back({true, lo, hi, static_cast<std::uint32_t>(rng()), -1, -1, -1});
-  p.nodes[id] = {false, lo, hi, 0, l, r, f};
+  p.nodes.push_back({true, lo, hi, static_cast<std::uint32_t>(rng()), 0, -1, -1, -1});
+  p.nodes[id] = {false, lo, hi, 0, pre_salt, l, r, f};
   return id;
 }
 
@@ -63,6 +71,11 @@ void run_serial(const plan& p, int id, std::vector<std::uint32_t>& a) {
       a[i] = mutate(a[i], n.salt, static_cast<std::uint32_t>(i));
     }
     return;
+  }
+  if (p.pre) {
+    for (std::size_t i = n.lo; i < n.hi; i++) {
+      a[i] = mutate(a[i], n.pre_salt, static_cast<std::uint32_t>(i));
+    }
   }
   run_serial(p, n.left, a);
   run_serial(p, n.right, a);
@@ -81,6 +94,15 @@ void run_parallel(const plan* p, int id, ityr::global_ptr<std::uint32_t> a) {
                         });
     return;
   }
+  if (p->pre) {
+    ityr::with_checkout(a + static_cast<std::ptrdiff_t>(n.lo), n.hi - n.lo,
+                        ityr::access_mode::read_write, [&](std::uint32_t* ptr) {
+                          for (std::size_t i = 0; i < n.hi - n.lo; i++) {
+                            ptr[i] = mutate(ptr[i], n.pre_salt,
+                                            static_cast<std::uint32_t>(n.lo + i));
+                          }
+                        });
+  }
   const int l = n.left, r = n.right, f = n.next;
   ityr::parallel_invoke([p, l, a] { run_parallel(p, l, a); },
                         [p, r, a] { run_parallel(p, r, a); });
@@ -91,11 +113,13 @@ struct run_result {
   std::vector<std::uint32_t> final_state;
   std::uint64_t batch_steals = 0;
   std::uint64_t batch_extra_entries = 0;
+  std::uint64_t batch_multi_origin = 0;
 };
 
-run_result run_batched(const plan& p, unsigned seed, std::size_t steal_batch) {
+run_result run_batched(const plan& p, unsigned seed, std::size_t steal_batch, int nodes = 2,
+                       int rpn = 2) {
   run_result res;
-  auto o = ityr::test::tiny_opts(2, 2);
+  auto o = ityr::test::tiny_opts(nodes, rpn);
   o.policy = ityr::cache_policy::write_back_lazy;
   o.seed = seed;
   o.async_release = true;  // keep victim release epochs in flight during steals
@@ -123,6 +147,7 @@ run_result run_batched(const plan& p, unsigned seed, std::size_t steal_batch) {
   const auto st = rt.sched().get_stats();
   res.batch_steals = st.batch_steals;
   res.batch_extra_entries = st.batch_extra_entries;
+  res.batch_multi_origin = st.batch_multi_origin;
   return res;
 }
 
@@ -161,6 +186,48 @@ TEST(StealBatchWatermark, BatchedStealsSeeAllClaimedEpochs) {
   }
   // Visibility is only proven if the multi-entry path actually ran.
   EXPECT_GT(total_batch_steals, 0u) << "no seed ever claimed a multi-entry batch";
+}
+
+// 3-rank chain: rank A pushes, rank B batch-steals (parking A-origin extras —
+// whose handlers keep rh.rank == A — on its own deque) and forks more work on
+// top, then rank C batch-steals a span of B's now mixed-origin deque. C's
+// Acquire #2 must wait on BOTH A's and B's release epochs: wait_handler
+// targets a single rank, so merging the handlers into one drops an origin's
+// synchronization from the acquire itself. (Today that drop happens to be
+// masked — a foreign-origin entry's epoch was forced at its first steal, and
+// visibility rides the always-on victim-watermark wait — but the per-rank
+// acquire is what makes the batch claim locally sound rather than dependent
+// on that cross-component chain; this test pins it.) The check is again
+// differential against the sequential oracle, with a vacuity guard on the
+// batch_multi_origin counter: at least one claim must actually have spanned
+// needed handlers pushed by different ranks.
+TEST(StealBatchWatermark, MixedOriginBatchesAcquireEveryPushingRank) {
+  std::uint64_t total_multi_origin = 0;
+  for (unsigned seed : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u}) {
+    ityr::common::xoshiro256ss rng(seed);
+    plan p;
+    p.array_size = 8 * 1024 + rng.below(8 * 1024);
+    // Deep plan + 6 single-rank nodes: every steal crosses ranks, deques grow
+    // tall, and re-steal chains (thief-of-a-thief) are common enough that
+    // batch claims span mixed-origin runs. pre-mutation keeps the forking
+    // rank dirty at push time so the spanned handlers are actually needed.
+    p.pre = true;
+    p.root = build_plan(p, rng, 0, p.array_size, 8);
+
+    std::vector<std::uint32_t> oracle(p.array_size, 0);
+    run_serial(p, p.root, oracle);
+
+    const run_result batched = run_batched(p, seed, 3, 6, 1);
+    total_multi_origin += batched.batch_multi_origin;
+
+    ASSERT_EQ(batched.final_state.size(), oracle.size());
+    for (std::size_t i = 0; i < oracle.size(); i++) {
+      ASSERT_EQ(batched.final_state[i], oracle[i])
+          << "mixed-origin batched run diverged at " << i << " (seed " << seed << ")";
+    }
+  }
+  // The dangerous path is only proven if some batch actually mixed origins.
+  EXPECT_GT(total_multi_origin, 0u) << "no seed ever claimed a mixed-origin batch";
 }
 
 }  // namespace
