@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cstdint>
+
+namespace ityr::common {
+
+/// Identity of one admitted job in multi-job serving mode (ITYR_SERVE).
+///
+/// Job ids are dense and assigned by the job manager in admission order,
+/// starting at 1. Id 0 is reserved for "no job": the admission driver, the
+/// single root task of a non-serving run, and every SPMD-mode operation run
+/// untagged, so all job plumbing degenerates to a constant in single-job
+/// mode (the off-path differential tests pin this down).
+using job_id_t = std::uint32_t;
+
+inline constexpr job_id_t no_job = 0;
+
+}  // namespace ityr::common

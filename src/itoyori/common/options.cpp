@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
 
@@ -56,6 +57,21 @@ steal_policy steal_policy_from_string(const std::string& s) {
   if (s == "hierarchical") return steal_policy::hierarchical;
   throw api_error("unknown steal policy (ITYR_STEAL_POLICY): " + s +
                   " (expected random, node_first, or hierarchical)");
+}
+
+const char* to_string(steal_fairness_kind k) {
+  switch (k) {
+    case steal_fairness_kind::off:          return "off";
+    case steal_fairness_kind::job_weighted: return "job_weighted";
+  }
+  return "?";
+}
+
+steal_fairness_kind steal_fairness_from_string(const std::string& s) {
+  if (s == "off") return steal_fairness_kind::off;
+  if (s == "job_weighted") return steal_fairness_kind::job_weighted;
+  throw api_error("unknown steal fairness policy (ITYR_STEAL_FAIRNESS): " + s +
+                  " (expected off or job_weighted)");
 }
 
 const char* to_string(fiber_backend_kind k) {
@@ -156,6 +172,8 @@ void env_get(const char* name, T& out) {
     out = sim_sched_from_string(v);
   } else if constexpr (std::is_same_v<T, steal_policy>) {
     out = steal_policy_from_string(v);
+  } else if constexpr (std::is_same_v<T, steal_fairness_kind>) {
+    out = steal_fairness_from_string(v);
   } else if constexpr (std::is_same_v<T, topology_spec>) {
     out = topology_spec::parse(v);
   } else if constexpr (std::is_same_v<T, std::string>) {
@@ -202,6 +220,12 @@ options options::from_env() {
   env_get("ITYR_STEAL_BATCH", o.steal_batch);
   env_get("ITYR_STEAL_ESCALATION_ROUNDS", o.steal_escalation_rounds);
   env_get("ITYR_STEAL_ADAPTIVE_BACKOFF", o.steal_adaptive_backoff);
+  env_get("ITYR_SERVE", o.serve);
+  env_get("ITYR_SERVE_ARRIVAL_RATE", o.serve_arrival_rate);
+  env_get("ITYR_SERVE_JOBS", o.serve_jobs);
+  env_get("ITYR_SERVE_MIX", o.serve_mix);
+  env_get("ITYR_STEAL_FAIRNESS", o.steal_fairness);
+  env_get("ITYR_CACHE_JOB_QUOTA", o.cache_job_quota);
   env_get("ITYR_FIBER_BACKEND", o.fiber_backend);
   env_get("ITYR_SIM_SCHEDULER", o.sim_sched);
   env_get("ITYR_FIBER_POOL_CAP", o.fiber_pool_cap);
@@ -228,6 +252,7 @@ options options::from_env() {
                      o.migration_pool_blocks, o.replication_pool_blocks,
                      o.replication_min_readers, o.hot_blocks_topn);
   validate_steal(o.steal_batch, o.steal_escalation_rounds, o.node_first_prob);
+  validate_serving(o.serve, o.serve_arrival_rate, o.serve_jobs, o.serve_mix);
   return o;
 }
 
@@ -325,6 +350,54 @@ void validate_steal(std::size_t steal_batch, int steal_escalation_rounds,
     throw error("invalid node-first steal probability (ITYR_NODE_FIRST_PROB = " +
                 std::to_string(node_first_prob) + "): must be in [0, 1]");
   }
+}
+
+std::vector<std::pair<std::string, int>> parse_serve_mix(const std::string& spec) {
+  std::vector<std::pair<std::string, int>> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    std::string tok = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (tok.empty()) {
+      throw api_error("malformed serve mix (ITYR_SERVE_MIX = \"" + spec +
+                      "\"): empty workload token");
+    }
+    int weight = 1;
+    const std::size_t colon = tok.find(':');
+    if (colon != std::string::npos) {
+      const std::string w = tok.substr(colon + 1);
+      char* end = nullptr;
+      const long v = std::strtol(w.c_str(), &end, 10);
+      if (w.empty() || end != w.c_str() + w.size() || v < 1) {
+        throw api_error("malformed serve mix (ITYR_SERVE_MIX = \"" + spec +
+                        "\"): weight \"" + w + "\" must be a positive integer");
+      }
+      weight = static_cast<int>(v);
+      tok = tok.substr(0, colon);
+    }
+    if (tok != "cilksort" && tok != "uts" && tok != "taskbench") {
+      throw api_error("unknown serve workload (ITYR_SERVE_MIX): \"" + tok +
+                      "\" (expected cilksort, uts, or taskbench)");
+    }
+    out.emplace_back(tok, weight);
+  }
+  return out;
+}
+
+void validate_serving(bool serve, double serve_arrival_rate, std::size_t serve_jobs,
+                      const std::string& serve_mix) {
+  if (!(serve_arrival_rate > 0)) {
+    throw error("invalid serve arrival rate (ITYR_SERVE_ARRIVAL_RATE = " +
+                std::to_string(serve_arrival_rate) +
+                "): must be a positive number of jobs per virtual second — an "
+                "open-loop arrival process with rate 0 never admits anything");
+  }
+  if (serve && serve_jobs == 0) {
+    throw error("invalid serve job count (ITYR_SERVE_JOBS = 0): ITYR_SERVE needs at "
+                "least one job to admit");
+  }
+  parse_serve_mix(serve_mix);  // throws api_error on a malformed spec
 }
 
 }  // namespace ityr::common

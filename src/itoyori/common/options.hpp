@@ -3,6 +3,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "itoyori/common/topology.hpp"
 
@@ -60,6 +62,24 @@ enum class steal_policy {
 
 const char* to_string(steal_policy p);
 steal_policy steal_policy_from_string(const std::string& s);
+
+/// Steal-fairness policy under multi-job serving (ITYR_STEAL_FAIRNESS).
+/// `off` is the job-blind protocol: thieves always claim the victim's
+/// front-most (oldest) continuation. `job_weighted` makes the probe read the
+/// victim's per-job deque occupancy (piggybacking on the one-sided bounds
+/// read — no extra modelled traffic) and claim the front-most entry of the
+/// job with the FEWEST queued entries, so a job with a deep subtree cannot
+/// monopolize the steal channel and starve small jobs' continuations buried
+/// behind it. In single-job mode every entry carries job 0, the minimum is
+/// the whole deque, and the claim degenerates to the front entry —
+/// bit-identical to `off`.
+enum class steal_fairness_kind {
+  off,
+  job_weighted,
+};
+
+const char* to_string(steal_fairness_kind k);
+steal_fairness_kind steal_fairness_from_string(const std::string& s);
 
 /// How fibers switch contexts (ITYR_FIBER_BACKEND). `asm_switch` is a
 /// minimal hand-rolled callee-saved-register switch (no signal-mask syscall,
@@ -261,6 +281,37 @@ struct options {
   /// running on every suppressed round.
   bool steal_adaptive_backoff = false;
 
+  // --- multi-job serving (docs/internals.md "multi-job serving") ---
+  /// Multi-tenant job-stream serving (ITYR_SERVE): the runtime admits an
+  /// open-loop stream of independent fork-join jobs through the job manager
+  /// instead of running one root task, tags every task and deque entry with
+  /// its job id, and accounts cache traffic per job. Off by default: with it
+  /// disabled every counter, bench and trace is bit-identical to the
+  /// single-root-task runtime.
+  bool serve = false;
+  /// Open-loop arrival rate in jobs per virtual second
+  /// (ITYR_SERVE_ARRIVAL_RATE); inter-arrival gaps are exponential,
+  /// generated deterministically from the run seed. Must be positive.
+  double serve_arrival_rate = 1000.0;
+  /// Number of jobs the default serve driver admits (ITYR_SERVE_JOBS);
+  /// must be >= 1 when ITYR_SERVE is on.
+  std::size_t serve_jobs = 16;
+  /// Workload mix for the default serve driver (ITYR_SERVE_MIX):
+  /// comma-separated `name[:weight]` tokens over {cilksort, uts, taskbench},
+  /// e.g. "cilksort:3,uts:1". Weights are positive integers (default 1);
+  /// jobs draw their body from the mix deterministically by the run seed.
+  std::string serve_mix = "cilksort";
+  /// Victim-side steal fairness across jobs (ITYR_STEAL_FAIRNESS:
+  /// off | job_weighted); see steal_fairness_kind. Composes with the PR-9
+  /// steal knobs; batch claims never span job boundaries either way.
+  steal_fairness_kind steal_fairness = steal_fairness_kind::off;
+  /// Per-job software-cache capacity quota in bytes (ITYR_CACHE_JOB_QUOTA);
+  /// 0 (the default) disables it. A job holding more cached bytes than the
+  /// quota recycles its own clean blocks first when it needs a new slot, so
+  /// a scan-heavy job cannot evict a latency-sensitive job's working set.
+  /// The quota is soft: pinned or dirty blocks never block an allocation.
+  std::size_t cache_job_quota = 0;
+
   // --- simulator core (docs/internals.md "simulator core") ---
   /// Context-switch backend for fibers (ITYR_FIBER_BACKEND). Defaults to
   /// the syscall-free asm backend where supported; see default_fiber_backend.
@@ -370,5 +421,22 @@ void validate_placement(bool migration, bool replication, double placement_inter
 /// programmatically built options).
 void validate_steal(std::size_t steal_batch, int steal_escalation_rounds,
                     double node_first_prob);
+
+/// Check the multi-job serving knobs (ITYR_SERVE / ITYR_SERVE_ARRIVAL_RATE /
+/// ITYR_SERVE_JOBS / ITYR_SERVE_MIX): the arrival rate must be a positive
+/// number of jobs per virtual second (an open-loop process with rate 0 never
+/// admits anything), serving needs at least one job to admit, and the mix
+/// spec must parse (see parse_serve_mix). Throws common::error (or
+/// common::api_error for a malformed mix) with the offending value
+/// otherwise. Called by options::from_env() and the job manager (covering
+/// programmatically built options).
+void validate_serving(bool serve, double serve_arrival_rate, std::size_t serve_jobs,
+                      const std::string& serve_mix);
+
+/// Parse an ITYR_SERVE_MIX spec — comma-separated `name[:weight]` tokens
+/// over {cilksort, uts, taskbench} with positive integer weights — into
+/// (name, weight) pairs. Throws common::api_error naming the env var on an
+/// unknown workload name, a malformed weight, or an empty spec.
+std::vector<std::pair<std::string, int>> parse_serve_mix(const std::string& spec);
 
 }  // namespace ityr::common

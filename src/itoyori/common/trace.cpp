@@ -157,7 +157,11 @@ std::string tracer::to_json() const {
                      "{\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,\"ts\":%.4f,\"name\":\"", pid,
                      rank, ts);
           append_escaped(out, e.name);
-          out += "\"}";
+          out += '"';
+          // Job annotation (serving mode); unannotated instants stay
+          // byte-identical to the historic form.
+          if (e.job != no_job) append_fmt(out, ",\"args\":{\"job\":%u}", e.job);
+          out += '}';
           break;
         case event_kind::flow_start:
           if (!flow_paired(e.id)) break;
@@ -169,10 +173,15 @@ std::string tracer::to_json() const {
           append_escaped(out, e.name);
           out += '"';
           // Batch annotation (flow_batch): size + this endpoint's deque
-          // depth transition; plain flows stay byte-identical.
+          // depth transition; plain flows stay byte-identical. A job tag
+          // (serving mode) merges into the same args object.
           if (e.value > 0) {
-            append_fmt(out, ",\"args\":{\"batch\":%u,\"deque_before\":%u,\"deque_after\":%u}",
+            append_fmt(out, ",\"args\":{\"batch\":%u,\"deque_before\":%u,\"deque_after\":%u",
                        static_cast<unsigned>(e.value), e.a0, e.a1);
+            if (e.job != no_job) append_fmt(out, ",\"job\":%u", e.job);
+            out += '}';
+          } else if (e.job != no_job) {
+            append_fmt(out, ",\"args\":{\"job\":%u}", e.job);
           }
           out += '}';
           break;
@@ -186,8 +195,12 @@ std::string tracer::to_json() const {
           append_escaped(out, e.name);
           out += '"';
           if (e.value > 0) {
-            append_fmt(out, ",\"args\":{\"batch\":%u,\"deque_before\":%u,\"deque_after\":%u}",
+            append_fmt(out, ",\"args\":{\"batch\":%u,\"deque_before\":%u,\"deque_after\":%u",
                        static_cast<unsigned>(e.value), e.a0, e.a1);
+            if (e.job != no_job) append_fmt(out, ",\"job\":%u", e.job);
+            out += '}';
+          } else if (e.job != no_job) {
+            append_fmt(out, ",\"args\":{\"job\":%u}", e.job);
           }
           out += '}';
           break;
@@ -451,6 +464,22 @@ trace_check_result validate_trace_json(const std::string& json_text) {
   };
   std::map<std::string, flow_state> flows;
 
+  // Job lifecycle windows (serving mode): every job-annotated event must
+  // nest inside its job's admit -> complete window. Events interleave
+  // across ranks in file order, so windows are collected during the main
+  // pass and the nesting check runs afterwards.
+  struct job_window {
+    bool has_admit = false, has_start = false, has_complete = false;
+    double t_admit = 0, t_start = 0, t_complete = 0;
+  };
+  std::map<long long, job_window> job_windows;
+  struct job_event_ref {
+    long long job;
+    double ts;
+    std::size_t idx;
+  };
+  std::vector<job_event_ref> job_events;
+
   for (std::size_t i = 0; i < events->arr.size(); i++) {
     const jvalue& e = events->arr[i];
     if (e.t != jvalue::type::object) {
@@ -482,6 +511,51 @@ trace_check_result validate_trace_json(const std::string& json_text) {
     last_ts[key] = ts;
 
     const std::string name = jstr(e.find("name"));
+
+    const jvalue* args_v = e.find("args");
+    const jvalue* job_v = args_v != nullptr ? args_v->find("job") : nullptr;
+    if (job_v != nullptr) {
+      if (job_v->t != jvalue::type::number || job_v->num < 1) {
+        res.error = "malformed job annotation at traceEvents[" + std::to_string(i) +
+                    "] (job must be a number >= 1)";
+        return res;
+      }
+      const long long job = static_cast<long long>(job_v->num);
+      res.n_job_annotated++;
+      job_events.push_back({job, ts, i});
+      if (ph == "i" && name == "job admit") {
+        job_window& w = job_windows[job];
+        if (w.has_admit) {
+          res.error = "duplicate 'job admit' for job " + std::to_string(job) +
+                      " at traceEvents[" + std::to_string(i) + "]";
+          return res;
+        }
+        w.has_admit = true;
+        w.t_admit = ts;
+        res.n_job_admits++;
+      } else if (ph == "i" && name == "job start") {
+        job_window& w = job_windows[job];
+        w.has_start = true;
+        w.t_start = ts;
+        res.n_job_starts++;
+      } else if (ph == "i" && name == "job complete") {
+        job_window& w = job_windows[job];
+        if (w.has_complete) {
+          res.error = "duplicate 'job complete' for job " + std::to_string(job) +
+                      " at traceEvents[" + std::to_string(i) + "]";
+          return res;
+        }
+        w.has_complete = true;
+        w.t_complete = ts;
+        res.n_job_completes++;
+      }
+    } else if (ph == "i" &&
+               (name == "job admit" || name == "job start" || name == "job complete")) {
+      res.error = "job lifecycle instant '" + name + "' without a job annotation at traceEvents[" +
+                  std::to_string(i) + "]";
+      return res;
+    }
+
     if (ph == "B") {
       stacks[key].push_back(name);
     } else if (ph == "E") {
@@ -599,6 +673,45 @@ trace_check_result validate_trace_json(const std::string& json_text) {
       return res;
     }
     res.n_flows++;
+  }
+
+  // Job-window nesting: lifecycle order within each job, then every
+  // job-annotated event inside its job's admit -> complete window. The
+  // missing-admit case is relaxed when the ring dropped events (the admit
+  // may simply have been overwritten); ordering against a *present* admit
+  // or complete is enforced unconditionally.
+  for (const auto& kv : job_windows) {
+    const job_window& w = kv.second;
+    if (w.has_admit && w.has_start && w.t_start < w.t_admit) {
+      res.error = "job " + std::to_string(kv.first) + " starts before it is admitted";
+      return res;
+    }
+    if (w.has_start && w.has_complete && w.t_complete < w.t_start) {
+      res.error = "job " + std::to_string(kv.first) + " completes before it starts";
+      return res;
+    }
+  }
+  for (const auto& je : job_events) {
+    auto wit = job_windows.find(je.job);
+    if (wit == job_windows.end() || !wit->second.has_admit) {
+      if (res.dropped_events == 0) {
+        res.error = "job-annotated event at traceEvents[" + std::to_string(je.idx) + "] for job " +
+                    std::to_string(je.job) + " with no 'job admit'";
+        return res;
+      }
+      continue;
+    }
+    const job_window& w = wit->second;
+    if (je.ts < w.t_admit) {
+      res.error = "job-annotated event at traceEvents[" + std::to_string(je.idx) +
+                  "] precedes job " + std::to_string(je.job) + "'s admit";
+      return res;
+    }
+    if (w.has_complete && je.ts > w.t_complete) {
+      res.error = "job-annotated event at traceEvents[" + std::to_string(je.idx) +
+                  "] follows job " + std::to_string(je.job) + "'s complete";
+      return res;
+    }
   }
 
   res.ok = true;

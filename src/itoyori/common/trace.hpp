@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "itoyori/common/error.hpp"
+#include "itoyori/common/job.hpp"
 
 namespace ityr::common {
 
@@ -61,17 +62,25 @@ public:
     if (!enabled_) return;
     push(rank, {event_kind::end, t, name, 0, 0.0, 0, 0});
   }
-  void instant(int rank, double t, const char* name) {
+  /// `job` > 0 annotates the event with its job id ("args":{"job":N});
+  /// 0 (the default) emits the historic unannotated form byte-identically.
+  /// Job lifecycle instants ("job admit"/"job start"/"job complete") use
+  /// this, and validate_trace_json checks that every job-annotated event
+  /// nests inside its job's admit->complete window.
+  void instant(int rank, double t, const char* name, job_id_t job = no_job) {
     if (!enabled_) return;
-    push(rank, {event_kind::instant, t, name, 0, 0.0, 0, 0});
+    push(rank, {event_kind::instant, t, name, 0, 0.0, 0, 0, job});
   }
   /// Record a cross-rank flow arrow: start on src_rank at t_src, finish on
   /// dst_rank at t_dst (>= t_src). Returns the flow id used for pairing.
-  std::uint64_t flow(int src_rank, double t_src, int dst_rank, double t_dst, const char* name) {
+  /// `job` > 0 annotates both halves with the job id (steal flows carry the
+  /// claimed continuation's job in serving mode).
+  std::uint64_t flow(int src_rank, double t_src, int dst_rank, double t_dst, const char* name,
+                     job_id_t job = no_job) {
     if (!enabled_) return 0;
     const std::uint64_t id = ++flow_id_;
-    push(src_rank, {event_kind::flow_start, t_src, name, id, 0.0, 0, 0});
-    push(dst_rank, {event_kind::flow_finish, t_dst, name, id, 0.0, 0, 0});
+    push(src_rank, {event_kind::flow_start, t_src, name, id, 0.0, 0, 0, job});
+    push(dst_rank, {event_kind::flow_finish, t_dst, name, id, 0.0, 0, 0, job});
     return id;
   }
   /// Like flow(), but annotated for batch steals: the one arrow carries the
@@ -83,13 +92,14 @@ public:
   std::uint64_t flow_batch(int src_rank, double t_src, int dst_rank, double t_dst,
                            const char* name, std::uint32_t batch,
                            std::uint32_t src_before, std::uint32_t src_after,
-                           std::uint32_t dst_before, std::uint32_t dst_after) {
+                           std::uint32_t dst_before, std::uint32_t dst_after,
+                           job_id_t job = no_job) {
     if (!enabled_) return 0;
     const std::uint64_t id = ++flow_id_;
     push(src_rank, {event_kind::flow_start, t_src, name, id, static_cast<double>(batch),
-                    src_before, src_after});
+                    src_before, src_after, job});
     push(dst_rank, {event_kind::flow_finish, t_dst, name, id, static_cast<double>(batch),
-                    dst_before, dst_after});
+                    dst_before, dst_after, job});
     return id;
   }
   void counter(int rank, double t, const char* name, double value) {
@@ -141,6 +151,7 @@ private:
     double value;          ///< counter value; batch size (>0) for batch flows
     std::uint32_t a0 = 0;  ///< batch flows: deque depth before the claim
     std::uint32_t a1 = 0;  ///< batch flows: deque depth after the claim
+    job_id_t job = no_job; ///< > 0: event belongs to this serving-mode job
   };
 
   struct ring {
@@ -202,6 +213,15 @@ struct trace_check_result {
   // agree on the batch size).
   std::size_t n_steal_flows = 0;        ///< "steal" flow-start events
   std::size_t n_batch_steal_flows = 0;  ///< "steal" flow starts with batch > 1
+  // Job lifecycle (multi-job serving): every job id seen in a "job start" /
+  // "job complete" instant or a job-annotated span/flow must have a "job
+  // admit" instant, and every job-annotated event's timestamp must nest
+  // inside its job's admit->complete window (tools/trace_lint's serving
+  // mode additionally requires at least one admitted job).
+  std::size_t n_job_admits = 0;     ///< "job admit" instants
+  std::size_t n_job_starts = 0;     ///< "job start" instants
+  std::size_t n_job_completes = 0;  ///< "job complete" instants
+  std::size_t n_job_annotated = 0;  ///< events carrying a "job" annotation
   std::uint64_t dropped_events = 0;     ///< root "dropped_events" (ring eviction)
 };
 

@@ -329,13 +329,13 @@ auto root_exec(F&& f) {
   using R = std::invoke_result_t<std::decay_t<F>>;
   auto& r = rt();
   if constexpr (std::is_void_v<R>) {
-    r.sched().root_exec([fn = std::decay_t<F>(std::forward<F>(f))] { fn(); });
+    r.jobs().run_single([fn = std::decay_t<F>(std::forward<F>(f))] { fn(); });
   } else {
     static_assert(sizeof(R) <= runtime::root_result_capacity,
                   "root result too large; return it through global memory");
     static_assert(std::is_copy_constructible_v<R>);
     void* buf = r.root_result_buf();
-    r.sched().root_exec(
+    r.jobs().run_single(
         [fn = std::decay_t<F>(std::forward<F>(f)), buf] { new (buf) R(fn()); });
     // Every rank copies the result out, then exactly one destroys it.
     R result = *std::launder(reinterpret_cast<R*>(buf));
@@ -345,6 +345,12 @@ auto root_exec(F&& f) {
     return result;
   }
 }
+
+/// Multi-tenant serving (ITYR_SERVE, docs/internals.md "Multi-job serving"):
+/// collective — admit `jobs` as an open-loop stream of independent fork-join
+/// jobs into one scheduler region and return when all have completed. Query
+/// results through rt().jobs() (records, latency quantiles, jobs/sec).
+inline void serve(std::vector<sched::job_spec> jobs) { rt().jobs().serve(std::move(jobs)); }
 
 // ---------------------------------------------------------------------------
 // high-level parallel patterns (paper Section 3.3: automatic chunking)

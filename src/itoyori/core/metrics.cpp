@@ -38,9 +38,10 @@ metrics_snapshot metrics_snapshot::delta(const metrics_snapshot& base) const {
     if (b != nullptr && b->hist.n_buckets() == d.hist.n_buckets()) d.hist.subtract(b->hist);
     out.histograms_.push_back(std::move(d));
   }
-  // Hot-block entries are cumulative rankings, not counters: the newer
-  // snapshot's view passes through unchanged.
+  // Hot-block entries are cumulative rankings and job rows are lifecycle
+  // records, not counters: the newer snapshot's view passes through unchanged.
   out.hot_blocks_ = hot_blocks_;
+  out.jobs_ = jobs_;
   return out;
 }
 
@@ -77,7 +78,7 @@ std::string metrics_snapshot::to_json() const {
   std::string out;
   out.reserve(256 + series_.size() * 128 + histograms_.size() * 256);
   const std::size_t n_ranks = series_.empty() ? 0 : series_.front().per_rank.size();
-  out += "{\n\"schema\": \"itoyori.metrics.v2\",\n\"schema_version\": 2,\n\"n_ranks\": ";
+  out += "{\n\"schema\": \"itoyori.metrics.v3\",\n\"schema_version\": 3,\n\"n_ranks\": ";
   out += std::to_string(n_ranks);
   out += ",\n\"metrics\": [\n";
   for (std::size_t i = 0; i < series_.size(); i++) {
@@ -123,6 +124,39 @@ std::string metrics_snapshot::to_json() const {
     out += i + 1 < histograms_.size() ? ",\n" : "\n";
   }
   out += "]";
+  // Only present when ITYR_SERVE admitted jobs, so single-job files stay
+  // byte-identical to pre-serving ones (bar the schema version).
+  if (!jobs_.empty()) {
+    out += ",\n\"jobs\": [\n";
+    for (std::size_t i = 0; i < jobs_.size(); i++) {
+      const metric_job_row& j = jobs_[i];
+      out += "  {\"name\": \"";
+      append_escaped(out, j.name);
+      out += "\", \"id\": " + std::to_string(j.id);
+      out += ", \"done\": ";
+      out += j.done ? "true" : "false";
+      const auto field = [&](const char* k, double v, bool integral) {
+        out += ", \"";
+        out += k;
+        out += "\": ";
+        append_value(out, v, integral);
+      };
+      field("t_admit_s", j.t_admit_s, false);
+      field("t_start_s", j.t_start_s, false);
+      field("t_complete_s", j.t_complete_s, false);
+      field("latency_s", j.latency_s, false);
+      field("busy_s", j.busy_s, false);
+      field("span_s", j.span_s, false);
+      field("fetched_bytes", static_cast<double>(j.fetched_bytes), true);
+      field("written_back_bytes", static_cast<double>(j.written_back_bytes), true);
+      field("block_fetches", static_cast<double>(j.block_fetches), true);
+      field("cached_bytes_peak", static_cast<double>(j.cached_bytes_peak), true);
+      field("quota_recycles", static_cast<double>(j.quota_recycles), true);
+      out += "}";
+      out += i + 1 < jobs_.size() ? ",\n" : "\n";
+    }
+    out += "]";
+  }
   // Only present when ITYR_HOT_BLOCKS_TOPN produced entries, so files written
   // with placement off stay byte-identical to pre-placement ones.
   if (!hot_blocks_.empty()) {
@@ -409,6 +443,50 @@ metrics_snapshot collect_metrics(runtime& rt) {
     for (const pgas::hot_block& hb : pl->hottest(pl->hot_blocks_topn())) {
       snap.add_hot_block({"block" + std::to_string(hb.mb_id), hb.owner, hb.reader_mask,
                           hb.fetch_bytes, hb.writeback_bytes});
+    }
+  }
+
+  // --- multi-job serving (ITYR_SERVE; docs/internals.md "Multi-job
+  //     serving"). Series exist only when jobs were admitted, so the
+  //     single-job stats JSON is unchanged. ---
+  if (const auto& jrecs = rt.jobs().records(); !jrecs.empty()) {
+    const auto d_at0 = [&](double v) {
+      return [v](int r) { return r == 0 ? v : 0.0; };
+    };
+    std::size_t n_done = 0;
+    for (const sched::job_record& jr : jrecs) n_done += jr.done ? 1 : 0;
+    add("sched.job.admitted", true, at0(jrecs.size()));
+    add("sched.job.completed", true, at0(n_done));
+    add("sched.job.jobs_per_s", false, d_at0(rt.jobs().jobs_per_s()));
+    add("sched.job.latency_p50_s", false, d_at0(rt.jobs().latency_quantile(0.50)));
+    add("sched.job.latency_p99_s", false, d_at0(rt.jobs().latency_quantile(0.99)));
+    add("sched.job.fairness_mid_claims", true,
+        [&](int r) { return u64(sst(r).fairness_mid_claims); });
+    add("sched.job.fairness_redirects", true,
+        [&](int r) { return u64(sst(r).fairness_redirects); });
+    snap.add_histogram("hist.job_latency_s", rt.jobs().latency_hist());
+
+    const std::vector<pgas::job_cache_stats> jcache = rt.pgas().aggregate_job_stats();
+    for (const sched::job_record& jr : jrecs) {
+      metric_job_row row;
+      row.name = "job" + std::to_string(jr.id) + ":" + jr.name;
+      row.id = jr.id;
+      row.done = jr.done;
+      row.t_admit_s = jr.t_admit;
+      row.t_start_s = jr.t_start;
+      row.t_complete_s = jr.t_complete;
+      row.latency_s = jr.done ? jr.latency() : 0.0;
+      row.busy_s = jr.busy_s;
+      row.span_s = jr.span_s;
+      if (jr.id < jcache.size()) {
+        const pgas::job_cache_stats& jc = jcache[jr.id];
+        row.fetched_bytes = jc.fetched_bytes;
+        row.written_back_bytes = jc.written_back_bytes;
+        row.block_fetches = jc.block_fetches;
+        row.cached_bytes_peak = jc.cached_bytes_peak;
+        row.quota_recycles = jc.quota_recycles;
+      }
+      snap.add_job(std::move(row));
     }
   }
 

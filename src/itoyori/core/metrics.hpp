@@ -35,6 +35,27 @@ struct metric_histogram {
   common::log_histogram hist;
 };
 
+/// One row of the per-job section (ITYR_SERVE): lifecycle timestamps plus
+/// the job's scheduler-busy share and its aggregated software-cache traffic.
+/// `name` is "job<id>:<workload>" — unique per row, so tools/stats_diff can
+/// address fields as `jobs.job3:cilksort.latency_s` regardless of order.
+struct metric_job_row {
+  std::string name;
+  std::uint32_t id = 0;
+  bool done = false;
+  double t_admit_s = 0;
+  double t_start_s = 0;
+  double t_complete_s = 0;
+  double latency_s = 0;
+  double busy_s = 0;   ///< scheduler busy time attributed to the job (all ranks)
+  double span_s = 0;   ///< job-local critical path (0 unless ITYR_CRITPATH)
+  std::uint64_t fetched_bytes = 0;
+  std::uint64_t written_back_bytes = 0;
+  std::uint64_t block_fetches = 0;
+  std::uint64_t cached_bytes_peak = 0;  ///< summed over ranks
+  std::uint64_t quota_recycles = 0;
+};
+
 /// One entry of the pgas.hot_blocks export (ITYR_HOT_BLOCKS_TOPN): the
 /// cumulative traffic profile of one home block, hottest first.
 struct metric_hot_block {
@@ -58,6 +79,7 @@ public:
     histograms_.push_back({std::move(name), std::move(hist)});
   }
   void add_hot_block(metric_hot_block hb) { hot_blocks_.push_back(std::move(hb)); }
+  void add_job(metric_job_row row) { jobs_.push_back(std::move(row)); }
 
   const std::vector<metric_series>& all() const { return series_; }
   std::size_t size() const { return series_.size(); }
@@ -66,6 +88,8 @@ public:
   const metric_histogram* find_histogram(const std::string& name) const;
   /// Hottest home blocks (empty unless ITYR_HOT_BLOCKS_TOPN > 0).
   const std::vector<metric_hot_block>& hot_blocks() const { return hot_blocks_; }
+  /// Per-job rows in admission order (empty unless ITYR_SERVE ran jobs).
+  const std::vector<metric_job_row>& jobs() const { return jobs_; }
 
   /// nullptr when no series has that name.
   const metric_series* find(const std::string& name) const;
@@ -87,12 +111,14 @@ public:
   /// way (they are monotone between snapshots).
   metrics_snapshot delta(const metrics_snapshot& base) const;
 
-  /// Deterministic JSON: {"schema": "itoyori.metrics.v2", "schema_version":
-  /// 2, "n_ranks": N, "metrics": [{"name", "total", "per_rank"}...],
+  /// Deterministic JSON: {"schema": "itoyori.metrics.v3", "schema_version":
+  /// 3, "n_ranks": N, "metrics": [{"name", "total", "per_rank"}...],
   /// "histograms": [{"name", "count", "p50", "p90", "p99", ...}...]} in
-  /// insertion order, plus a "hot_blocks" section only when non-empty (so
-  /// files written with placement off are byte-identical to older ones).
-  /// tools/stats_diff compares two such files.
+  /// insertion order, plus "jobs" (ITYR_SERVE) and "hot_blocks"
+  /// (ITYR_HOT_BLOCKS_TOPN) sections only when non-empty (so files written
+  /// with those features off match ones from before the features existed,
+  /// bar the version bump). tools/stats_diff compares two such files and
+  /// reads v2 and v3 alike.
   std::string to_json() const;
   /// Write to_json() to `path`; false (with a stderr note) on I/O failure.
   bool write_json(const std::string& path) const;
@@ -101,6 +127,7 @@ private:
   std::vector<metric_series> series_;
   std::vector<metric_histogram> histograms_;
   std::vector<metric_hot_block> hot_blocks_;
+  std::vector<metric_job_row> jobs_;
 };
 
 /// Snapshot every counter of the running cluster. Callable between regions

@@ -19,7 +19,7 @@ runtime& runtime::instance() {
 bool runtime::active() { return g_runtime != nullptr; }
 
 runtime::runtime(const common::options& opt)
-    : eng_(opt), rma_(eng_), pgas_(eng_, rma_), sched_(eng_, pgas_) {
+    : eng_(opt), rma_(eng_), pgas_(eng_, rma_), sched_(eng_, pgas_), jobs_(eng_, sched_) {
   ITYR_CHECK(g_runtime == nullptr || !"only one ityr::runtime may exist at a time");
   prof_.configure(
       eng_.n_ranks(), [this] { return eng_.now_precise(); }, [this] { return eng_.my_rank(); });
@@ -35,6 +35,7 @@ runtime::runtime(const common::options& opt)
   prof_.set_tracer(&trace_);
   pgas_.set_tracer(&trace_);
   sched_.set_tracer(&trace_);
+  jobs_.set_tracer(&trace_);
   rma_.net().set_tracer(&trace_);
   if (!opt.trace_path.empty()) trace_.set_enabled(true);
 

@@ -8,6 +8,7 @@
 #include "itoyori/common/trace.hpp"
 #include "itoyori/pgas/pgas_space.hpp"
 #include "itoyori/rma/window.hpp"
+#include "itoyori/sched/job_manager.hpp"
 #include "itoyori/sched/scheduler.hpp"
 #include "itoyori/sim/engine.hpp"
 
@@ -49,6 +50,7 @@ public:
   rma::context& rma() { return rma_; }
   pgas::pgas_space& pgas() { return pgas_; }
   sched::scheduler& sched() { return sched_; }
+  sched::job_manager& jobs() { return jobs_; }
   common::profiler& prof() { return prof_; }
   common::tracer& trace() { return trace_; }
   const common::options& opts() const { return eng_.opts(); }
@@ -71,6 +73,7 @@ private:
   rma::context rma_;
   pgas::pgas_space pgas_;
   sched::scheduler sched_;
+  sched::job_manager jobs_;
   common::profiler prof_;
   common::tracer trace_;
   alignas(std::max_align_t) unsigned char root_result_[root_result_capacity]{};

@@ -12,6 +12,15 @@ constexpr double kDeterministicMmapCost = 2.0e-6;
 bool home_evictable(const mem_block& mb) { return mb.ref_count == 0; }
 
 bool cache_evictable(const mem_block& mb) { return mb.ref_count == 0 && mb.dirty.empty(); }
+
+// Target for the job-scoped quota-recycle predicate. evictable_fn is a plain
+// function pointer (no captures); the simulator is single-threaded, so a
+// file-scope slot set immediately before select_victim is safe.
+common::job_id_t g_quota_job = common::no_job;
+
+bool cache_evictable_of_job(const mem_block& mb) {
+  return mb.ref_count == 0 && mb.dirty.empty() && mb.job == g_quota_job;
+}
 }  // namespace
 
 block_directory::block_directory(sim::engine& eng, eviction_policy& evict, client& cl,
@@ -103,7 +112,20 @@ mem_block& block_directory::get_cache_block(std::uint64_t mb_id, const home_loc&
     return *it->second;
   }
   if (free_slots_.empty()) {
-    if (!try_evict_cache_block()) {
+    // Soft per-job quota (ITYR_CACHE_JOB_QUOTA): a job already holding more
+    // cache capacity than its quota recycles its own least-recently-used
+    // clean block first, so a scan-heavy job's allocations churn its own
+    // working set instead of evicting a latency-sensitive neighbor's. Soft:
+    // when the job has nothing clean and unpinned of its own, allocation
+    // falls through to the generic path — pinned or dirty blocks never block
+    // progress.
+    bool freed = false;
+    if (jobs_ != nullptr && jobs_->enabled && jobs_->quota > 0 &&
+        jobs_->cur != common::no_job && jobs_->of(jobs_->cur).cached_bytes > jobs_->quota) {
+      freed = try_evict_cache_block_of(jobs_->cur);
+      if (freed) jobs_->of(jobs_->cur).quota_recycles++;
+    }
+    if (!freed && !try_evict_cache_block()) {
       // Everything is pinned or dirty: write back all dirty data and retry
       // (paper Section 4.4). After the write-back every block is clean, so
       // a block that still cannot be evicted is pinned by an outstanding
@@ -126,20 +148,45 @@ mem_block& block_directory::get_cache_block(std::uint64_t mb_id, const home_loc&
   mem_block& ref = *mb;
   cache_blocks_.emplace(mb_id, std::move(mb));
   evict_.on_insert(cache_lru_, ref);
+  tag_new_cache_block(ref);
   return ref;
 }
 
-bool block_directory::try_evict_cache_block() {
-  mem_block* victim = evict_.select_victim(cache_lru_, cache_evictable);
-  if (victim == nullptr) return false;
-  mem_block& mb = *victim;
+void block_directory::tag_new_cache_block(mem_block& mb) {
+  if (jobs_ == nullptr || !jobs_->enabled) return;
+  mb.job = jobs_->cur;
+  job_cache_stats& row = jobs_->of(mb.job);
+  row.cached_bytes += block_size_;
+  row.cached_bytes_peak = std::max(row.cached_bytes_peak, row.cached_bytes);
+}
+
+void block_directory::evict_cache_block(mem_block& mb) {
   client_.on_block_evicted(mb);  // unread prefetches and memos die with the block
   if (mb.mapped) unmap_block(mb);
   cache_lru_.erase(mb);
   free_slots_.push_back(mb.slot);
   st_.cache_evictions++;
+  if (jobs_ != nullptr && jobs_->enabled) {
+    job_cache_stats& row = jobs_->of(mb.job);
+    ITYR_CHECK(row.cached_bytes >= block_size_);
+    row.cached_bytes -= block_size_;
+  }
   if (trace_ != nullptr) trace_->instant(rank_, eng_.now_precise(), "cache evict");
   cache_blocks_.erase(mb.mb_id);
+}
+
+bool block_directory::try_evict_cache_block() {
+  mem_block* victim = evict_.select_victim(cache_lru_, cache_evictable);
+  if (victim == nullptr) return false;
+  evict_cache_block(*victim);
+  return true;
+}
+
+bool block_directory::try_evict_cache_block_of(common::job_id_t job) {
+  g_quota_job = job;
+  mem_block* victim = evict_.select_victim(cache_lru_, cache_evictable_of_job);
+  if (victim == nullptr) return false;
+  evict_cache_block(*victim);
   return true;
 }
 
@@ -172,6 +219,11 @@ bool block_directory::purge_block(std::uint64_t mb_id) {
     if (mb.mapped) unmap_block(mb);
     cache_lru_.erase(mb);
     free_slots_.push_back(mb.slot);
+    if (jobs_ != nullptr && jobs_->enabled) {
+      job_cache_stats& row = jobs_->of(mb.job);
+      ITYR_CHECK(row.cached_bytes >= block_size_);
+      row.cached_bytes -= block_size_;
+    }
     cache_blocks_.erase(it);
     purged = true;
   }
@@ -201,6 +253,7 @@ mem_block* block_directory::alloc_cache_block_speculative(std::uint64_t mb_id,
   mem_block* mb = owned.get();
   cache_blocks_.emplace(mb_id, std::move(owned));
   evict_.on_insert_speculative(cache_lru_, *mb);
+  tag_new_cache_block(*mb);
   return mb;
 }
 

@@ -9,6 +9,7 @@
 #include "itoyori/common/trace.hpp"
 #include "itoyori/pgas/cache_stats.hpp"
 #include "itoyori/pgas/eviction_policy.hpp"
+#include "itoyori/pgas/job_cache_accounting.hpp"
 #include "itoyori/pgas/mem_block.hpp"
 #include "itoyori/sim/engine.hpp"
 #include "itoyori/vm/physical_pool.hpp"
@@ -45,6 +46,13 @@ public:
   /// Emit eviction instants into `t` (nullptr detaches).
   void set_tracer(common::tracer* t) { trace_ = t; }
 
+  /// Attach the per-job accounting shared with the cache_system facade
+  /// (serving mode): new cache blocks are tagged with the current job, their
+  /// capacity is charged to it, and ITYR_CACHE_JOB_QUOTA is enforced softly
+  /// at allocation time (an over-quota job recycles its own clean blocks
+  /// before touching anyone else's).
+  void set_job_accounting(job_cache_accounting* a) { jobs_ = a; }
+
   vm::view_region& view() { return view_; }
   const vm::view_region& view() const { return view_; }
   std::byte* slot_ptr(const mem_block& mb) const { return cache_pool_.block_ptr(mb.slot); }
@@ -75,6 +83,9 @@ public:
 
   /// Evict one clean, unpinned cache block; false if none exists.
   bool try_evict_cache_block();
+  /// Quota recycle: evict one clean, unpinned cache block TAGGED to `job`;
+  /// false if the job holds none. Same recency order as the generic path.
+  bool try_evict_cache_block_of(common::job_id_t job);
 
   // ---- dynamic placement hooks (placement_engine, via cache_system) ----
   /// True iff migrating the block's home out from under this rank is unsafe:
@@ -101,8 +112,10 @@ public:
 
 private:
   void evict_home_block();
+  void evict_cache_block(mem_block& mb);  ///< shared teardown of both evict paths
   void unmap_block(mem_block& mb);
   void charge_mmap();
+  void tag_new_cache_block(mem_block& mb);
 
   sim::engine& eng_;
   eviction_policy& evict_;
@@ -123,6 +136,7 @@ private:
   std::vector<std::size_t> free_slots_;
 
   common::tracer* trace_ = nullptr;
+  job_cache_accounting* jobs_ = nullptr;  ///< serving mode (null/disabled otherwise)
 };
 
 }  // namespace ityr::pgas

@@ -37,7 +37,22 @@ cache_system::cache_system(sim::engine& eng, rma::context& rma, global_heap& hea
                   eng.opts().prefetch_max_inflight > 0,
               eng.opts().prefetch_depth, eng.opts().prefetch_max_inflight, rank, pl_}),
       front_(eng, heap, dir_, *write_policy_, ch_, st_, checked_out_bytes_,
-             eng.opts().front_table_size, block_size_, rank, pl_) {}
+             eng.opts().front_table_size, block_size_, rank, pl_) {
+  jobs_acct_.enabled = eng.opts().serve;
+  jobs_acct_.quota = eng.opts().cache_job_quota;
+  if (jobs_acct_.enabled) dir_.set_job_accounting(&jobs_acct_);
+}
+
+void cache_system::sync_job_deltas() {
+  job_cache_stats& row = jobs_acct_.of(jobs_acct_.cur);
+  const std::uint64_t wb = st_.written_back_bytes + st_.write_through_bytes;
+  row.fetched_bytes += st_.fetched_bytes - job_sync_fetched_;
+  row.written_back_bytes += wb - job_sync_wb_;
+  row.block_fetches += st_.block_misses - job_sync_misses_;
+  job_sync_fetched_ = st_.fetched_bytes;
+  job_sync_wb_ = wb;
+  job_sync_misses_ = st_.block_misses;
+}
 
 void cache_system::on_block_evicted(mem_block& mb) {
   // Unread prefetches die with the block; the front table must never hold a

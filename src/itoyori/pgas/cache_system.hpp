@@ -142,6 +142,26 @@ public:
   std::size_t checked_out_bytes() const { return checked_out_bytes_; }
   std::size_t front_table_entries() const { return front_.entries(); }
   const stats& get_stats() const { return st_; }
+
+  // ---- per-job accounting (serving mode) ----
+  /// Attribute cache traffic since the last sync to the previously-current
+  /// job, then switch attribution to `j`. The scheduler calls this whenever
+  /// the job running on this rank changes; no-op when serving is off.
+  ///
+  /// Attribution is snapshot-based: the facade counters (fetched bytes,
+  /// written-back + write-through bytes, block misses) only advance while
+  /// this rank executes, and `cur` is constant between switches, so the
+  /// delta since the last sync belongs entirely to the outgoing job.
+  void set_current_job(common::job_id_t j) {
+    if (!jobs_acct_.enabled) return;
+    sync_job_deltas();
+    jobs_acct_.cur = j;
+  }
+  /// Per-job cache counters, synced to the latest traffic on access.
+  const job_cache_accounting& job_accounting() {
+    if (jobs_acct_.enabled) sync_job_deltas();
+    return jobs_acct_;
+  }
   const vm::view_region& view() const { return dir_.view(); }
 
   /// Emit eviction instants and write-back spans into `t` (nullptr detaches).
@@ -169,6 +189,7 @@ private:
   void flush_dirty_for_eviction() override { wb_.writeback_all(); }
 
   void invalidate_all();
+  void sync_job_deltas();
 
   sim::engine& eng_;
   rma::channel& ch_;
@@ -180,6 +201,13 @@ private:
 
   cache_stats st_;
   std::size_t checked_out_bytes_ = 0;
+
+  // Serving mode: per-job rows shared with the directory (block tags, quota)
+  // plus the counter snapshots backing the delta attribution.
+  job_cache_accounting jobs_acct_;
+  std::uint64_t job_sync_fetched_ = 0;
+  std::uint64_t job_sync_wb_ = 0;
+  std::uint64_t job_sync_misses_ = 0;
 
   std::unique_ptr<eviction_policy> evict_;
   block_directory dir_;

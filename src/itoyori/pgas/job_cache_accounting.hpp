@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "itoyori/common/job.hpp"
+
+namespace ityr::pgas {
+
+/// Per-job software-cache counters (serving mode, docs/internals.md
+/// "Multi-job serving"). One row per job id; row 0 collects untagged traffic
+/// (the admission driver, SPMD-mode operations) and is omitted from metrics.
+///
+/// Attribution is by the job current on the rank when the traffic happens:
+/// fetches always belong to the faulting job; write-backs are attributed at
+/// flush time, so dirty bytes flushed lazily by a later fence may land on a
+/// successor job's row (exact producer tracking would need per-byte tags).
+struct job_cache_stats {
+  std::uint64_t fetched_bytes = 0;
+  std::uint64_t written_back_bytes = 0;  ///< incl. write-through bytes
+  std::uint64_t block_fetches = 0;       ///< block misses that entered a fetch round
+  std::uint64_t cached_bytes = 0;        ///< cache slots currently tagged to the job
+  std::uint64_t cached_bytes_peak = 0;
+  std::uint64_t quota_recycles = 0;      ///< own-block evictions forced by the quota
+};
+
+/// Shared accounting state between cache_system (facade counter deltas) and
+/// block_directory (block tags + the capacity quota): the current job on
+/// this rank, the optional per-job quota, and the per-job rows. Disabled
+/// (single-job mode) it costs one predicted branch per facade call.
+struct job_cache_accounting {
+  bool enabled = false;
+  std::size_t quota = 0;  ///< ITYR_CACHE_JOB_QUOTA bytes per job; 0 = off
+  common::job_id_t cur = common::no_job;
+  std::vector<job_cache_stats> rows;
+
+  job_cache_stats& of(common::job_id_t j) {
+    if (j >= rows.size()) rows.resize(static_cast<std::size_t>(j) + 1);
+    return rows[j];
+  }
+};
+
+}  // namespace ityr::pgas

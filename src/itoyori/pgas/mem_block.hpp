@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "itoyori/common/interval_set.hpp"
+#include "itoyori/common/job.hpp"
 #include "itoyori/common/lru_list.hpp"
 #include "itoyori/pgas/home_loc.hpp"
 
@@ -43,6 +44,10 @@ struct mem_block : common::lru_hook {
   bool referenced = false;
   // cache blocks only:
   std::size_t slot = 0;                 ///< index into the cache pool
+  /// Job that allocated this cache slot (serving mode; no_job otherwise).
+  /// The tag sticks until eviction even if other jobs later hit the block —
+  /// capacity accounting charges the allocator, not every reader.
+  common::job_id_t job = common::no_job;
   common::interval_set valid;           ///< block-relative [0, block_size)
   common::interval_set dirty;
   bool fully_valid = false;             ///< valid == [0, block_size)

@@ -84,6 +84,26 @@ public:
   /// Aggregate cache statistics over all ranks.
   cache_system::stats aggregate_stats() const;
 
+  /// Aggregate per-job cache rows over all ranks (serving mode; empty when
+  /// off). Row index = job id; row 0 collects untagged traffic. cached_bytes
+  /// and its peak sum the ranks' slot holdings — a cluster-wide footprint.
+  std::vector<job_cache_stats> aggregate_job_stats() {
+    std::vector<job_cache_stats> rows;
+    for (auto& c : caches_) {
+      const job_cache_accounting& a = c->job_accounting();
+      if (a.rows.size() > rows.size()) rows.resize(a.rows.size());
+      for (std::size_t j = 0; j < a.rows.size(); j++) {
+        rows[j].fetched_bytes += a.rows[j].fetched_bytes;
+        rows[j].written_back_bytes += a.rows[j].written_back_bytes;
+        rows[j].block_fetches += a.rows[j].block_fetches;
+        rows[j].cached_bytes += a.rows[j].cached_bytes;
+        rows[j].cached_bytes_peak += a.rows[j].cached_bytes_peak;
+        rows[j].quota_recycles += a.rows[j].quota_recycles;
+      }
+    }
+    return rows;
+  }
+
   /// Attach the tracer to every rank's cache system (nullptr detaches).
   void set_tracer(common::tracer* t) {
     for (auto& c : caches_) c->set_tracer(t);

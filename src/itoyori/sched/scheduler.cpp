@@ -9,9 +9,15 @@ scheduler::scheduler(sim::engine& eng, pgas::pgas_space& pgas) : eng_(eng), pgas
   // Covers programmatically built options; from_env() already validated its
   // own result.
   common::validate_steal(opt.steal_batch, opt.steal_escalation_rounds, opt.node_first_prob);
+  common::validate_serving(opt.serve, opt.serve_arrival_rate, opt.serve_jobs, opt.serve_mix);
   ranks_.resize(static_cast<std::size_t>(eng_.n_ranks()));
   timeline_.configure(eng_.n_ranks());
   cp_on_ = opt.critpath;
+  serve_on_ = opt.serve;
+  // Fairness is a serving-mode refinement: with a single job every entry
+  // carries the same tag, so job_weighted would degenerate to front-claiming
+  // anyway — gating it on serve keeps the off path free of the occupancy scan.
+  fairness_on_ = opt.serve && opt.steal_fairness == common::steal_fairness_kind::job_weighted;
   for (auto& rs : ranks_) {
     rs.hist_task.configure(opt.hist_buckets, 1.0e-9);
     rs.hist_steal.configure(opt.hist_buckets, 1.0e-9);
@@ -60,6 +66,8 @@ scheduler::stats scheduler::get_stats() const {
     agg.batch_multi_origin += rs.st.batch_multi_origin;
     agg.inter_steal_bytes += rs.st.inter_steal_bytes;
     agg.backoff_skips += rs.st.backoff_skips;
+    agg.fairness_mid_claims += rs.st.fairness_mid_claims;
+    agg.fairness_redirects += rs.st.fairness_redirects;
     agg.failed_probe_s += rs.st.failed_probe_s;
     for (int c = 0; c < cp_max_classes; c++) {
       agg.steal_probes_class[c] += rs.st.steal_probes_class[c];
@@ -169,10 +177,37 @@ void scheduler::cp_on_join(cp_frame* p, thread_state* ts) {
 
 void scheduler::busy_begin() {
   timeline_.enter(eng_.my_rank(), common::phase_timeline::phase::busy, eng_.now_precise());
+  if (serve_on_) self().busy_since = eng_.now_precise();
 }
 
 void scheduler::busy_end() {
   timeline_.enter(eng_.my_rank(), common::phase_timeline::phase::idle, eng_.now_precise());
+  if (serve_on_) {
+    rank_state& rs = self();
+    if (rs.cur_job != common::no_job && rs.busy_since >= 0) {
+      if (rs.cur_job >= job_busy_.size()) job_busy_.resize(rs.cur_job + 1, 0.0);
+      job_busy_[rs.cur_job] += eng_.now_precise() - rs.busy_since;
+    }
+    rs.busy_since = -1;
+  }
+}
+
+void scheduler::set_cur_job(common::job_id_t job) {
+  if (!serve_on_) return;
+  rank_state& rs = self();
+  if (rs.cur_job == job) return;
+  const double now = eng_.now_precise();
+  if (rs.busy_since >= 0) {
+    if (rs.cur_job != common::no_job) {
+      if (rs.cur_job >= job_busy_.size()) job_busy_.resize(rs.cur_job + 1, 0.0);
+      job_busy_[rs.cur_job] += now - rs.busy_since;
+    }
+    rs.busy_since = now;
+  }
+  rs.cur_job = job;
+  // Cache-traffic attribution follows the running job (per-job fetch /
+  // write-back / capacity accounting in the coherence stack).
+  pgas_.cache().set_current_job(job);
 }
 
 void scheduler::reap() {
@@ -204,6 +239,13 @@ void scheduler::poll() {
 // ---------------------------------------------------------------------------
 
 thread_handle scheduler::fork(std::function<void(thread_state*)> child_fn) {
+  // Default: the child belongs to whatever job the forking task runs under
+  // (no_job outside serving mode), so tags propagate down every subtree.
+  return fork_tagged(std::move(child_fn), serve_on_ ? self().cur_job : common::no_job);
+}
+
+thread_handle scheduler::fork_tagged(std::function<void(thread_state*)> child_fn,
+                                     common::job_id_t job) {
   ITYR_CHECK(active_);
   // Checked-out regions must be checked in before any point where the
   // thread can migrate (paper Section 3.3) — fork is such a point.
@@ -219,6 +261,11 @@ thread_handle scheduler::fork(std::function<void(thread_state*)> child_fn) {
 
   thread_state* ts = acquire_ts();
   ts->owner_rank = eng_.my_rank();
+  ts->job = job;
+  // The parent's job survives migration on this fiber's stack: after the
+  // continuation resumes (possibly on another rank, possibly after running a
+  // differently-tagged child), the rank's current job must be the parent's.
+  const common::job_id_t parent_job = serve_on_ ? rs.cur_job : common::no_job;
 
   // Release #1 (paper Fig. 5/6). Its execution depends on the policy:
   //  * write_back_lazy — deferred: a handler rides along with the stealable
@@ -251,13 +298,15 @@ thread_handle scheduler::fork(std::function<void(thread_state*)> child_fn) {
     ts->cp.base = parent_frame->span;
   }
 
-  rs.deque.push_back({parent_fib, rh, serial});
+  rs.deque.push_back({parent_fib, rh, serial, parent_job});
+  occ_add(parent_job, +1);
   // Child-first: run the child immediately; the parent's continuation is now
   // stealable. Acquire #3 is skipped because the child starts on this rank.
   eng_.switch_to(child_fib);
 
   // --- the parent continuation resumes here, on some rank ---
   reap();
+  set_cur_job(parent_job);
   const resume_kind k = consume_note();
   cp_resume(parent_frame, k == resume_kind::taken_over);
   if (k == resume_kind::child_done) {
@@ -270,6 +319,7 @@ thread_handle scheduler::fork(std::function<void(thread_state*)> child_fn) {
 
 void scheduler::child_body(const std::function<void(thread_state*)>& fn, thread_state* ts,
                            std::uint64_t parent_serial) {
+  set_cur_job(ts->job);
   cp_open(&ts->cp);
   try {
     fn(ts);
@@ -283,6 +333,7 @@ void scheduler::child_body(const std::function<void(thread_state*)>& fn, thread_
     // serialized function call; skip all fences (work-first principle).
     cont_entry e = rs.deque.back();
     rs.deque.pop_back();
+    occ_add(e.job, -1);
     ts->finished = true;
     rs.note = resume_kind::child_done;
     if (cp_on_) {
@@ -388,11 +439,15 @@ void scheduler::join(thread_handle& h) {
     ts->parent_waiting = true;
     ts->parent_fiber = eng_.current_fiber();
     ts->parent_wait_rank = eng_.my_rank();
+    // Stack local: the joiner's own job, restored after a resume that may
+    // land on another rank whose current job is the finishing child's.
+    const common::job_id_t my_job = serve_on_ ? rs.cur_job : common::no_job;
     cp_frame* self_frame = cp_close();  // segment ends at the suspension
     busy_end();
     eng_.switch_to(rs.sched_fiber);
     // Resumed by the finishing child (maybe on another rank).
     busy_begin();
+    set_cur_job(my_job);
     reap();
     const resume_kind k = consume_note();
     ITYR_CHECK(k == resume_kind::join_done);
@@ -525,6 +580,36 @@ void scheduler::note_steal_success(rank_state& rs, int victim) {
   }
 }
 
+void scheduler::occ_add(common::job_id_t job, int delta) {
+  if (!fairness_on_) return;
+  const auto j = static_cast<std::size_t>(job);
+  if (j >= job_occ_.size()) job_occ_.resize(j + 1, 0);
+  if (delta < 0) {
+    ITYR_CHECK(job_occ_[j] > 0);
+    job_occ_[j]--;
+  } else {
+    job_occ_[j] += static_cast<std::uint64_t>(delta);
+  }
+}
+
+bool scheduler::fair_underserved_here(const rank_state& vs) const {
+  // A job is under-served when its cluster-wide deque occupancy is at or
+  // below the average over live jobs; a skewed board (one deep subtree
+  // flooding the deques) pushes every hog strictly above the average, so
+  // its entries stop qualifying while the starved jobs' few entries do.
+  std::uint64_t total = 0;
+  std::uint64_t live = 0;
+  for (const std::uint64_t c : job_occ_) {
+    total += c;
+    live += (c > 0) ? 1 : 0;
+  }
+  if (live <= 1) return true;
+  for (const cont_entry& ce : vs.deque) {
+    if (job_occ_[ce.job] * live <= total) return true;
+  }
+  return false;
+}
+
 bool scheduler::try_steal() {
   rank_state& rs = self();
   const int n = eng_.n_ranks();
@@ -546,33 +631,61 @@ bool scheduler::try_steal() {
   // traffic — no clock advance, no steal_attempt — but does count as a
   // ladder failure, so a node whose peers are all suppressed escalates to a
   // farther class within the same round instead of going idle on it.
-  int victim;
+  int victim = -1;
   const int rpn = opt.ranks_per_node;
   const int max_picks = opt.steal_adaptive_backoff ? 8 : 1;
-  for (int pick = 0;; pick++) {
-    if (opt.steal == common::steal_policy::hierarchical) {
-      victim = pick_victim_hierarchical(rs);
-    } else if (opt.steal == common::steal_policy::node_first && rpn > 1 &&
-               eng_.rng().uniform() < opt.node_first_prob) {
-      const int node_base = eng_.node_of(me) * rpn;
-      victim =
-          node_base + static_cast<int>(eng_.rng().below(static_cast<std::uint64_t>(rpn - 1)));
-      if (victim >= me) victim++;
-    } else {
-      victim = static_cast<int>(eng_.rng().below(static_cast<std::uint64_t>(n - 1)));
-      if (victim >= me) victim++;
+  // Job-weighted fairness (ITYR_STEAL_FAIRNESS, serving mode) turns the
+  // round into a short hunt: a probe that finds only well-served jobs'
+  // entries is released — the unfair crowd will drain it anyway — and the
+  // round re-draws, up to kFairnessProbes bounds reads, looking for a deque
+  // holding an under-served job's entry. With one live job every deque
+  // qualifies on the first probe, so fairness costs nothing off the skewed
+  // case it exists for.
+  constexpr int kFairnessProbes = 4;
+  const int fair_rounds = fairness_on_ ? kFairnessProbes : 1;
+  for (int fr = 0;; fr++) {
+    for (int pick = 0;; pick++) {
+      if (opt.steal == common::steal_policy::hierarchical) {
+        victim = pick_victim_hierarchical(rs);
+      } else if (opt.steal == common::steal_policy::node_first && rpn > 1 &&
+                 eng_.rng().uniform() < opt.node_first_prob) {
+        const int node_base = eng_.node_of(me) * rpn;
+        victim =
+            node_base + static_cast<int>(eng_.rng().below(static_cast<std::uint64_t>(rpn - 1)));
+        if (victim >= me) victim++;
+      } else {
+        victim = static_cast<int>(eng_.rng().below(static_cast<std::uint64_t>(n - 1)));
+        if (victim >= me) victim++;
+      }
+      if (!opt.steal_adaptive_backoff) break;
+      const backoff_entry& be =
+          rs.backoff[static_cast<std::size_t>(victim) & (backoff_slots - 1)];
+      if (be.victim != victim || eng_.now_precise() >= be.until) break;
+      rs.st.backoff_skips++;
+      note_steal_fail(rs, victim, t0, /*probed=*/false);
+      if (pick + 1 >= max_picks) return false;  // everything drawn is cooling off
     }
-    if (!opt.steal_adaptive_backoff) break;
-    const backoff_entry& be = rs.backoff[static_cast<std::size_t>(victim) & (backoff_slots - 1)];
-    if (be.victim != victim || eng_.now_precise() >= be.until) break;
-    rs.st.backoff_skips++;
-    note_steal_fail(rs, victim, t0, /*probed=*/false);
-    if (pick + 1 >= max_picks) return false;  // everything drawn is cooling off
+
+    rs.st.steal_attempts++;
+    rs.st.steal_probes_class[std::min(eng_.topo().class_of(me, victim), cp_max_classes - 1)]++;
+
+    // Probe the victim's deque bounds: one small one-sided read.
+    eng_.advance(eng_.topo().latency(me, victim));
+    if (ranks_[static_cast<std::size_t>(victim)].deque.empty()) {
+      note_steal_fail(rs, victim, t0, /*probed=*/true);
+      if (fr + 1 >= fair_rounds) return false;
+      continue;
+    }
+    if (fr + 1 >= fair_rounds ||
+        fair_underserved_here(ranks_[static_cast<std::size_t>(victim)])) {
+      break;
+    }
+    // Only well-served jobs queued here: count the round as a miss (the
+    // bounds read was paid) and hunt on.
+    rs.st.fairness_redirects++;
+    note_steal_fail(rs, victim, t0, /*probed=*/true);
   }
   rank_state& vs = ranks_[static_cast<std::size_t>(victim)];
-
-  rs.st.steal_attempts++;
-  rs.st.steal_probes_class[std::min(eng_.topo().class_of(me, victim), cp_max_classes - 1)]++;
 
   const bool same_node = eng_.same_node(me, victim);
   // Steal traffic is priced by the (me, victim) distance class: on a fat
@@ -580,13 +693,6 @@ bool scheduler::try_steal() {
   // switch, which is what makes node-first stealing visible in ablations.
   const double latency = eng_.topo().latency(me, victim);
   const double bandwidth = eng_.topo().bandwidth(me, victim);
-
-  // Probe the victim's deque bounds: one small one-sided read.
-  eng_.advance(latency);
-  if (vs.deque.empty()) {
-    note_steal_fail(rs, victim, t0, /*probed=*/true);
-    return false;
-  }
 
   // CAS to claim the top entry (fully one-sided steal; the victim's CPU is
   // not involved). The round trip yields, so the entry may be gone or
@@ -605,18 +711,44 @@ bool scheduler::try_steal() {
   // whenever depth >= 2; the batch is exactly what the CAS observed as the
   // contiguous top of the deque, so the one-sided claim invariant holds.
   const std::size_t victim_before = vs.deque.size();
-  std::size_t claim = 1;
-  if (opt.steal_batch > 1) claim = std::min(opt.steal_batch, (victim_before + 1) / 2);
+  std::size_t claim_cap = 1;
+  if (opt.steal_batch > 1) claim_cap = std::min(opt.steal_batch, (victim_before + 1) / 2);
   // Under the hierarchical policy, steal-half is intra-node only: batching
   // amortizes the probe+CAS round where the stack bytes move at shared-memory
   // cost, while a far steal claims a single continuation so migrated bytes
   // over the thin core links stay bounded (the ladder makes far steals the
   // rare balancing case, not the common path). Flat policies keep the plain
   // cap — ITYR_STEAL_BATCH alone is distance-blind by design.
-  if (opt.steal == common::steal_policy::hierarchical && !same_node) claim = 1;
+  if (opt.steal == common::steal_policy::hierarchical && !same_node) claim_cap = 1;
 
-  cont_entry e = vs.deque.front();
-  vs.deque.pop_front();
+  // Steal fairness (ITYR_STEAL_FAIRNESS=job_weighted, serving mode): instead
+  // of blindly claiming the victim's front entry, claim the front-most entry
+  // of the job that is most under-served CLUSTER-WIDE (fewest live deque
+  // entries anywhere), so one job's deep subtree cannot monopolize every
+  // probe that lands on its host. The victim's per-job occupancy and the
+  // aggregated totals piggyback on the bounds read already paid for above
+  // (victims publish a small per-job count array next to the deque bounds),
+  // so the scan costs no extra modelled traffic. Ties break toward the
+  // smaller job id; with a single job (or fairness off) the front entry wins
+  // and the claim is bit-identical to the unfair path.
+  std::size_t claim_at = 0;
+  if (fairness_on_ && vs.deque.size() > 1) {
+    common::job_id_t pick = vs.deque[0].job;
+    std::uint64_t pick_occ = job_occ_[pick];
+    for (const cont_entry& ce : vs.deque) {
+      const std::uint64_t o = job_occ_[ce.job];
+      if (o < pick_occ || (o == pick_occ && ce.job < pick)) {
+        pick = ce.job;
+        pick_occ = o;
+      }
+    }
+    while (vs.deque[claim_at].job != pick) claim_at++;
+    if (claim_at > 0) rs.st.fairness_mid_claims++;
+  }
+
+  cont_entry e = vs.deque[claim_at];
+  vs.deque.erase(vs.deque.begin() + static_cast<std::ptrdiff_t>(claim_at));
+  occ_add(e.job, -1);
   rs.st.steals++;
   if (same_node) rs.st.intra_node_steals++;
   const double t_claim = eng_.now_precise();  // victim-side claim (CAS landed)
@@ -639,9 +771,16 @@ bool scheduler::try_steal() {
   // max-epoch handler per distinct origin rank and acquire each.
   pgas::release_handler rh = e.rh;
   std::vector<pgas::release_handler> extra_rhs;  // origins beyond rh.rank (rare)
-  for (std::size_t i = 1; i < claim; i++) {
-    cont_entry ex = vs.deque.front();
-    vs.deque.pop_front();
+  std::size_t claim = 1;
+  for (; claim < claim_cap; claim++) {
+    // A batch never spans jobs: the extras are the contiguous run of entries
+    // with the triggering entry's tag (in single-job mode every tag is
+    // no_job, so this clamps nothing and the claim matches the plain cap).
+    if (claim_at >= vs.deque.size() || vs.deque[claim_at].job != e.job) break;
+    cont_entry ex = vs.deque[claim_at];
+    vs.deque.erase(vs.deque.begin() + static_cast<std::ptrdiff_t>(claim_at));
+    // Occupancy is unchanged: the extra is re-parked on the thief's deque
+    // below, same job, still claimable.
     total_stack += ex.fib->live_stack_bytes();
     if (ex.rh.needed()) {
       if (!rh.needed() || ex.rh.rank == rh.rank) {
@@ -703,14 +842,14 @@ bool scheduler::try_steal() {
   // keep the plain unannotated flow so off-path traces stay byte-identical.
   if (trace_ != nullptr) {
     if (claim == 1) {
-      trace_->flow(victim, t_claim, me, eng_.now_precise(), "steal");
+      trace_->flow(victim, t_claim, me, eng_.now_precise(), "steal", e.job);
     } else {
       trace_->flow_batch(victim, t_claim, me, eng_.now_precise(), "steal",
                          static_cast<std::uint32_t>(claim),
                          static_cast<std::uint32_t>(victim_before),
                          static_cast<std::uint32_t>(victim_before - claim),
                          static_cast<std::uint32_t>(thief_before),
-                         static_cast<std::uint32_t>(thief_before + claim - 1));
+                         static_cast<std::uint32_t>(thief_before + claim - 1), e.job);
     }
   }
   const double steal_cost = eng_.now_precise() - t0;
@@ -727,6 +866,7 @@ bool scheduler::try_steal() {
   }
   note_steal_success(rs, victim);
   return_to_task_ = e.fib;
+  return_to_job_ = e.job;
   return true;
 }
 
@@ -745,8 +885,10 @@ void scheduler::worker_loop() {
       // completed elsewhere). Same rank, never migrated: no fences.
       cont_entry e = rs.deque.back();
       rs.deque.pop_back();
+      occ_add(e.job, -1);
       rs.st.local_pops++;
       rs.note = resume_kind::taken_over;
+      set_cur_job(e.job);
       busy_begin();
       eng_.switch_to(e.fib);
       busy_end();
@@ -759,6 +901,8 @@ void scheduler::worker_loop() {
       sim::fiber* f = return_to_task_;
       return_to_task_ = nullptr;
       rs.note = resume_kind::taken_over;
+      set_cur_job(return_to_job_);
+      return_to_job_ = common::no_job;
       busy_begin();
       eng_.switch_to(f);
       busy_end();
@@ -795,6 +939,19 @@ void scheduler::root_exec(std::function<void()> root_fn) {
 
   rank_state& rs = self();
   rs.sched_fiber = eng_.current_fiber();
+  // Re-entry hygiene: a previous fork-join region must not leak per-rank
+  // resume notes or critical-path bookkeeping into this one. A clean region
+  // consumes every note and closes every segment, but the pending steal note
+  // and the open-segment pointer are only overwritten lazily — reset them
+  // eagerly so a second root_exec can never misattribute its first resume.
+  // Pure bookkeeping: no clock or RNG effect, so single-region runs are
+  // bit-identical with or without this block.
+  rs.note = resume_kind::none;
+  rs.cp.cur = nullptr;
+  rs.cp.steal_cls = -1;
+  rs.cp.steal_cost = 0;
+  rs.cur_job = common::no_job;
+  rs.busy_since = -1;
   timeline_.begin_region(eng_.my_rank(), eng_.now_precise());
 
   if (eng_.my_rank() == 0) {

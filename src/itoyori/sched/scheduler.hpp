@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "itoyori/common/histogram.hpp"
+#include "itoyori/common/job.hpp"
 #include "itoyori/common/profiler.hpp"
 #include "itoyori/common/trace.hpp"
 #include "itoyori/pgas/pgas_space.hpp"
@@ -31,6 +32,7 @@ struct thread_state {
   int owner_rank = -1;                 ///< rank that forked (allocation home)
   double release_watermark = 0;        ///< async release: child's Release #2
                                        ///< visibility time (0 = synchronous)
+  common::job_id_t job = common::no_job;  ///< owning job (serving mode; 0 otherwise)
   std::exception_ptr error;
   cp_frame cp;  ///< work/span accumulator (ITYR_CRITPATH; unused otherwise)
   alignas(16) unsigned char result[result_capacity]{};  ///< type-erased slot
@@ -42,6 +44,7 @@ struct thread_state {
     parent_wait_rank = -1;
     owner_rank = -1;
     release_watermark = 0;
+    job = common::no_job;
     error = nullptr;
     cp = {};
   }
@@ -91,6 +94,10 @@ public:
     std::uint64_t batch_multi_origin = 0; ///< batches spanning >1 pushing rank's handlers
     std::uint64_t inter_steal_bytes = 0;  ///< stack bytes migrated by inter-node steals
     std::uint64_t backoff_skips = 0;      ///< probes suppressed by adaptive backoff
+    std::uint64_t fairness_mid_claims = 0;///< job_weighted steals that bypassed the
+                                          ///< front entry for a rarer job's entry
+    std::uint64_t fairness_redirects = 0; ///< probes released because the victim
+                                          ///< queued only well-served jobs' work
     double failed_probe_s = 0;            ///< virtual time burned in failed steal rounds
     /// Probes issued per thief<->victim distance class (class_of, clamped).
     std::uint64_t steal_probes_class[cp_max_classes] = {};
@@ -120,6 +127,12 @@ public:
   /// would break under migration).
   thread_handle fork(std::function<void(thread_state*)> child_fn);
 
+  /// fork() with an explicit job tag for the child (serving mode): the job
+  /// manager's admission driver (job 0) forks each job's root task with that
+  /// job's id; everything the job task forks inherits the tag. The parent's
+  /// continuation keeps the *parent's* job.
+  thread_handle fork_tagged(std::function<void(thread_state*)> child_fn, common::job_id_t job);
+
   /// Synchronize with the child. On return, h.ts->result is still valid;
   /// call recycle() after extracting it. Rethrows the child's exception
   /// (recycling first).
@@ -148,6 +161,13 @@ public:
   /// Current depth of a rank's continuation deque (sampled into the trace).
   std::size_t deque_depth_of(int rank) const {
     return ranks_[static_cast<std::size_t>(rank)].deque.size();
+  }
+
+  /// Busy time attributed to one job across all ranks (serving mode only;
+  /// 0 otherwise). Accumulated from current-job transitions inside busy
+  /// intervals — pure bookkeeping, never charges the virtual clock.
+  double job_busy_of(common::job_id_t job) const {
+    return job < job_busy_.size() ? job_busy_[job] : 0.0;
   }
 
   // ---- online critical-path profiler (ITYR_CRITPATH) ----
@@ -187,6 +207,7 @@ private:
     sim::fiber* fib = nullptr;
     pgas::release_handler rh;
     std::uint64_t serial = 0;
+    common::job_id_t job = common::no_job;  ///< job of the suspended parent
   };
 
   enum class resume_kind : std::uint8_t {
@@ -223,6 +244,11 @@ private:
     int hier_fails = 0;  ///< consecutive failed probes at the current class
     int hier_last = -1;  ///< last successful victim (affinity probe); -1 = none
     std::array<backoff_entry, backoff_slots> backoff{};
+    // serving mode (ITYR_SERVE): job of the task currently executing on this
+    // rank, and the start of the current busy interval (-1 = not busy) for
+    // per-job busy attribution. Dead weight in single-job mode.
+    common::job_id_t cur_job = common::no_job;
+    double busy_since = -1;
   };
 
   rank_state& self() { return ranks_[static_cast<std::size_t>(eng_.my_rank())]; }
@@ -259,6 +285,20 @@ private:
   void release_ts(thread_state* ts);
   void busy_begin();
   void busy_end();
+  /// Record that `job`'s task is now executing on the current rank (serving
+  /// mode only: a no-op, compiled to one branch, in single-job mode). Flushes
+  /// the previous job's busy interval.
+  void set_cur_job(common::job_id_t job);
+  /// Cluster-wide deque-entry count per job (job_weighted fairness only):
+  /// adjusted at every deque push/pop/claim. Victims already publish their
+  /// per-job occupancy next to the deque bounds; the totals are the sum the
+  /// metadata service aggregates from them, so a thief's read piggybacks on
+  /// the bounds probe it pays for anyway (no extra modelled traffic).
+  void occ_add(common::job_id_t job, int delta);
+  /// True if `vs`'s deque holds at least one entry of an under-served job
+  /// (global occupancy at or below the per-live-job average) — the claim a
+  /// fairness-driven thief is hunting for.
+  bool fair_underserved_here(const rank_state& vs) const;
 
   sim::engine& eng_;
   pgas::pgas_space& pgas_;
@@ -278,6 +318,11 @@ private:
   std::vector<std::unique_ptr<thread_state>> ts_storage_;
   std::uint64_t serial_counter_ = 0;
   sim::fiber* return_to_task_ = nullptr;  ///< stolen task handoff from try_steal
+  common::job_id_t return_to_job_ = common::no_job;  ///< its job tag
+  bool serve_on_ = false;     ///< ITYR_SERVE: job plumbing live
+  bool fairness_on_ = false;  ///< ITYR_STEAL_FAIRNESS=job_weighted (serving only)
+  std::vector<double> job_busy_;  ///< busy seconds per job id (slot 0 unused)
+  std::vector<std::uint64_t> job_occ_;  ///< live deque entries per job (fairness only)
   bool done_ = true;
   bool active_ = false;
   std::exception_ptr root_error_;

@@ -1,0 +1,397 @@
+// Multi-job serving (ITYR_SERVE): differential off-path pinning, the
+// root_exec re-entry regression, and serving-mode correctness.
+//
+//  * OFF-PATH: with ITYR_SERVE off, every serving knob (arrival rate, job
+//    count, mix, steal fairness, cache quota) must be inert — a run with
+//    wild-but-valid settings is bit-identical to a defaults run on per-rank
+//    virtual clocks, scheduler counters, and the final heap state. This is
+//    the in-repo half of the "single-job mode unchanged" guarantee (the
+//    bench baselines pin the cross-PR half).
+//
+//  * RE-ENTRY: two back-to-back root_exec regions with the critical-path
+//    profiler on must keep extending one work/span accumulation; region 1's
+//    root frame and phase-timeline state must not leak into region 2.
+//
+//  * SERVING: an admitted job stream must run every job exactly once
+//    (admit <= start <= complete, dense ids, correct heap contents), under
+//    job-weighted fairness and under a per-job cache quota alike, and the
+//    per-job cache accounting must attribute all traffic.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "../support/fixture.hpp"
+#include "itoyori/core/ityr.hpp"
+
+namespace {
+
+constexpr std::uint32_t mutate(std::uint32_t x, std::uint32_t salt, std::uint32_t idx) {
+  return x * 1664525u + salt + idx * 1013904223u;
+}
+
+// Recursive fork-join mutate over [lo, hi): enough forks that serving-mode
+// jobs overlap and steal from each other at 4 ranks.
+void mutate_range(ityr::global_ptr<std::uint32_t> a, std::size_t lo, std::size_t hi,
+                  std::uint32_t salt) {
+  if (hi - lo <= 256) {
+    ityr::with_checkout(a + static_cast<std::ptrdiff_t>(lo), hi - lo,
+                        ityr::access_mode::read_write, [&](std::uint32_t* p) {
+                          for (std::size_t i = 0; i < hi - lo; i++) {
+                            p[i] = mutate(p[i], salt, static_cast<std::uint32_t>(lo + i));
+                          }
+                        });
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  ityr::parallel_invoke([=] { mutate_range(a, lo, mid, salt); },
+                        [=] { mutate_range(a, mid, hi, salt); });
+}
+
+void mutate_serial(std::vector<std::uint32_t>& a, std::size_t lo, std::size_t hi,
+                   std::uint32_t salt) {
+  for (std::size_t i = lo; i < hi; i++) {
+    a[i] = mutate(a[i], salt, static_cast<std::uint32_t>(i));
+  }
+}
+
+/// Job j's body: several rounds over its own block-aligned slice, salts
+/// derived from the job index so every job's effect is distinguishable.
+ityr::sched::job_spec slice_job(ityr::global_ptr<std::uint32_t> a, std::size_t j,
+                                std::size_t n_per_job, int rounds = 2) {
+  return {"job_slice", [=] {
+            for (int r = 0; r < rounds; r++) {
+              mutate_range(a, j * n_per_job, (j + 1) * n_per_job,
+                           static_cast<std::uint32_t>(j * 16 + r + 1));
+            }
+          }};
+}
+
+void slice_oracle(std::vector<std::uint32_t>& a, std::size_t j, std::size_t n_per_job,
+                  int rounds = 2) {
+  for (int r = 0; r < rounds; r++) {
+    mutate_serial(a, j * n_per_job, (j + 1) * n_per_job,
+                  static_cast<std::uint32_t>(j * 16 + r + 1));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Off-path differential: serving knobs are inert with ITYR_SERVE off.
+// ---------------------------------------------------------------------------
+
+struct fingerprint {
+  std::vector<double> clocks;
+  std::vector<std::uint32_t> final_state;
+  ityr::sched::scheduler::stats st;
+};
+
+fingerprint run_fp(unsigned seed, const std::function<void(ityr::common::options&)>& tweak) {
+  constexpr std::size_t n = 8 * 1024;
+  fingerprint fp;
+  auto o = ityr::test::tiny_opts(2, 2);
+  o.seed = seed;
+  tweak(o);
+  ityr::runtime rt(o);
+  fp.clocks.assign(4, 0.0);
+  rt.spmd([&] {
+    auto a = ityr::coll_new<std::uint32_t>(n);
+    ityr::root_exec([=] {
+      ityr::parallel_fill(a, n, 64, std::uint32_t{0});
+      mutate_range(a, 0, n, 7);
+      mutate_range(a, 0, n, 13);
+    });
+    if (ityr::my_rank() == 0) {
+      fp.final_state.resize(n);
+      ityr::with_checkout(a, n, ityr::access_mode::read, [&](const std::uint32_t* got) {
+        for (std::size_t i = 0; i < n; i++) fp.final_state[i] = got[i];
+      });
+    }
+    ityr::barrier();
+    fp.clocks[static_cast<std::size_t>(ityr::my_rank())] = rt.eng().now();
+    ityr::coll_delete(a, n);
+  });
+  fp.st = rt.sched().get_stats();
+  return fp;
+}
+
+class ServingOffDifferential : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ServingOffDifferential, ServingKnobsAreInertWhenServeIsOff) {
+  const unsigned seed = GetParam();
+  const fingerprint defaults = run_fp(seed, [](ityr::common::options&) {});
+  // Wild but valid settings for every serving knob, with ITYR_SERVE itself
+  // off: not a single probe, clock tick, or cache decision may move.
+  const fingerprint tweaked = run_fp(seed, [](ityr::common::options& o) {
+    o.serve_arrival_rate = 3.0;
+    o.serve_jobs = 5;
+    o.serve_mix = "uts:2,taskbench";
+    o.steal_fairness = ityr::common::steal_fairness_kind::job_weighted;
+    o.cache_job_quota = 8 * 1024;
+  });
+  ASSERT_EQ(defaults.clocks.size(), tweaked.clocks.size());
+  for (std::size_t r = 0; r < defaults.clocks.size(); r++) {
+    // Exact double equality on purpose: any divergence in RNG consumption or
+    // advance() sequencing shows up here first.
+    EXPECT_EQ(defaults.clocks[r], tweaked.clocks[r]) << "rank " << r << " clock diverged";
+  }
+  EXPECT_EQ(defaults.st.forks, tweaked.st.forks);
+  EXPECT_EQ(defaults.st.steal_attempts, tweaked.st.steal_attempts);
+  EXPECT_EQ(defaults.st.steals, tweaked.st.steals);
+  EXPECT_EQ(defaults.st.local_pops, tweaked.st.local_pops);
+  EXPECT_EQ(defaults.st.fairness_mid_claims, 0u);
+  EXPECT_EQ(tweaked.st.fairness_mid_claims, 0u);
+  EXPECT_EQ(defaults.st.fairness_redirects, 0u);
+  EXPECT_EQ(tweaked.st.fairness_redirects, 0u);
+  EXPECT_EQ(defaults.final_state, tweaked.final_state);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSchedules, ServingOffDifferential,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 7u, 11u, 13u, 23u, 42u),
+                         [](const ::testing::TestParamInfo<unsigned>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// root_exec re-entry with the critical-path profiler on.
+// ---------------------------------------------------------------------------
+
+TEST(RootExecReentry, BackToBackRegionsExtendOneCriticalPath) {
+  constexpr std::size_t n = 4 * 1024;
+  auto o = ityr::test::tiny_opts(2, 2);
+  o.critpath = true;
+  ityr::runtime rt(o);
+  double work_after_first = 0, span_after_first = 0;
+  rt.spmd([&] {
+    auto a = ityr::coll_new<std::uint32_t>(n);
+    ityr::root_exec([=] {
+      ityr::parallel_fill(a, n, 64, std::uint32_t{0});
+      mutate_range(a, 0, n, 3);
+    });
+    if (ityr::my_rank() == 0) {
+      work_after_first = rt.sched().cp_work();
+      span_after_first = rt.sched().cp_span().total();
+    }
+    ityr::barrier();
+    // Region 2 immediately after region 1: a stale root frame, resume note,
+    // or open critpath segment from region 1 would crash or misattribute
+    // this region's first resume.
+    ityr::root_exec([=] { mutate_range(a, 0, n, 5); });
+    if (ityr::my_rank() == 0) {
+      std::vector<std::uint32_t> oracle(n, 0);
+      mutate_serial(oracle, 0, n, 3);
+      mutate_serial(oracle, 0, n, 5);
+      ityr::with_checkout(a, n, ityr::access_mode::read, [&](const std::uint32_t* got) {
+        for (std::size_t i = 0; i < n; i++) {
+          ASSERT_EQ(got[i], oracle[i]) << "heap diverged at " << i;
+        }
+      });
+    }
+    ityr::barrier();
+    ityr::coll_delete(a, n);
+  });
+  EXPECT_GT(work_after_first, 0.0);
+  EXPECT_GT(span_after_first, 0.0);
+  // Sequential regions extend the same accumulated path.
+  EXPECT_GT(rt.sched().cp_work(), work_after_first);
+  EXPECT_GT(rt.sched().cp_span().total(), span_after_first);
+  EXPECT_GE(rt.sched().cp_work(), rt.sched().cp_span().total());
+}
+
+// ---------------------------------------------------------------------------
+// Serving mode.
+// ---------------------------------------------------------------------------
+
+struct serve_run {
+  std::vector<ityr::sched::job_record> records;
+  std::vector<std::uint32_t> final_state;
+  std::vector<ityr::pgas::job_cache_stats> job_cache;
+  ityr::pgas::cache_system::stats cache;
+  ityr::sched::scheduler::stats sched;
+  double jobs_per_s = 0;
+  double p50 = 0, p99 = 0;
+};
+
+serve_run run_serve(std::size_t n_jobs, std::size_t n_per_job,
+                    const std::function<void(ityr::common::options&)>& tweak) {
+  serve_run out;
+  auto o = ityr::test::tiny_opts(2, 2);
+  o.serve = true;
+  o.serve_arrival_rate = 2.0e4;  // arrivals overlap: jobs compete for ranks
+  tweak(o);
+  ityr::runtime rt(o);
+  const std::size_t n = n_jobs * n_per_job;
+  rt.spmd([&] {
+    auto a = ityr::coll_new<std::uint32_t>(n);
+    ityr::root_exec([=] { ityr::parallel_fill(a, n, 64, std::uint32_t{0}); });
+    ityr::barrier();
+    std::vector<ityr::sched::job_spec> jobs;
+    for (std::size_t j = 0; j < n_jobs; j++) jobs.push_back(slice_job(a, j, n_per_job));
+    ityr::serve(std::move(jobs));
+    if (ityr::my_rank() == 0) {
+      out.final_state.resize(n);
+      // Chunked readback: quota runs shrink the cache below the array size,
+      // so a single whole-array checkout would exhaust it with pins.
+      constexpr std::size_t chunk = 256;
+      for (std::size_t lo = 0; lo < n; lo += chunk) {
+        const std::size_t len = std::min(chunk, n - lo);
+        ityr::with_checkout(a + static_cast<std::ptrdiff_t>(lo), len, ityr::access_mode::read,
+                            [&](const std::uint32_t* got) {
+                              for (std::size_t i = 0; i < len; i++) out.final_state[lo + i] = got[i];
+                            });
+      }
+    }
+    ityr::barrier();
+    ityr::coll_delete(a, n);
+  });
+  out.records = rt.jobs().records();
+  out.job_cache = rt.pgas().aggregate_job_stats();
+  out.cache = rt.pgas().aggregate_stats();
+  out.sched = rt.sched().get_stats();
+  out.jobs_per_s = rt.jobs().jobs_per_s();
+  out.p50 = rt.jobs().latency_quantile(0.50);
+  out.p99 = rt.jobs().latency_quantile(0.99);
+  return out;
+}
+
+std::vector<std::uint32_t> serve_oracle(std::size_t n_jobs, std::size_t n_per_job) {
+  std::vector<std::uint32_t> a(n_jobs * n_per_job, 0);
+  for (std::size_t j = 0; j < n_jobs; j++) slice_oracle(a, j, n_per_job);
+  return a;
+}
+
+TEST(Serving, RunsEveryJobOnceWithOrderedLifecycle) {
+  constexpr std::size_t n_jobs = 6, n_per_job = 2048;
+  const serve_run r = run_serve(n_jobs, n_per_job, [](ityr::common::options&) {});
+
+  ASSERT_EQ(r.records.size(), n_jobs);
+  double prev_admit = -1;
+  for (std::size_t i = 0; i < n_jobs; i++) {
+    const auto& jr = r.records[i];
+    EXPECT_EQ(jr.id, static_cast<ityr::common::job_id_t>(i + 1)) << "ids dense from 1";
+    EXPECT_TRUE(jr.done);
+    EXPECT_GT(jr.t_admit, prev_admit) << "admissions strictly ordered";
+    prev_admit = jr.t_admit;
+    EXPECT_GE(jr.t_start, jr.t_admit);
+    EXPECT_GE(jr.t_complete, jr.t_start);
+    EXPECT_GT(jr.latency(), 0.0);
+    EXPECT_GT(jr.busy_s, 0.0) << "job " << jr.id << " accrued no busy time";
+  }
+  EXPECT_GT(r.jobs_per_s, 0.0);
+  EXPECT_LE(r.p50, r.p99);
+  EXPECT_EQ(r.final_state, serve_oracle(n_jobs, n_per_job));
+}
+
+TEST(Serving, ServeTwiceKeepsGrowingJobIds) {
+  constexpr std::size_t n_jobs = 3, n_per_job = 1024;
+  auto o = ityr::test::tiny_opts(2, 2);
+  o.serve = true;
+  o.serve_arrival_rate = 2.0e4;
+  ityr::runtime rt(o);
+  const std::size_t n = n_jobs * n_per_job;
+  rt.spmd([&] {
+    auto a = ityr::coll_new<std::uint32_t>(n);
+    ityr::root_exec([=] { ityr::parallel_fill(a, n, 64, std::uint32_t{0}); });
+    ityr::barrier();
+    for (int round = 0; round < 2; round++) {
+      std::vector<ityr::sched::job_spec> jobs;
+      for (std::size_t j = 0; j < n_jobs; j++) jobs.push_back(slice_job(a, j, n_per_job));
+      ityr::serve(std::move(jobs));
+      ityr::barrier();
+    }
+    ityr::coll_delete(a, n);
+  });
+  const auto& recs = rt.jobs().records();
+  ASSERT_EQ(recs.size(), 2 * n_jobs);
+  for (std::size_t i = 0; i < recs.size(); i++) {
+    EXPECT_EQ(recs[i].id, static_cast<ityr::common::job_id_t>(i + 1));
+    EXPECT_TRUE(recs[i].done);
+  }
+}
+
+TEST(Serving, JobWeightedFairnessPreservesResults) {
+  constexpr std::size_t n_jobs = 6, n_per_job = 2048;
+  const serve_run off = run_serve(n_jobs, n_per_job, [](ityr::common::options& o) {
+    o.steal_fairness = ityr::common::steal_fairness_kind::off;
+  });
+  const serve_run fair = run_serve(n_jobs, n_per_job, [](ityr::common::options& o) {
+    o.steal_fairness = ityr::common::steal_fairness_kind::job_weighted;
+  });
+  // Fairness reshuffles the steal schedule; DAG consistency is
+  // schedule-independent, so the heap must not care.
+  EXPECT_EQ(off.final_state, fair.final_state);
+  for (const auto& jr : fair.records) EXPECT_TRUE(jr.done);
+  // The off run must never pay the fairness scan.
+  EXPECT_EQ(off.sched.fairness_mid_claims, 0u);
+  EXPECT_EQ(off.sched.fairness_redirects, 0u);
+}
+
+TEST(Serving, FairnessComposesWithBatchSteals) {
+  constexpr std::size_t n_jobs = 6, n_per_job = 2048;
+  const serve_run r = run_serve(n_jobs, n_per_job, [](ityr::common::options& o) {
+    o.steal_fairness = ityr::common::steal_fairness_kind::job_weighted;
+    o.steal_batch = 3;
+  });
+  for (const auto& jr : r.records) EXPECT_TRUE(jr.done);
+  EXPECT_EQ(r.final_state, serve_oracle(n_jobs, n_per_job));
+  // Batch claims must never span jobs; with single-job-tagged runs of work
+  // in the deque the constraint is exercised, not just vacuous.
+  EXPECT_GT(r.sched.steals, 0u);
+}
+
+TEST(Serving, PerJobCacheAccountingAttributesAllTraffic) {
+  constexpr std::size_t n_jobs = 4, n_per_job = 4096;
+  const serve_run r = run_serve(n_jobs, n_per_job, [](ityr::common::options&) {});
+
+  ASSERT_GE(r.job_cache.size(), n_jobs + 1) << "one row per job id plus row 0";
+  // Conservation: every fetched/written-back byte and every miss lands on
+  // exactly one row (row 0 = untagged SPMD/driver traffic).
+  std::uint64_t fetched = 0, written = 0, misses = 0;
+  for (const auto& row : r.job_cache) {
+    fetched += row.fetched_bytes;
+    written += row.written_back_bytes;
+    misses += row.block_fetches;
+  }
+  EXPECT_EQ(fetched, r.cache.fetched_bytes);
+  EXPECT_EQ(written, r.cache.written_back_bytes + r.cache.write_through_bytes);
+  EXPECT_EQ(misses, r.cache.block_misses);
+  // Every job moved data: its slice is remote for at least some ranks.
+  for (std::size_t j = 1; j <= n_jobs; j++) {
+    EXPECT_GT(r.job_cache[j].fetched_bytes + r.job_cache[j].written_back_bytes, 0u)
+        << "job " << j << " attributed no cache traffic";
+  }
+  // Footprint peaks charge the allocator (the block tag sticks until
+  // eviction), so a job re-reading blocks the fill phase cached can
+  // legitimately show peak 0 — assert the charge exists in aggregate.
+  std::uint64_t peak_total = 0;
+  for (const auto& row : r.job_cache) peak_total += row.cached_bytes_peak;
+  EXPECT_GT(peak_total, 0u);
+}
+
+TEST(Serving, CacheJobQuotaRecyclesOwnBlocksAndStaysCorrect) {
+  constexpr std::size_t n_jobs = 4, n_per_job = 8192;  // 32 KiB slice per job
+  const serve_run r = run_serve(n_jobs, n_per_job, [](ityr::common::options& o) {
+    o.cache_size = 32 * ityr::common::KiB;  // 8 blocks: real pressure
+    o.cache_job_quota = 8 * ityr::common::KiB;  // 2 blocks per job
+  });
+  for (const auto& jr : r.records) EXPECT_TRUE(jr.done);
+  EXPECT_EQ(r.final_state, serve_oracle(n_jobs, n_per_job));
+  // Recycle candidates must be clean: under the async release protocol the
+  // over-quota job's LRU blocks can still be write-back-in-flight at
+  // allocation time, so the quota legitimately falls through to the normal
+  // eviction path. Correctness above is asserted in both modes; activity
+  // only where the mode guarantees clean candidates exist.
+  const char* ar = std::getenv("ITYR_ASYNC_RELEASE");
+  const bool async_on = ar != nullptr &&
+                        (std::string(ar) == "1" || std::string(ar) == "true");
+  if (!async_on) {
+    std::uint64_t recycles = 0;
+    for (const auto& row : r.job_cache) recycles += row.quota_recycles;
+    EXPECT_GT(recycles, 0u) << "quota never bit under deliberate cache pressure";
+  }
+}
+
+}  // namespace

@@ -1,10 +1,13 @@
 /// stats_diff: compare two ITYR_STATS_JSON metric dumps (schema
-/// itoyori.metrics.v2; docs/observability.md).
+/// itoyori.metrics.v3, and v2 files from older runs; docs/observability.md).
 ///
 /// The JSON tree is flattened into "path -> number" pairs: object members
 /// join with '.', array elements key by their "name" member when they have
 /// one (so `metrics` and `histograms` entries address as
-/// `metrics.cache.checkouts.total`) and by index otherwise.
+/// `metrics.cache.checkouts.total`, and v3 per-job rows as
+/// `jobs.job3:cilksort.latency_s`) and by index otherwise. Version-neutral:
+/// v2 and v3 files flatten to the same paths for the sections both have, so
+/// cross-version diffs and checks just work.
 ///
 /// Diff mode — print every differing or one-sided key, exit 0:
 ///
@@ -338,10 +341,24 @@ int self_check() {
       "\"metrics\": [ {\"name\": \"b.time_s\", \"total\": 1.6, \"per_rank\": [0.6, 1.0]},\n"
       "              {\"name\": \"a.count\", \"total\": 10, \"per_rank\": [4, 6]} ],\n"
       "\"histograms\": []}";
-  std::map<std::string, double> a, b;
+  // A v3 document: same sections as v2 plus the per-job rows (name-keyed,
+  // with non-numeric members mixed in). Cross-version compatibility means
+  // doc_a's keys resolve here too wherever both documents have them.
+  const std::string doc_c =
+      "{\"schema\": \"itoyori.metrics.v3\", \"schema_version\": 3, \"n_ranks\": 2,\n"
+      "\"metrics\": [ {\"name\": \"a.count\", \"total\": 10, \"per_rank\": [4, 6]},\n"
+      "              {\"name\": \"b.time_s\", \"total\": 1.5, \"per_rank\": [0.5, 1.0]} ],\n"
+      "\"histograms\": [ {\"name\": \"hist.x\", \"count\": 3, \"p50\": 2.0,\n"
+      "                   \"buckets\": [[1, 2], [3, 1]]} ],\n"
+      "\"jobs\": [ {\"name\": \"job2:uts\", \"id\": 2, \"done\": true,\n"
+      "             \"latency_s\": 0.25, \"fetched_bytes\": 4096},\n"
+      "            {\"name\": \"job1:cilksort\", \"id\": 1, \"done\": true,\n"
+      "             \"latency_s\": 0.5, \"fetched_bytes\": 8192} ]}";
+  std::map<std::string, double> a, b, c;
   try {
     a = flattener(doc_a).run();
     b = flattener(doc_b).run();
+    c = flattener(doc_c).run();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "stats_diff self-check: parse failed: %s\n", e.what());
     return 1;
@@ -363,7 +380,33 @@ int self_check() {
                "7% drift within 10% tolerance");
   ok &= expect(deviation(1.0, 2.0) > 0.10, "gross drift detected");
   ok &= expect(deviation(0.0, 0.0) == 0.0, "zero vs zero is clean");
-  if (ok) std::printf("stats_diff self-check: OK (%zu + %zu keys)\n", a.size(), b.size());
+  // v2 -> v3 compatibility: the sections both versions have flatten to the
+  // same paths, and the v3-only jobs rows address by their unique name.
+  ok &= expect(c.at("schema_version") == 3, "v3 schema_version flattened");
+  ok &= expect(c.at("metrics.a.count.total") == a.at("metrics.a.count.total"),
+               "v2 metric path resolves identically in v3");
+  ok &= expect(c.at("histograms.hist.x.p50") == a.at("histograms.hist.x.p50"),
+               "v2 histogram path resolves identically in v3");
+  ok &= expect(c.at("jobs.job1:cilksort.latency_s") == 0.5, "job row keyed by name");
+  ok &= expect(c.at("jobs.job2:uts.fetched_bytes") == 4096,
+               "reordered job row resolves by name");
+  ok &= expect(c.find("jobs.job1:cilksort.name") == c.end() &&
+                   c.find("jobs.job1:cilksort.done") == c.end(),
+               "non-numeric job members dropped");
+  // Cross-version check mode must compare shared keys without tripping on
+  // v3-only sections: every v2 key of doc_a except schema_version (2 -> 3)
+  // exists in doc_c with the same value.
+  std::size_t shared_bad = 0;
+  for (const auto& [key, va] : a) {
+    if (key == "schema_version") continue;
+    const auto it = c.find(key);
+    if (it == c.end() || deviation(va, it->second) > 0) shared_bad++;
+  }
+  ok &= expect(shared_bad == 0, "every v2 key survives into v3 unchanged");
+  if (ok) {
+    std::printf("stats_diff self-check: OK (%zu + %zu + %zu keys)\n", a.size(), b.size(),
+                c.size());
+  }
   return ok ? 0 : 1;
 }
 

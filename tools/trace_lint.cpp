@@ -38,6 +38,14 @@
 /// matching deque-depth deltas on both endpoints (victim loses `batch`
 /// entries, thief gains `batch - 1`).
 ///
+/// With `--self-check-serving` (the `trace_lint_serving` ctest) it serves a
+/// small multi-job stream with ITYR_SERVE + job-weighted steal fairness and
+/// requires job lifecycle instants and job-annotated steal flows; the
+/// generic job checks in validate_trace_json then verify every admitted job
+/// has exactly one start and one complete in admit -> start -> complete
+/// order, and that every job-annotated span/flow/instant timestamp nests
+/// inside its job's admit -> complete window.
+///
 /// All subsystem-specific invariants live in the two rule tables below —
 /// adding a lifecycle or presence check for a new tracer feature means
 /// adding a table row, not a new code path.
@@ -64,6 +72,7 @@ enum lint_mode : unsigned {
   kPrefetch = 1u << 1,  ///< --self-check-prefetch
   kRelease = 1u << 2,   ///< --self-check-release
   kBatch = 1u << 3,     ///< --self-check-steal-batch
+  kServing = 1u << 4,   ///< --self-check-serving
 };
 
 /// Lifecycle pairing: every issued event must be retired by exactly one
@@ -89,6 +98,13 @@ constexpr pairing_rule kPairingRules[] = {
     // completion).
     {"async write-back spans", [](const trace_result& r) { return r.n_wb_async_spans; },
      "writeback completion flows", [](const trace_result& r) { return r.n_writeback_flows; }},
+    // Serving lifecycle: every admitted job starts and completes exactly
+    // once (validate_trace_json additionally enforces per-job ordering and
+    // that job-annotated events nest inside the admit -> complete window).
+    {"job admit instants", [](const trace_result& r) { return r.n_job_admits; },
+     "job start instants", [](const trace_result& r) { return r.n_job_starts; }},
+    {"job admit instants", [](const trace_result& r) { return r.n_job_admits; },
+     "job complete instants", [](const trace_result& r) { return r.n_job_completes; }},
 };
 
 /// "Expected at least one X" requirements of the self-check modes; rules
@@ -113,6 +129,12 @@ constexpr presence_rule kPresenceRules[] = {
     // multi-entry claim actually appears in the trace.
     {kBatch, true, "batch-annotated steal flow",
      [](const trace_result& r) { return r.n_batch_steal_flows; }},
+    {kServing, true, "job admit instant",
+     [](const trace_result& r) { return r.n_job_admits; }},
+    // Vacuous window check otherwise: fairness steals must have produced at
+    // least one job-tagged flow for the nesting rule to bite on.
+    {kServing, true, "job-annotated event",
+     [](const trace_result& r) { return r.n_job_annotated; }},
 };
 
 int lint(const std::string& json, const char* what, unsigned modes) {
@@ -212,6 +234,52 @@ int self_check(bool with_prefetch, bool with_async_release = false,
               modes);
 }
 
+int self_check_serving() {
+  ityr::common::options o;
+  o.n_nodes = 2;
+  o.ranks_per_node = 2;
+  o.deterministic = true;
+  o.block_size = 4 * ityr::common::KiB;
+  o.sub_block_size = 1 * ityr::common::KiB;
+  o.cache_size = 64 * ityr::common::KiB;
+  o.coll_heap_per_rank = 1 * ityr::common::MiB;
+  o.noncoll_heap_per_rank = 256 * ityr::common::KiB;
+  o.metrics_sample_interval = 1.0e-5;
+  o.serve = true;
+  // Arrivals fast enough that the stream overlaps (fairness steals get
+  // job-tagged flows to lint) but the driver still idles between some jobs.
+  o.serve_arrival_rate = 2.0e4;
+  o.steal_fairness = ityr::common::steal_fairness_kind::job_weighted;
+
+  constexpr std::size_t n = 1 << 14;       // elements per job
+  constexpr std::size_t n_jobs = 4;
+  std::string json;
+  {
+    ityr::runtime rt(o);
+    rt.trace().set_enabled(true);
+    rt.spmd([&] {
+      auto a = ityr::coll_new<std::uint32_t>(n * n_jobs);
+      auto b = ityr::coll_new<std::uint32_t>(n * n_jobs);
+      ityr::root_exec([=] { ityr::apps::cilksort_generate(a, n * n_jobs, 7, 4096); });
+      ityr::barrier();
+      std::vector<ityr::sched::job_spec> jobs;
+      for (std::size_t j = 0; j < n_jobs; j++) {
+        jobs.push_back({"cilksort", [=] {
+                          ityr::apps::cilksort(
+                              ityr::global_span<std::uint32_t>(a + j * n, n),
+                              ityr::global_span<std::uint32_t>(b + j * n, n), 512);
+                        }});
+      }
+      ityr::serve(std::move(jobs));
+      ityr::barrier();
+      ityr::coll_delete(a, n * n_jobs);
+      ityr::coll_delete(b, n * n_jobs);
+    });
+    json = rt.trace().to_json();
+  }
+  return lint(json, "self-check (traced serving, 4 cilksort jobs)", kContent | kServing);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -229,6 +297,9 @@ int main(int argc, char** argv) {
   if (argc == 2 && std::strcmp(argv[1], "--self-check-steal-batch") == 0) {
     return self_check(/*with_prefetch=*/false, /*with_async_release=*/false,
                       /*flow_sample=*/1, /*steal_batch=*/3);
+  }
+  if (argc == 2 && std::strcmp(argv[1], "--self-check-serving") == 0) {
+    return self_check_serving();
   }
 
   int rc = 0;
